@@ -1,0 +1,83 @@
+//! Criterion micro-benches for the geometry kernel — the inner loop behind
+//! every SE run and therefore behind every construction figure (Fig. 10).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_geom::{dominates, max_dist_sq, min_dist_sq, region_fully_dominated, HyperRect, Point};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn rand_rect(rng: &mut StdRng, dim: usize, max_side: f64) -> HyperRect {
+    let lo: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..9_000.0)).collect();
+    let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(1.0..max_side)).collect();
+    HyperRect::new(lo, hi)
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distances");
+    for dim in [2usize, 3, 5] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rects: Vec<HyperRect> = (0..256).map(|_| rand_rect(&mut rng, dim, 100.0)).collect();
+        let points: Vec<Point> = (0..256)
+            .map(|_| Point::new((0..dim).map(|_| rng.gen_range(0.0..10_000.0)).collect()))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("min_max_dist_sq", dim), &dim, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let r = &rects[i % rects.len()];
+                let p = &points[i % points.len()];
+                i = i.wrapping_add(1);
+                black_box(min_dist_sq(r, p) + max_dist_sq(r, p))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dominates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial_domination");
+    for dim in [2usize, 3, 5] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let triples: Vec<(HyperRect, HyperRect, HyperRect)> = (0..256)
+            .map(|_| {
+                (
+                    rand_rect(&mut rng, dim, 60.0),
+                    rand_rect(&mut rng, dim, 60.0),
+                    rand_rect(&mut rng, dim, 400.0),
+                )
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("dominates", dim), &dim, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let (a, o, r) = &triples[i % triples.len()];
+                i = i.wrapping_add(1);
+                black_box(dominates(a, o, r))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_region_fully_dominated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("domination_count");
+    for mmax in [2usize, 10, 40] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dim = 3;
+        let o = rand_rect(&mut rng, dim, 60.0);
+        let cset: Vec<HyperRect> = (0..120).map(|_| rand_rect(&mut rng, dim, 60.0)).collect();
+        let slab = rand_rect(&mut rng, dim, 2_000.0);
+        g.bench_with_input(BenchmarkId::new("mmax", mmax), &mmax, |b, &mmax| {
+            b.iter(|| black_box(region_fully_dominated(&slab, &cset, &o, mmax, None)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_distances, bench_dominates, bench_region_fully_dominated
+);
+criterion_main!(benches);

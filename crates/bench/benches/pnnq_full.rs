@@ -1,0 +1,72 @@
+//! Criterion bench: full PNNQ evaluation (Step 1 + Step 2) — the end-to-end
+//! comparison behind Figs. 9(b), 9(d), 9(h).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_bench::{Ctx, Preset};
+use pv_core::baseline::RTreeBaseline;
+use pv_core::PvIndex;
+use pv_workload::{queries, realistic};
+
+fn bench_full_query(c: &mut Criterion) {
+    let ctx = Ctx::new(Preset::Tiny);
+    let mut g = c.benchmark_group("pnnq_full");
+
+    // |u(o)| sweep (Fig. 9(d) shape).
+    for u in [20.0f64, 60.0, 100.0] {
+        let db = ctx.synthetic_db(2_000, 3, u, 19);
+        let params = ctx.pv_params();
+        let index = PvIndex::build(&db, params);
+        let baseline = RTreeBaseline::build(&db, params.rtree_fanout, params.page_size);
+        let qs = queries::uniform(&db.domain, 64, 5);
+        g.bench_with_input(BenchmarkId::new("pv_u", u as u64), &u, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i = i.wrapping_add(1);
+                black_box(index.query(q))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rtree_u", u as u64), &u, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i = i.wrapping_add(1);
+                black_box(baseline.query(q))
+            })
+        });
+    }
+
+    // Real-dataset shape (Fig. 9(h)).
+    let db = realistic::airports(1_000, 23);
+    let params = ctx.pv_params();
+    let index = PvIndex::build(&db, params);
+    let baseline = RTreeBaseline::build(&db, params.rtree_fanout, params.page_size);
+    let qs = queries::data_skewed(&db, 64, 500.0, 7);
+    g.bench_function("pv_airports", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &qs[i % qs.len()];
+            i = i.wrapping_add(1);
+            black_box(index.query(q))
+        })
+    });
+    g.bench_function("rtree_airports", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &qs[i % qs.len()];
+            i = i.wrapping_add(1);
+            black_box(baseline.query(q))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_full_query
+);
+criterion_main!(benches);

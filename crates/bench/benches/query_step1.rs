@@ -1,0 +1,47 @@
+//! Criterion bench: PNNQ Step 1 (object retrieval) — PV-index vs R-tree,
+//! the comparison behind Figs. 9(a), 9(c), 9(e)–(g).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_bench::{Ctx, Preset};
+use pv_core::baseline::RTreeBaseline;
+use pv_core::PvIndex;
+use pv_workload::queries;
+
+fn bench_step1(c: &mut Criterion) {
+    let ctx = Ctx::new(Preset::Tiny);
+    let mut g = c.benchmark_group("query_step1");
+    for dim in [2usize, 3, 4] {
+        let db = ctx.synthetic_db(2_500, dim, 60.0, 17);
+        let params = ctx.pv_params();
+        let index = PvIndex::build(&db, params);
+        let baseline = RTreeBaseline::build(&db, params.rtree_fanout, params.page_size);
+        let qs = queries::uniform(&db.domain, 64, 3);
+        g.bench_with_input(BenchmarkId::new("pv_index", dim), &dim, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i = i.wrapping_add(1);
+                black_box(index.query_step1(q))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rtree", dim), &dim, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i = i.wrapping_add(1);
+                black_box(baseline.query_step1(q))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_step1
+);
+criterion_main!(benches);

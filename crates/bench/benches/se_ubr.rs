@@ -1,0 +1,65 @@
+//! Criterion bench: per-object UBR construction with the SE algorithm —
+//! the per-object cost behind Figs. 10(a)–(f).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_core::cset::{build_mean_tree, choose_cset};
+use pv_core::params::CSetStrategy;
+use pv_core::se::compute_ubr;
+use pv_geom::HyperRect;
+use pv_workload::{synthetic, SyntheticConfig};
+use std::collections::HashMap;
+
+fn bench_se(c: &mut Criterion) {
+    let db = synthetic(&SyntheticConfig {
+        n: 4_000,
+        dim: 3,
+        max_side: 60.0,
+        samples: 8,
+        seed: 13,
+    });
+    let regions: HashMap<u64, HyperRect> = db
+        .objects
+        .iter()
+        .map(|o| (o.id, o.region.clone()))
+        .collect();
+    let tree = build_mean_tree(regions.iter().map(|(&id, r)| (id, r.clone())), 3, 100);
+
+    let mut g = c.benchmark_group("se_ubr");
+    for (name, strategy) in [
+        ("fs_k200", CSetStrategy::Fixed { k: 200 }),
+        ("is_default", CSetStrategy::default()),
+    ] {
+        g.bench_function(BenchmarkId::new("strategy", name), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let o = &db.objects[i % db.objects.len()];
+                i = i.wrapping_add(7);
+                let cset = choose_cset(o, strategy, &tree, &regions);
+                black_box(compute_ubr(o, &db.domain, &cset, 1.0, 10))
+            })
+        });
+    }
+    // Δ sensitivity (Fig. 10(a)).
+    for delta in [0.1f64, 1.0, 100.0] {
+        g.bench_function(BenchmarkId::new("delta", format!("{delta}")), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let o = &db.objects[i % db.objects.len()];
+                i = i.wrapping_add(7);
+                let cset = choose_cset(o, CSetStrategy::default(), &tree, &regions);
+                black_box(compute_ubr(o, &db.domain, &cset, delta, 10))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_se
+);
+criterion_main!(benches);

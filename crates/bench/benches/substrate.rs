@@ -1,0 +1,155 @@
+//! Criterion bench: substrate data structures (R*-tree, octree, extendible
+//! hash, pager) — supporting measurements for the index-level figures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_exthash::ExtHash;
+use pv_geom::{HyperRect, Point};
+use pv_octree::{encode_leaf_record, Octree};
+use pv_rtree::{Entry, RTree, RTreeParams};
+use pv_storage::{MemPager, PageList, Pager};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn rand_rect(rng: &mut StdRng, dim: usize) -> HyperRect {
+    let lo: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..9_000.0)).collect();
+    let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(1.0..60.0)).collect();
+    HyperRect::new(lo, hi)
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree");
+    let mut rng = StdRng::seed_from_u64(31);
+    let entries: Vec<Entry> = (0..10_000)
+        .map(|i| Entry {
+            rect: rand_rect(&mut rng, 3),
+            id: i,
+        })
+        .collect();
+    g.bench_function("bulk_load_10k", |b| {
+        b.iter(|| {
+            black_box(RTree::bulk_load(
+                3,
+                RTreeParams::with_fanout(100),
+                entries.clone(),
+            ))
+        })
+    });
+    let tree = RTree::bulk_load(3, RTreeParams::with_fanout(100), entries.clone());
+    let queries: Vec<Point> = (0..128)
+        .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..10_000.0)).collect()))
+        .collect();
+    g.bench_function("knn10", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i = i.wrapping_add(1);
+            black_box(tree.knn(q, 10))
+        })
+    });
+    g.bench_function("range_search", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i = i.wrapping_add(1);
+            let range = HyperRect::new(
+                q.coords().iter().map(|x| (x - 200.0).max(0.0)).collect(),
+                q.coords().iter().map(|x| (x + 200.0).min(10_000.0)).collect(),
+            );
+            black_box(tree.range_search(&range))
+        })
+    });
+    g.finish();
+}
+
+fn bench_octree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("octree");
+    let mut rng = StdRng::seed_from_u64(37);
+    let dim = 3;
+    let domain = HyperRect::cube(dim, 0.0, 10_000.0);
+    let objs: Vec<(u64, HyperRect)> = (0..5_000)
+        .map(|i| (i, rand_rect(&mut rng, dim)))
+        .collect();
+    let lookup_map: HashMap<u64, HyperRect> = objs.iter().cloned().collect();
+    g.bench_function("insert_5k", |b| {
+        b.iter(|| {
+            let pager = MemPager::new(4096);
+            let mut tree = Octree::new(pager, domain.clone(), 5 * 1024 * 1024, 56);
+            let lookup = |id: u64| lookup_map[&id].clone();
+            for (id, ubr) in &objs {
+                tree.insert(ubr, &encode_leaf_record(*id, ubr), &lookup);
+            }
+            black_box(tree.stats())
+        })
+    });
+    // point queries on a built tree
+    let pager = MemPager::new(4096);
+    let mut tree = Octree::new(pager, domain.clone(), 5 * 1024 * 1024, 56);
+    let lookup = |id: u64| lookup_map[&id].clone();
+    for (id, ubr) in &objs {
+        tree.insert(ubr, &encode_leaf_record(*id, ubr), &lookup);
+    }
+    let queries: Vec<Point> = (0..128)
+        .map(|_| Point::new((0..dim).map(|_| rng.gen_range(0.0..10_000.0)).collect()))
+        .collect();
+    g.bench_function("point_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i = i.wrapping_add(1);
+            black_box(tree.point_query(q))
+        })
+    });
+    g.finish();
+}
+
+fn bench_exthash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exthash");
+    g.bench_function("put_get_4k_entries", |b| {
+        b.iter(|| {
+            let mut h = ExtHash::new(MemPager::new(4096));
+            for k in 0..4_000u64 {
+                h.put(k, &k.to_le_bytes());
+            }
+            let mut acc = 0u64;
+            for k in 0..4_000u64 {
+                acc ^= h.get(k).unwrap()[0] as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_pager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage");
+    g.bench_function("pagelist_append_read", |b| {
+        b.iter(|| {
+            let pager = MemPager::new(4096);
+            let mut list = PageList::new();
+            for i in 0..200u8 {
+                list.append(&pager, &[i; 56]);
+            }
+            black_box(list.read_all(&pager).len())
+        })
+    });
+    g.bench_function("page_rw", |b| {
+        let pager = MemPager::new(4096);
+        let id = pager.alloc();
+        let buf = vec![7u8; 4096];
+        b.iter(|| {
+            pager.write(id, &buf);
+            black_box(pager.read(id)[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_rtree, bench_octree, bench_exthash, bench_pager
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: incremental maintenance — per-object insertion and
+//! deletion against the Rebuild alternative (Figs. 10(h)/(i)).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use pv_bench::{Ctx, Preset};
+use pv_core::PvIndex;
+
+fn bench_updates(c: &mut Criterion) {
+    let ctx = Ctx::new(Preset::Tiny);
+    let db = ctx.synthetic_db(2_000, 3, 60.0, 29);
+    let params = ctx.pv_params();
+    let base_index = PvIndex::build(&db, params);
+
+    let mut g = c.benchmark_group("update");
+    g.sample_size(10);
+
+    // Incremental deletion + reinsertion cycle of a single object: measures
+    // the steady-state per-update cost without growing/shrinking the index.
+    g.bench_function("inc_delete_insert_cycle", |b| {
+        let mut index = PvIndex::build(&db, params);
+        let mut i = 0usize;
+        b.iter(|| {
+            let o = db.objects[i % db.objects.len()].clone();
+            i = i.wrapping_add(37);
+            index.remove(o.id).expect("present");
+            black_box(index.insert(o));
+        })
+    });
+
+    // Rebuild alternative: the paper's competitor charges a full index
+    // construction per update.
+    g.bench_function("rebuild_after_update", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(PvIndex::build(&db, params)),
+            BatchSize::PerIteration,
+        )
+    });
+
+    drop(base_index);
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_updates
+);
+criterion_main!(benches);

@@ -1,0 +1,781 @@
+//! One runner per figure of §VII. Each function builds the workload at the
+//! preset's scale, measures the same quantities the paper plots, and prints
+//! a table whose rows correspond to the figure's x-axis points.
+
+use crate::report::Table;
+use crate::Ctx;
+use pv_core::baseline::RTreeBaseline;
+use pv_core::params::{CSetStrategy, PvParams};
+use pv_core::{PvIndex, QueryStats};
+use pv_geom::Point;
+use pv_uncertain::{UncertainDb, UncertainObject};
+use pv_uvindex::{UvIndex, UvParams};
+use pv_workload::queries;
+use std::time::{Duration, Instant};
+
+/// Table-I default |u(o)|.
+const U_DEFAULT: f64 = 60.0;
+/// Table-I default dimensionality.
+const D_DEFAULT: usize = 3;
+
+/// Averaged full-query measurements over a query workload.
+struct QueryAverages {
+    tq: Duration,
+    t_or: Duration,
+    t_pc: Duration,
+    io_or: f64,
+    io_pc: f64,
+    answers: f64,
+}
+
+fn run_queries(mut f: impl FnMut(&Point) -> QueryStats, qs: &[Point]) -> QueryAverages {
+    let mut tq = Duration::ZERO;
+    let mut t_or = Duration::ZERO;
+    let mut t_pc = Duration::ZERO;
+    let mut io_or = 0u64;
+    let mut io_pc = 0u64;
+    let mut answers = 0usize;
+    for q in qs {
+        let st = f(q);
+        tq += st.total_time();
+        t_or += st.step1.time;
+        t_pc += st.pc_time;
+        io_or += st.step1.io_reads;
+        io_pc += st.pc_io_reads;
+        answers += st.step1.answers;
+    }
+    let m = qs.len() as u32;
+    let mf = qs.len() as f64;
+    QueryAverages {
+        tq: tq / m,
+        t_or: t_or / m,
+        t_pc: t_pc / m,
+        io_or: io_or as f64 / mf,
+        io_pc: io_pc as f64 / mf,
+        answers: answers as f64 / mf,
+    }
+}
+
+fn measure_pair(
+    ctx: &Ctx,
+    db: &UncertainDb,
+    seed: u64,
+) -> (QueryAverages, QueryAverages, PvIndex, RTreeBaseline) {
+    let params = ctx.pv_params();
+    let index = PvIndex::build(db, params);
+    let baseline = RTreeBaseline::build(db, params.rtree_fanout, params.page_size);
+    let qs = queries::uniform(&db.domain, ctx.preset.queries(), seed);
+    let pv = run_queries(|q| index.query(q).1, &qs);
+    let rt = run_queries(|q| baseline.query(q).1, &qs);
+    (pv, rt, index, baseline)
+}
+
+/// Fig. 9(a): PNNQ time `Tq` vs `|S|` (PV-index vs R-tree), 3-D synthetic.
+pub fn fig9a(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig9a",
+        "Fig 9(a): Tq (ms) vs |S| — PV-index vs R-tree (3-D synthetic)",
+        &["|S|", "Tq_rtree_ms", "Tq_pv_ms", "pv_speedup_pct"],
+    );
+    for (i, &n) in ctx.preset.s_sweep().iter().enumerate() {
+        let db = ctx.synthetic_db(n, D_DEFAULT, U_DEFAULT, 100 + i as u64);
+        let (pv, rt, _, _) = measure_pair(ctx, &db, 9000 + i as u64);
+        let speedup = 100.0 * (1.0 - pv.tq.as_secs_f64() / rt.tq.as_secs_f64());
+        t.row(vec![
+            n.to_string(),
+            Table::ms(rt.tq),
+            Table::ms(pv.tq),
+            format!("{speedup:.1}"),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 9(b): `Tq` split into object retrieval (OR) and probability
+/// computation (PC) at the default configuration.
+pub fn fig9b(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig9b",
+        "Fig 9(b): OR / PC breakdown (ms) at default |S|",
+        &["method", "T_OR_ms", "T_PC_ms", "Tq_ms", "io_pc"],
+    );
+    let db = ctx.synthetic_db(ctx.preset.s_default(), D_DEFAULT, U_DEFAULT, 200);
+    let (pv, rt, _, _) = measure_pair(ctx, &db, 9200);
+    for (name, a) in [("rtree", &rt), ("pv-index", &pv)] {
+        t.row(vec![
+            name.to_string(),
+            Table::ms(a.t_or),
+            Table::ms(a.t_pc),
+            Table::ms(a.tq),
+            format!("{:.2}", a.io_pc),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 9(c): query I/O vs `|S|`.
+pub fn fig9c(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig9c",
+        "Fig 9(c): Step-1 I/O (pages/query) vs |S|",
+        &["|S|", "io_rtree", "io_pv", "pv_fraction_pct"],
+    );
+    for (i, &n) in ctx.preset.s_sweep().iter().enumerate() {
+        let db = ctx.synthetic_db(n, D_DEFAULT, U_DEFAULT, 100 + i as u64);
+        let (pv, rt, _, _) = measure_pair(ctx, &db, 9300 + i as u64);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.2}", rt.io_or),
+            format!("{:.2}", pv.io_or),
+            format!("{:.1}", 100.0 * pv.io_or / rt.io_or.max(1e-9)),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 9(d): `Tq` vs `|u(o)|`.
+pub fn fig9d(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig9d",
+        "Fig 9(d): Tq (ms) vs |u(o)|",
+        &["|u(o)|", "Tq_rtree_ms", "Tq_pv_ms", "answers_avg"],
+    );
+    for (i, &u) in [20.0, 40.0, 60.0, 80.0, 100.0].iter().enumerate() {
+        let db = ctx.synthetic_db(ctx.preset.s_default(), D_DEFAULT, u, 300 + i as u64);
+        let (pv, rt, _, _) = measure_pair(ctx, &db, 9400 + i as u64);
+        t.row(vec![
+            format!("{u:.0}"),
+            Table::ms(rt.tq),
+            Table::ms(pv.tq),
+            format!("{:.1}", pv.answers),
+        ]);
+    }
+    t.finish();
+}
+
+/// Figs. 9(e)/(f)/(g): `Tq`, `T_OR` and I/O vs dimensionality `d` (2–5),
+/// with the UV-index joining at `d = 2`.
+pub fn fig9efg(ctx: &Ctx) {
+    let mut te = Table::new(
+        "fig9e",
+        "Fig 9(e): Tq (ms) vs d",
+        &["d", "Tq_rtree_ms", "Tq_pv_ms", "Tq_uv_ms"],
+    );
+    let mut tf = Table::new(
+        "fig9f",
+        "Fig 9(f): T_OR (ms) vs d",
+        &["d", "TOR_rtree_ms", "TOR_pv_ms", "rtree_or_share_pct"],
+    );
+    let mut tg = Table::new(
+        "fig9g",
+        "Fig 9(g): Step-1 I/O vs d",
+        &["d", "io_rtree", "io_pv"],
+    );
+    for (i, d) in (2..=5).enumerate() {
+        let db = ctx.synthetic_db(ctx.preset.s_default(), d, U_DEFAULT, 400 + i as u64);
+        let (pv, rt, index, _) = measure_pair(ctx, &db, 9500 + i as u64);
+        // UV-index only exists at d = 2; reuse the PV step-2 for a full-query
+        // comparison by pairing UV Step 1 with the shared probability module.
+        let uv_tq = if d == 2 {
+            let uv = UvIndex::build(&db, UvParams::matching(index.params()));
+            let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9500 + i as u64);
+            let mut total = Duration::ZERO;
+            for q in &qs {
+                let t0 = Instant::now();
+                let (ids, _) = uv.query_step1(q);
+                // Step 2 identical to the PV path: probability computation
+                // over the candidate payloads.
+                let cands: Vec<&UncertainObject> = ids
+                    .iter()
+                    .filter_map(|id| db.objects.iter().find(|o| o.id == *id))
+                    .collect();
+                let _ = pv_core::prob::qualification_probabilities(q, &cands);
+                total += t0.elapsed();
+            }
+            Some(total / qs.len() as u32)
+        } else {
+            None
+        };
+        te.row(vec![
+            d.to_string(),
+            Table::ms(rt.tq),
+            Table::ms(pv.tq),
+            uv_tq.map(Table::ms).unwrap_or_else(|| "-".into()),
+        ]);
+        tf.row(vec![
+            d.to_string(),
+            Table::ms(rt.t_or),
+            Table::ms(pv.t_or),
+            format!("{:.0}", 100.0 * rt.t_or.as_secs_f64() / rt.tq.as_secs_f64()),
+        ]);
+        tg.row(vec![
+            d.to_string(),
+            format!("{:.2}", rt.io_or),
+            format!("{:.2}", pv.io_or),
+        ]);
+    }
+    te.finish();
+    tf.finish();
+    tg.finish();
+}
+
+/// Fig. 9(h): `Tq` on the (simulated) real datasets.
+pub fn fig9h(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig9h",
+        "Fig 9(h): Tq (ms) on real datasets",
+        &["dataset", "d", "Tq_rtree_ms", "Tq_pv_ms", "Tq_uv_ms", "pv_speedup_pct"],
+    );
+    for (name, db) in ctx.real_dbs() {
+        let (pv, rt, index, _) = measure_pair(ctx, &db, 9600);
+        let uv_cell = if db.dim() == 2 {
+            let uv = UvIndex::build(&db, UvParams::matching(index.params()));
+            let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9600);
+            let mut total = Duration::ZERO;
+            for q in &qs {
+                let t0 = Instant::now();
+                let (ids, _) = uv.query_step1(q);
+                let cands: Vec<&UncertainObject> = ids
+                    .iter()
+                    .filter_map(|id| db.objects.iter().find(|o| o.id == *id))
+                    .collect();
+                let _ = pv_core::prob::qualification_probabilities(q, &cands);
+                total += t0.elapsed();
+            }
+            Table::ms(total / qs.len() as u32)
+        } else {
+            "-".into()
+        };
+        let speedup = 100.0 * (1.0 - pv.tq.as_secs_f64() / rt.tq.as_secs_f64());
+        t.row(vec![
+            name.to_string(),
+            db.dim().to_string(),
+            Table::ms(rt.tq),
+            Table::ms(pv.tq),
+            uv_cell,
+            format!("{speedup:.1}"),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 10(a): construction time `Tc` vs `Δ`.
+pub fn fig10a(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig10a",
+        "Fig 10(a): Tc (s) vs Δ",
+        &["delta", "Tc_s", "avg_ubr_volume"],
+    );
+    let db = ctx.synthetic_db(ctx.preset.s_default(), D_DEFAULT, U_DEFAULT, 500);
+    for &delta in &[0.1, 0.5, 1.0, 10.0, 100.0, 1000.0] {
+        let params = PvParams {
+            delta,
+            ..ctx.pv_params()
+        };
+        let index = PvIndex::build(&db, params);
+        let vol: f64 = db
+            .objects
+            .iter()
+            .map(|o| index.ubr(o.id).unwrap().volume())
+            .sum::<f64>()
+            / db.len() as f64;
+        t.row(vec![
+            format!("{delta}"),
+            format!("{:.2}", index.build_stats().total_time.as_secs_f64()),
+            format!("{vol:.3e}"),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 10(b): `Tc` vs `|S|` for ALL vs FS vs IS. ALL is run on a capped
+/// sub-problem and linearly extrapolated (the paper itself reports 10³
+/// hours for ALL at 20k — nobody runs that to completion).
+pub fn fig10b(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig10b",
+        "Fig 10(b): Tc (s) vs |S| — ALL vs FS vs IS (ALL extrapolated)",
+        &["|S|", "Tc_all_s", "Tc_fs_s", "Tc_is_s", "all_note"],
+    );
+    let all_cap = 150usize;
+    for (i, &n) in ctx.preset.s_sweep().iter().enumerate() {
+        let db = ctx.synthetic_db(n, D_DEFAULT, U_DEFAULT, 510 + i as u64);
+        let fs = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k: 200 }, ..ctx.pv_params() });
+        let is = PvIndex::build(&db, ctx.pv_params());
+        // ALL: build UBRs for `all_cap` objects against the full database,
+        // then scale by n / all_cap (cost per object is Θ(|S|) for ALL).
+        let sub = UncertainDb::new(
+            db.domain.clone(),
+            db.objects[..all_cap.min(db.len())].to_vec(),
+        );
+        let t0 = Instant::now();
+        {
+            let regions: std::collections::HashMap<u64, pv_geom::HyperRect> = db
+                .objects
+                .iter()
+                .map(|o| (o.id, o.region.clone()))
+                .collect();
+            let tree = pv_core::cset::build_mean_tree(
+                regions.iter().map(|(&id, r)| (id, r.clone())),
+                D_DEFAULT,
+                100,
+            );
+            for o in &sub.objects {
+                let cs = pv_core::cset::choose_cset(o, CSetStrategy::All, &tree, &regions);
+                let _ = pv_core::se::compute_ubr(o, &db.domain, &cs, 1.0, 10);
+            }
+        }
+        let all_extrapolated =
+            t0.elapsed().as_secs_f64() * (n as f64 / all_cap.min(db.len()) as f64);
+        t.row(vec![
+            n.to_string(),
+            format!("{all_extrapolated:.1}"),
+            format!("{:.2}", fs.build_stats().total_time.as_secs_f64()),
+            format!("{:.2}", is.build_stats().total_time.as_secs_f64()),
+            format!("extrapolated from {all_cap} objects"),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 10(c): `Tc` vs `|S|` for FS vs IS.
+pub fn fig10c(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig10c",
+        "Fig 10(c): Tc (s) vs |S| — FS vs IS",
+        &["|S|", "Tc_fs_s", "Tc_is_s", "cset_fs", "cset_is"],
+    );
+    for (i, &n) in ctx.preset.s_sweep().iter().enumerate() {
+        let db = ctx.synthetic_db(n, D_DEFAULT, U_DEFAULT, 520 + i as u64);
+        let fs = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k: 200 }, ..ctx.pv_params() });
+        let is = PvIndex::build(&db, ctx.pv_params());
+        t.row(vec![
+            n.to_string(),
+            format!("{:.2}", fs.build_stats().total_time.as_secs_f64()),
+            format!("{:.2}", is.build_stats().total_time.as_secs_f64()),
+            format!("{:.0}", fs.build_stats().avg_cset_size()),
+            format!("{:.0}", is.build_stats().avg_cset_size()),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 10(d): `Tc` vs `|u(o)|` for FS vs IS.
+pub fn fig10d(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig10d",
+        "Fig 10(d): Tc (s) vs |u(o)| — FS vs IS",
+        &["|u(o)|", "Tc_fs_s", "Tc_is_s"],
+    );
+    for (i, &u) in [20.0, 40.0, 60.0, 80.0, 100.0].iter().enumerate() {
+        let db = ctx.synthetic_db(ctx.preset.s_default(), D_DEFAULT, u, 530 + i as u64);
+        let fs = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k: 200 }, ..ctx.pv_params() });
+        let is = PvIndex::build(&db, ctx.pv_params());
+        t.row(vec![
+            format!("{u:.0}"),
+            format!("{:.2}", fs.build_stats().total_time.as_secs_f64()),
+            format!("{:.2}", is.build_stats().total_time.as_secs_f64()),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 10(e): SE time split — chooseCSet vs UBR refinement, FS vs IS
+/// (serial build so the split is undistorted by parallelism).
+pub fn fig10e(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig10e",
+        "Fig 10(e): SE time split (s) — chooseCSet vs UBR computation",
+        &["strategy", "t_cset_s", "t_ubr_s", "avg_cset_size"],
+    );
+    let db = ctx.synthetic_db(
+        ctx.preset.s_default().min(4_000),
+        D_DEFAULT,
+        U_DEFAULT,
+        540,
+    );
+    for (name, strategy) in [
+        ("FS", CSetStrategy::Fixed { k: 200 }),
+        ("IS", CSetStrategy::default()),
+    ] {
+        let params = PvParams {
+            cset: strategy,
+            build_threads: 1,
+            ..Default::default()
+        };
+        let index = PvIndex::build(&db, params);
+        let bs = index.build_stats();
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", bs.se.cset_time.as_secs_f64()),
+            format!("{:.2}", bs.se.refine_time.as_secs_f64()),
+            format!("{:.0}", bs.avg_cset_size()),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 10(f): `Tc` on the real datasets, FS vs IS.
+pub fn fig10f(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig10f",
+        "Fig 10(f): Tc (s) on real datasets — FS vs IS",
+        &["dataset", "Tc_fs_s", "Tc_is_s"],
+    );
+    for (name, db) in ctx.real_dbs() {
+        let fs = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k: 200 }, ..ctx.pv_params() });
+        let is = PvIndex::build(&db, ctx.pv_params());
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", fs.build_stats().total_time.as_secs_f64()),
+            format!("{:.2}", is.build_stats().total_time.as_secs_f64()),
+        ]);
+    }
+    t.finish();
+}
+
+/// Fig. 10(g): PV vs UV construction time on the 2-D real datasets.
+pub fn fig10g(ctx: &Ctx) {
+    let mut t = Table::new(
+        "fig10g",
+        "Fig 10(g): construction speedup PV vs UV (2-D real datasets)",
+        &["dataset", "Tc_uv_s", "Tc_pv_s", "speedup_x"],
+    );
+    for (name, db) in ctx.real_dbs() {
+        if db.dim() != 2 {
+            continue;
+        }
+        // Single-threaded PV build for a like-for-like algorithmic ratio.
+        let pv_params = PvParams {
+            build_threads: 1,
+            ..Default::default()
+        };
+        let pv = PvIndex::build(&db, pv_params);
+        let uv = UvIndex::build(&db, UvParams::matching(&pv_params));
+        let pv_s = pv.build_stats().total_time.as_secs_f64();
+        let uv_s = uv.build_stats().total_time.as_secs_f64();
+        t.row(vec![
+            name.to_string(),
+            format!("{uv_s:.2}"),
+            format!("{pv_s:.2}"),
+            format!("{:.1}", uv_s / pv_s.max(1e-9)),
+        ]);
+    }
+    t.finish();
+}
+
+/// Figs. 10(h)/(i): per-object insertion/deletion — incremental vs rebuild.
+pub fn fig10hi(ctx: &Ctx) {
+    let mut th = Table::new(
+        "fig10h",
+        "Fig 10(h): insertion time per object (s) — Inc vs Rebuild",
+        &["|S|", "Tu_inc_s", "Tu_rebuild_serial_s", "Tu_rebuild_par_s", "speedup_x"],
+    );
+    let mut ti = Table::new(
+        "fig10i",
+        "Fig 10(i): deletion time per object (s) — Inc vs Rebuild",
+        &["|S|", "Tu_inc_s", "Tu_rebuild_serial_s", "Tu_rebuild_par_s", "speedup_x"],
+    );
+    let batch = ctx.preset.update_batch();
+    for (i, &n) in ctx.preset.s_sweep().iter().enumerate() {
+        let db = ctx.synthetic_db(n, D_DEFAULT, U_DEFAULT, 560 + i as u64);
+        let params = ctx.pv_params();
+
+        // Rebuild cost: one full construction per updated object (the
+        // paper's Rebuild competitor). Incremental updates are inherently
+        // serial, so the paper-comparable baseline is a *serial* rebuild;
+        // the multi-threaded rebuild is reported alongside for context.
+        let t0 = Instant::now();
+        let serial_rebuilt = PvIndex::build(
+            &db,
+            PvParams {
+                build_threads: 1,
+                ..params
+            },
+        );
+        let rebuild_serial_s = t0.elapsed().as_secs_f64();
+        drop(serial_rebuilt);
+        let t0 = Instant::now();
+        let mut index = PvIndex::build(&db, params);
+        let rebuild_s = t0.elapsed().as_secs_f64();
+
+        // Deletion: remove `batch` random-ish objects incrementally.
+        let victims: Vec<u64> = (0..batch as u64).map(|k| k * (n as u64 / batch as u64)).collect();
+        let t0 = Instant::now();
+        for &id in &victims {
+            index.remove(id).expect("victim exists");
+        }
+        let del_inc = t0.elapsed().as_secs_f64() / batch as f64;
+
+        // Insertion: put them back incrementally.
+        let t0 = Instant::now();
+        for &id in &victims {
+            index.insert(db.objects[id as usize].clone());
+        }
+        let ins_inc = t0.elapsed().as_secs_f64() / batch as f64;
+
+        th.row(vec![
+            n.to_string(),
+            format!("{ins_inc:.4}"),
+            format!("{rebuild_serial_s:.2}"),
+            format!("{rebuild_s:.2}"),
+            format!("{:.0}", rebuild_serial_s / ins_inc.max(1e-12)),
+        ]);
+        ti.row(vec![
+            n.to_string(),
+            format!("{del_inc:.4}"),
+            format!("{rebuild_serial_s:.2}"),
+            format!("{rebuild_s:.2}"),
+            format!("{:.0}", rebuild_serial_s / del_inc.max(1e-12)),
+        ]);
+    }
+    th.finish();
+    ti.finish();
+}
+
+/// §VII-C(a): parameter sensitivity of `Tq` and `Tc` (Δ, k, kpartition).
+pub fn params_sensitivity(ctx: &Ctx) {
+    let db = ctx.synthetic_db(
+        ctx.preset.s_default().min(6_000),
+        D_DEFAULT,
+        U_DEFAULT,
+        570,
+    );
+    let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9700);
+
+    let mut t = Table::new(
+        "params_delta",
+        "§VII-C(a): Tq stability vs Δ",
+        &["delta", "Tq_pv_ms"],
+    );
+    for &delta in &[0.1, 0.5, 1.0, 10.0, 100.0, 1000.0] {
+        let index = PvIndex::build(&db, PvParams { delta, ..ctx.pv_params() });
+        let avg = run_queries(|q| index.query(q).1, &qs);
+        t.row(vec![format!("{delta}"), Table::ms(avg.tq)]);
+    }
+    t.finish();
+
+    let mut t = Table::new(
+        "params_k",
+        "§VII-C(a): Tq and Tc vs FS k",
+        &["k", "Tq_pv_ms", "Tc_s"],
+    );
+    for &k in &[20usize, 40, 100, 200, 400] {
+        let index = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k }, ..ctx.pv_params() });
+        let avg = run_queries(|q| index.query(q).1, &qs);
+        t.row(vec![
+            k.to_string(),
+            Table::ms(avg.tq),
+            format!("{:.2}", index.build_stats().total_time.as_secs_f64()),
+        ]);
+    }
+    t.finish();
+
+    let mut t = Table::new(
+        "params_kpartition",
+        "§VII-C(a): Tq and Tc vs IS kpartition",
+        &["kpartition", "Tq_pv_ms", "Tc_s", "avg_cset"],
+    );
+    for &kp in &[2usize, 5, 10, 20, 50] {
+        let index = PvIndex::build(
+            &db,
+            PvParams {
+                cset: CSetStrategy::Incremental {
+                    k_partition: kp,
+                    k_global: 200,
+                },
+                ..ctx.pv_params()
+            },
+        );
+        let avg = run_queries(|q| index.query(q).1, &qs);
+        t.row(vec![
+            kp.to_string(),
+            Table::ms(avg.tq),
+            format!("{:.2}", index.build_stats().total_time.as_secs_f64()),
+            format!("{:.0}", index.build_stats().avg_cset_size()),
+        ]);
+    }
+    t.finish();
+
+    let mut t = Table::new(
+        "params_mmax",
+        "ablation: Tc and UBR tightness vs mmax (partition budget)",
+        &["mmax", "Tc_s", "avg_ubr_volume"],
+    );
+    for &mmax in &[2usize, 5, 10, 20, 40] {
+        let index = PvIndex::build(&db, PvParams { mmax, ..ctx.pv_params() });
+        let vol: f64 = db
+            .objects
+            .iter()
+            .map(|o| index.ubr(o.id).unwrap().volume())
+            .sum::<f64>()
+            / db.len() as f64;
+        t.row(vec![
+            mmax.to_string(),
+            format!("{:.2}", index.build_stats().total_time.as_secs_f64()),
+            format!("{vol:.3e}"),
+        ]);
+    }
+    t.finish();
+}
+
+/// §VII-C(c): query-performance parity of incrementally maintained vs
+/// rebuilt indexes.
+pub fn update_quality(ctx: &Ctx) {
+    let mut t = Table::new(
+        "updquality",
+        "§VII-C(c): Tq after Inc vs after Rebuild (parity check)",
+        &["operation", "Tq_inc_ms", "Tq_rebuild_ms", "diff_pct", "answers_equal"],
+    );
+    let n = ctx.preset.s_default().min(6_000);
+    let db = ctx.synthetic_db(n, D_DEFAULT, U_DEFAULT, 580);
+    let params = ctx.pv_params();
+    let batch = ctx.preset.update_batch().min(n / 10);
+    let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9800);
+
+    // Deletion parity.
+    let mut inc = PvIndex::build(&db, params);
+    let victims: Vec<u64> = (0..batch as u64).collect();
+    for &id in &victims {
+        inc.remove(id);
+    }
+    let remaining = UncertainDb::new(
+        db.domain.clone(),
+        db.objects
+            .iter()
+            .filter(|o| !victims.contains(&o.id))
+            .cloned()
+            .collect(),
+    );
+    let rebuilt = PvIndex::build(&remaining, params);
+    let a = run_queries(|q| inc.query(q).1, &qs);
+    let b = run_queries(|q| rebuilt.query(q).1, &qs);
+    let equal = qs
+        .iter()
+        .all(|q| inc.query_step1(q).0 == rebuilt.query_step1(q).0);
+    t.row(vec![
+        "deletion".into(),
+        Table::ms(a.tq),
+        Table::ms(b.tq),
+        format!("{:.2}", 100.0 * (a.tq.as_secs_f64() - b.tq.as_secs_f64()) / b.tq.as_secs_f64()),
+        equal.to_string(),
+    ]);
+
+    // Insertion parity: re-insert the victims.
+    for &id in &victims {
+        inc.insert(db.objects[id as usize].clone());
+    }
+    let rebuilt = PvIndex::build(&db, params);
+    let a = run_queries(|q| inc.query(q).1, &qs);
+    let b = run_queries(|q| rebuilt.query(q).1, &qs);
+    let equal = qs
+        .iter()
+        .all(|q| inc.query_step1(q).0 == rebuilt.query_step1(q).0);
+    t.row(vec![
+        "insertion".into(),
+        Table::ms(a.tq),
+        Table::ms(b.tq),
+        format!("{:.2}", 100.0 * (a.tq.as_secs_f64() - b.tq.as_secs_f64()) / b.tq.as_secs_f64()),
+        equal.to_string(),
+    ]);
+    t.finish();
+}
+
+/// Table I: prints the parameter grid in effect for a preset.
+pub fn table1(ctx: &Ctx) {
+    let mut t = Table::new(
+        "table1",
+        "Table I: parameters (defaults in use)",
+        &["parameter", "paper_values", "default", "preset_in_use"],
+    );
+    let p = PvParams::default();
+    let rows: Vec<(&str, String, String, String)> = vec![
+        (
+            "|S|",
+            "20k..100k".into(),
+            "100k".into(),
+            format!("{:?} → {:?}", ctx.preset, ctx.preset.s_sweep()),
+        ),
+        ("d", "2..5".into(), "3".into(), "3 (sweeps 2..5)".into()),
+        ("|u(o)|", "20..100".into(), "60".into(), "60 (sweeps 20..100)".into()),
+        ("delta", "0.1..1000".into(), "1".into(), format!("{}", p.delta)),
+        ("mmax", "2..40".into(), "10".into(), format!("{}", p.mmax)),
+        ("k (FS)", "20..400".into(), "200".into(), "200".into()),
+        ("kpartition", "2..50".into(), "10".into(), "10".into()),
+        ("kglobal", "200".into(), "200".into(), "200".into()),
+        ("page size", "4 KiB".into(), "4 KiB".into(), format!("{} B", p.page_size)),
+        ("memory M", "5 MB".into(), "5 MB".into(), format!("{} B", p.mem_budget)),
+        ("samples/pdf", "500".into(), "500".into(), format!("{}", ctx.preset.samples())),
+        ("queries/point", "50".into(), "50".into(), format!("{}", ctx.preset.queries())),
+    ];
+    for (name, paper, default, used) in rows {
+        t.row(vec![name.to_string(), paper, default, used]);
+    }
+    t.finish();
+}
+
+/// Space / compression ablation (§II space claims + §VIII "compression"
+/// future work): disk footprint and query cost of the PV-index with and
+/// without quantized UBRs, against the UV-index on the same 2-D data.
+pub fn space(ctx: &Ctx) {
+    let mut t = Table::new(
+        "space",
+        "Space ablation: disk footprint and query cost",
+        &[
+            "index",
+            "disk_KiB",
+            "mem_KiB",
+            "leaf_records",
+            "Tq_step1_ms",
+            "io_step1",
+        ],
+    );
+    let db = ctx.synthetic_db(ctx.preset.s_default().min(6_000), 2, U_DEFAULT, 590);
+    let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9900);
+
+    let mut add_pv = |name: &str, params: PvParams| {
+        let index = PvIndex::build(&db, params);
+        let mut t_total = Duration::ZERO;
+        let mut io = 0u64;
+        for q in &qs {
+            let (_, st) = index.query_step1(q);
+            t_total += st.time;
+            io += st.io_reads;
+        }
+        let ot = index.octree_stats();
+        t.row(vec![
+            name.to_string(),
+            (index.pager().disk_bytes() / 1024).to_string(),
+            (ot.mem_used / 1024).to_string(),
+            ot.leaf_records.to_string(),
+            Table::ms(t_total / qs.len() as u32),
+            format!("{:.2}", io as f64 / qs.len() as f64),
+        ]);
+    };
+    add_pv("pv", ctx.pv_params());
+    add_pv(
+        "pv+quantized_ubrs",
+        PvParams {
+            ubr_quantize_steps: Some(65_535),
+            ..ctx.pv_params()
+        },
+    );
+
+    let uv = UvIndex::build(&db, UvParams::matching(&ctx.pv_params()));
+    let mut t_total = Duration::ZERO;
+    let mut io = 0u64;
+    for q in &qs {
+        let (_, st) = uv.query_step1(q);
+        t_total += st.time;
+        io += st.io_reads;
+    }
+    t.row(vec![
+        "uv".to_string(),
+        (uv.pager().disk_bytes() / 1024).to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        Table::ms(t_total / qs.len() as u32),
+        format!("{:.2}", io as f64 / qs.len() as f64),
+    ]);
+    t.finish();
+}

@@ -1,0 +1,237 @@
+//! The R-tree branch-and-prune baseline for PNNQ Step 1.
+//!
+//! This is the competitor of every Fig. 9 experiment: an R*-tree over the
+//! objects' uncertainty regions, queried best-first by `distmin` while a
+//! running threshold `τ = min distmax(u(o), q)` prunes subtrees and objects
+//! (the approach of the paper's reference \[8\]). Leaf-node visits are
+//! charged as disk I/O, matching the paper's storage model (non-leaf nodes
+//! live in a main-memory budget, leaves on disk).
+
+use crate::prob::{pdf_payload_pages, qualification_probabilities};
+use crate::stats::{QueryStats, Step1Stats};
+use pv_geom::{max_dist_sq, HyperRect, Point};
+use pv_rtree::{Entry, RTree, RTreeParams};
+use pv_uncertain::{UncertainDb, UncertainObject};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// R-tree based PNNQ evaluator (the paper's "R-tree" competitor).
+pub struct RTreeBaseline {
+    tree: RTree,
+    objects: HashMap<u64, UncertainObject>,
+    page_size: usize,
+}
+
+impl RTreeBaseline {
+    /// Bulk-loads the R*-tree over the database's uncertainty regions.
+    pub fn build(db: &UncertainDb, fanout: usize, page_size: usize) -> Self {
+        let entries: Vec<Entry> = db
+            .objects
+            .iter()
+            .map(|o| Entry {
+                rect: o.region.clone(),
+                id: o.id,
+            })
+            .collect();
+        let tree = RTree::bulk_load(db.dim(), RTreeParams::with_fanout(fanout), entries);
+        let objects = db.objects.iter().map(|o| (o.id, o.clone())).collect();
+        Self {
+            tree,
+            objects,
+            page_size,
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when no object is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Inserts an object (the baseline supports updates trivially).
+    pub fn insert(&mut self, o: UncertainObject) {
+        self.tree.insert(o.region.clone(), o.id);
+        self.objects.insert(o.id, o);
+    }
+
+    /// Removes an object by id.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(o) = self.objects.remove(&id) else {
+            return false;
+        };
+        self.tree.remove(&o.region, id)
+    }
+
+    /// PNNQ Step 1: all objects with non-zero qualification probability.
+    pub fn query_step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+        let t0 = Instant::now();
+        let leaf0 = self.tree.stats.leaf_visits.load(Ordering::Relaxed);
+        let mut tau_sq = f64::INFINITY;
+        let mut collected: Vec<(u64, f64)> = Vec::new(); // (id, mindist_sq)
+        let mut candidates = 0usize;
+        for n in self.tree.nn_iter(q) {
+            let mind_sq = n.dist * n.dist;
+            if mind_sq > tau_sq {
+                break; // every later object has distmin > τ
+            }
+            candidates += 1;
+            tau_sq = tau_sq.min(max_dist_sq(&n.rect, q));
+            collected.push((n.id, mind_sq));
+        }
+        // τ only decreased while collecting: final filter.
+        let mut ids: Vec<u64> = collected
+            .into_iter()
+            .filter(|&(_, mind_sq)| mind_sq <= tau_sq)
+            .map(|(id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        let stats = Step1Stats {
+            time: t0.elapsed(),
+            io_reads: self.tree.stats.leaf_visits.load(Ordering::Relaxed) - leaf0,
+            candidates,
+            answers: ids.len(),
+        };
+        (ids, stats)
+    }
+
+    /// Full PNNQ: Step 1 + Step 2 with the same probability module and the
+    /// same pdf-payload I/O accounting as the PV-index.
+    pub fn query(&self, q: &Point) -> (Vec<(u64, f64)>, QueryStats) {
+        let (ids, step1) = self.query_step1(q);
+        let t1 = Instant::now();
+        let cands: Vec<&UncertainObject> = ids.iter().map(|id| &self.objects[id]).collect();
+        let pc_io_reads: u64 = cands
+            .iter()
+            .map(|o| pdf_payload_pages(o, self.page_size))
+            .sum();
+        let probs = qualification_probabilities(q, &cands);
+        let stats = QueryStats {
+            step1,
+            pc_time: t1.elapsed(),
+            pc_io_reads,
+        };
+        (probs, stats)
+    }
+
+    /// Access to the underlying tree (statistics, invariants).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// The uncertainty region of an indexed object.
+    pub fn region_of(&self, id: u64) -> Option<&HyperRect> {
+        self.objects.get(&id).map(|o| &o.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use pv_geom::min_dist_sq;
+    use pv_workload::{queries, synthetic, SyntheticConfig};
+
+    fn small_db(n: usize, dim: usize, seed: u64) -> UncertainDb {
+        synthetic(&SyntheticConfig {
+            n,
+            dim,
+            max_side: 200.0,
+            samples: 16,
+            seed,
+        })
+    }
+
+    #[test]
+    fn step1_matches_naive_scan() {
+        for dim in [2, 3] {
+            let db = small_db(400, dim, 9);
+            let baseline = RTreeBaseline::build(&db, 16, 4096);
+            for q in queries::uniform(&db.domain, 30, 5) {
+                let (got, _) = baseline.query_step1(&q);
+                let want = verify::possible_nn(db.objects.iter(), &q);
+                assert_eq!(got, want, "dim {dim} q {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn step1_prunes_most_of_the_database() {
+        let db = small_db(2000, 2, 11);
+        let baseline = RTreeBaseline::build(&db, 32, 4096);
+        let q = queries::uniform(&db.domain, 1, 3)[0].clone();
+        let (ids, stats) = baseline.query_step1(&q);
+        assert!(!ids.is_empty());
+        assert!(
+            stats.candidates < db.len() / 4,
+            "examined {} of {}",
+            stats.candidates,
+            db.len()
+        );
+    }
+
+    #[test]
+    fn full_query_produces_probabilities() {
+        let db = small_db(300, 2, 13);
+        let baseline = RTreeBaseline::build(&db, 16, 4096);
+        let q = queries::uniform(&db.domain, 1, 7)[0].clone();
+        let (probs, stats) = baseline.query(&q);
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        assert!(stats.pc_io_reads >= probs.len() as u64);
+        assert!(stats.step1.io_reads > 0);
+    }
+
+    #[test]
+    fn updates_keep_step1_correct() {
+        let mut db = small_db(200, 2, 17);
+        let mut baseline = RTreeBaseline::build(&db, 8, 4096);
+        // remove 50 objects, insert 30 fresh ones
+        for id in 0..50u64 {
+            assert!(baseline.remove(id));
+        }
+        db.objects.retain(|o| o.id >= 50);
+        let fresh = small_db(30, 2, 999);
+        for (i, o) in fresh.objects.into_iter().enumerate() {
+            let mut o = o;
+            o.id = 10_000 + i as u64;
+            db.objects.push(o.clone());
+            baseline.insert(o);
+        }
+        for q in queries::uniform(&db.domain, 20, 23) {
+            let (got, _) = baseline.query_step1(&q);
+            let want = verify::possible_nn(db.objects.iter(), &q);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn min_maxdist_object_always_answered() {
+        let db = small_db(500, 3, 29);
+        let baseline = RTreeBaseline::build(&db, 16, 4096);
+        for q in queries::uniform(&db.domain, 10, 31) {
+            let (ids, _) = baseline.query_step1(&q);
+            // the object minimising distmax must be in the answer
+            let best = db
+                .objects
+                .iter()
+                .min_by(|a, b| {
+                    max_dist_sq(&a.region, &q)
+                        .partial_cmp(&max_dist_sq(&b.region, &q))
+                        .unwrap()
+                })
+                .unwrap();
+            assert!(ids.contains(&best.id));
+            // and every answer has distmin <= that object's distmax
+            let tau_sq = max_dist_sq(&best.region, &q);
+            for id in &ids {
+                let o = &db.objects.iter().find(|o| o.id == *id).unwrap();
+                assert!(min_dist_sq(&o.region, &q) <= tau_sq + 1e-9);
+            }
+        }
+    }
+}

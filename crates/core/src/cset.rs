@@ -1,0 +1,333 @@
+//! `chooseCSet` — candidate-set selection for the SE algorithm (§V-A).
+//!
+//! By Lemma 7 any non-empty subset `T ⊆ S` is a valid C-set: SE stays
+//! *correct* regardless of the choice, but a poor C-set yields a loose UBR
+//! (ALL with one arbitrary object) or a slow Step 9 (ALL with the whole
+//! database). The paper proposes:
+//!
+//! * **FS** (Fixed Selection): the `k` objects with means closest to `o`'s
+//!   mean. Deliberately keeps objects overlapping `u(o)` — the paper lists
+//!   that as one of FS's weaknesses, and we reproduce it faithfully.
+//! * **IS** (Incremental Selection): distance-browse the means of `S`
+//!   around `o` (Hjaltason–Samet, via the R*-tree), skip overlapping
+//!   objects, and maintain one counter per `2^d` domain partition around
+//!   `o`'s mean; stop when all counters reach `k_partition` or `k_global`
+//!   neighbors were examined.
+//!
+//! Both run on an R*-tree over the objects' *mean positions* (degenerate
+//! rectangles), which is also how the paper bootstraps its indexes.
+
+use crate::params::CSetStrategy;
+use pv_geom::HyperRect;
+use pv_rtree::RTree;
+use pv_uncertain::UncertainObject;
+use std::collections::HashMap;
+
+/// The candidate set: the uncertainty regions of the selected objects.
+/// (The SE algorithm only needs `u(a)` of every candidate `a`.)
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Ids of the selected candidates (useful for diagnostics).
+    pub ids: Vec<u64>,
+    /// Their uncertainty regions, in selection order (FS/IS order the set by
+    /// ascending mean distance, which makes the first-match loop in the
+    /// domination test fast).
+    pub regions: Vec<HyperRect>,
+}
+
+impl CandidateSet {
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when no candidate was selected.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// Selects a candidate set for object `o`.
+///
+/// * `mean_tree` — R*-tree whose entries are the objects' mean positions
+///   (degenerate rectangles keyed by object id), **including** `o` itself
+///   (it is skipped internally);
+/// * `regions` — id → uncertainty region of every object in `S`.
+pub fn choose_cset(
+    o: &UncertainObject,
+    strategy: CSetStrategy,
+    mean_tree: &RTree,
+    regions: &HashMap<u64, HyperRect>,
+) -> CandidateSet {
+    match strategy {
+        CSetStrategy::All => {
+            let mut ids = Vec::with_capacity(regions.len().saturating_sub(1));
+            let mut out = Vec::with_capacity(regions.len().saturating_sub(1));
+            for (&id, region) in regions {
+                if id == o.id {
+                    continue;
+                }
+                // Overlapping objects contribute ¬dom = D (Lemma 2), so
+                // dropping them leaves I(Cset, o) unchanged; ALL still pays
+                // for every remaining object.
+                if region.intersects(&o.region) {
+                    continue;
+                }
+                ids.push(id);
+                out.push(region.clone());
+            }
+            CandidateSet { ids, regions: out }
+        }
+        CSetStrategy::Fixed { k } => {
+            let mean = o.mean();
+            let mut ids = Vec::with_capacity(k);
+            let mut out = Vec::with_capacity(k);
+            for n in mean_tree.nn_iter(&mean) {
+                if n.id == o.id {
+                    continue;
+                }
+                // FS keeps overlapping objects (paper: one of its flaws).
+                ids.push(n.id);
+                out.push(regions[&n.id].clone());
+                if out.len() >= k {
+                    break;
+                }
+            }
+            CandidateSet { ids, regions: out }
+        }
+        CSetStrategy::Incremental {
+            k_partition,
+            k_global,
+        } => incremental(o, k_partition, k_global, mean_tree, regions),
+    }
+}
+
+fn incremental(
+    o: &UncertainObject,
+    k_partition: usize,
+    k_global: usize,
+    mean_tree: &RTree,
+    regions: &HashMap<u64, HyperRect>,
+) -> CandidateSet {
+    let mean = o.mean();
+    let d = mean.dim();
+    let n_parts = 1usize << d;
+    let mut counters = vec![0usize; n_parts];
+    let mut examined = 0usize;
+    let mut ids = Vec::new();
+    let mut out = Vec::new();
+    for n in mean_tree.nn_iter(&mean) {
+        if n.id == o.id {
+            continue;
+        }
+        if examined >= k_global {
+            break;
+        }
+        examined += 1;
+        let u_n = &regions[&n.id];
+        // Objects overlapping u(o) never constrain V(o) (Lemma 2): skip.
+        if u_n.intersects(&o.region) {
+            continue;
+        }
+        // Increment the counters of every partition u(n) intersects.
+        // Partition p (bit mask) covers { x : x_j >= mean_j iff bit j set }.
+        for (p, counter) in counters.iter_mut().enumerate() {
+            let intersects = (0..d).all(|j| {
+                if p >> j & 1 == 1 {
+                    u_n.hi()[j] >= mean[j]
+                } else {
+                    u_n.lo()[j] <= mean[j]
+                }
+            });
+            if intersects {
+                *counter += 1;
+            }
+        }
+        ids.push(n.id);
+        out.push(u_n.clone());
+        if counters.iter().all(|&c| c >= k_partition) {
+            break;
+        }
+    }
+    CandidateSet { ids, regions: out }
+}
+
+/// Builds the mean-position R*-tree over a set of objects (bulk-loaded).
+pub fn build_mean_tree(
+    objects: impl IntoIterator<Item = (u64, HyperRect)>,
+    dim: usize,
+    fanout: usize,
+) -> RTree {
+    let entries: Vec<pv_rtree::Entry> = objects
+        .into_iter()
+        .map(|(id, region)| pv_rtree::Entry {
+            rect: HyperRect::from_point(&region.center()),
+            id,
+        })
+        .collect();
+    RTree::bulk_load(dim, pv_rtree::RTreeParams::with_fanout(fanout), entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_geom::Point;
+
+    /// A ring of objects around a central one, plus one overlapping object.
+    fn fixture() -> (UncertainObject, HashMap<u64, HyperRect>, RTree) {
+        let mk = |lo: [f64; 2], hi: [f64; 2]| HyperRect::new(lo.to_vec(), hi.to_vec());
+        let center = UncertainObject::uniform(0, mk([49.0, 49.0], [51.0, 51.0]), 8);
+        let mut regions: HashMap<u64, HyperRect> = HashMap::new();
+        regions.insert(0, center.region.clone());
+        // overlapping neighbor (id 1)
+        regions.insert(1, mk([50.0, 50.0], [52.0, 52.0]));
+        // ring of 12 objects at radius ~20
+        for i in 0..12u64 {
+            let ang = i as f64 / 12.0 * std::f64::consts::TAU;
+            let cx = 50.0 + 20.0 * ang.cos();
+            let cy = 50.0 + 20.0 * ang.sin();
+            regions.insert(2 + i, mk([cx - 1.0, cy - 1.0], [cx + 1.0, cy + 1.0]));
+        }
+        // far object (id 100) in the upper-right
+        regions.insert(100, mk([90.0, 90.0], [92.0, 92.0]));
+        let tree = build_mean_tree(
+            regions.iter().map(|(&id, r)| (id, r.clone())),
+            2,
+            16,
+        );
+        (center, regions, tree)
+    }
+
+    #[test]
+    fn all_drops_self_and_overlapping() {
+        let (o, regions, tree) = fixture();
+        let cs = choose_cset(&o, CSetStrategy::All, &tree, &regions);
+        assert!(!cs.ids.contains(&0), "o itself excluded");
+        assert!(!cs.ids.contains(&1), "overlapping object excluded");
+        assert_eq!(cs.len(), regions.len() - 2);
+    }
+
+    #[test]
+    fn fs_returns_k_nearest_including_overlaps() {
+        let (o, regions, tree) = fixture();
+        let cs = choose_cset(&o, CSetStrategy::Fixed { k: 5 }, &tree, &regions);
+        assert_eq!(cs.len(), 5);
+        assert!(!cs.ids.contains(&0));
+        // the overlapping object is the nearest mean, so FS keeps it
+        assert!(cs.ids.contains(&1), "FS does not filter overlaps");
+        // far object must not appear with k = 5
+        assert!(!cs.ids.contains(&100));
+    }
+
+    #[test]
+    fn fs_with_huge_k_returns_everything_but_self() {
+        let (o, regions, tree) = fixture();
+        let cs = choose_cset(&o, CSetStrategy::Fixed { k: 1000 }, &tree, &regions);
+        assert_eq!(cs.len(), regions.len() - 1);
+    }
+
+    #[test]
+    fn is_skips_overlaps_and_fills_partitions() {
+        let (o, regions, tree) = fixture();
+        let cs = choose_cset(
+            &o,
+            CSetStrategy::Incremental {
+                k_partition: 2,
+                k_global: 200,
+            },
+            &tree,
+            &regions,
+        );
+        assert!(!cs.ids.contains(&0));
+        assert!(!cs.ids.contains(&1), "IS must skip overlapping objects");
+        // Ring objects straddling an axis feed two quadrant counters at
+        // once, so 4 selections can already satisfy a quota of 2 per
+        // quadrant; what must hold is that every quadrant ends up with at
+        // least `k_partition` intersecting candidates.
+        assert!(cs.len() >= 4, "ids: {:?}", cs.ids);
+        let mean = o.mean();
+        for p in 0..4usize {
+            let feeds = cs
+                .regions
+                .iter()
+                .filter(|r| {
+                    (0..2).all(|j| {
+                        if p >> j & 1 == 1 {
+                            r.hi()[j] >= mean[j]
+                        } else {
+                            r.lo()[j] <= mean[j]
+                        }
+                    })
+                })
+                .count();
+            assert!(feeds >= 2, "quadrant {p} fed by only {feeds} candidates");
+        }
+    }
+
+    #[test]
+    fn is_k_global_caps_examination() {
+        let (o, regions, tree) = fixture();
+        let cs = choose_cset(
+            &o,
+            CSetStrategy::Incremental {
+                k_partition: 1000, // unsatisfiable quota
+                k_global: 6,
+            },
+            &tree,
+            &regions,
+        );
+        // examined at most 6 (skips don't add to the cset)
+        assert!(cs.len() <= 6);
+        assert!(!cs.is_empty());
+    }
+
+    #[test]
+    fn is_reaches_far_objects_when_a_partition_is_sparse() {
+        // Objects only on the left of o, except one far object on the right:
+        // the right partitions can only be fed by the far object.
+        let mk = |lo: [f64; 2], hi: [f64; 2]| HyperRect::new(lo.to_vec(), hi.to_vec());
+        let o = UncertainObject::uniform(0, mk([50.0, 49.0], [52.0, 51.0]), 8);
+        let mut regions = HashMap::new();
+        regions.insert(0, o.region.clone());
+        for i in 0..10u64 {
+            let y = 30.0 + 4.0 * i as f64;
+            regions.insert(1 + i, mk([20.0, y], [22.0, y + 2.0]));
+        }
+        regions.insert(99, mk([90.0, 50.0], [92.0, 52.0])); // far right
+        let tree = build_mean_tree(regions.iter().map(|(&id, r)| (id, r.clone())), 2, 8);
+        let cs = choose_cset(
+            &o,
+            CSetStrategy::Incremental {
+                k_partition: 1,
+                k_global: 100,
+            },
+            &tree,
+            &regions,
+        );
+        assert!(
+            cs.ids.contains(&99),
+            "IS must walk far enough to feed sparse partitions: {:?}",
+            cs.ids
+        );
+    }
+
+    #[test]
+    fn candidates_ordered_by_mean_distance() {
+        let (o, regions, tree) = fixture();
+        let cs = choose_cset(&o, CSetStrategy::Fixed { k: 8 }, &tree, &regions);
+        let mean = o.mean();
+        let dist = |id: u64| regions[&id].center().dist(&mean);
+        for w in cs.ids.windows(2) {
+            assert!(dist(w[0]) <= dist(w[1]) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_tree_entries_are_points() {
+        let (_, regions, tree) = fixture();
+        assert_eq!(tree.len(), regions.len());
+        let q = Point::new(vec![50.0, 50.0]);
+        let first = tree.nn_iter(&q).next().unwrap();
+        assert_eq!(first.rect.volume(), 0.0, "mean entries are degenerate");
+    }
+}

@@ -1,0 +1,788 @@
+//! The PV-index (§VI): primary octree + secondary extendible hash table,
+//! PNNQ evaluation and incremental maintenance.
+//!
+//! Layout (Fig. 7 of the paper):
+//!
+//! * **primary index** — a `2^d`-ary octree over the domain; each leaf holds
+//!   `(object id, u(o))` records for every object whose UBR overlaps the
+//!   leaf region. Non-leaf nodes live in a main-memory budget; leaves are
+//!   chained disk pages ([`pv_octree`]).
+//! * **secondary index** — an extendible hash table keyed by object id,
+//!   whose entries hold the object's UBR and its uncertainty information
+//!   (region + pdf descriptor) ([`pv_exthash`]).
+//!
+//! Both structures share one simulated disk, so experiments can compare the
+//! PV-index's page traffic directly against the R-tree baseline.
+//!
+//! For split re-routing the octree needs id → UBR lookups; we serve them
+//! from an in-memory UBR catalog that mirrors the secondary index. The
+//! catalog does not affect any reported figure (Figs. 9(c)/(g) measure
+//! *query* I/O, and queries never consult it), it only spares construction
+//! the artificial churn of re-reading hash pages the real system would have
+//! cached anyway.
+
+use crate::cset::{build_mean_tree, choose_cset};
+use crate::params::PvParams;
+use crate::prob::{pdf_payload_pages, qualification_probabilities};
+use crate::se::{compute_ubr, compute_ubr_with_bounds, SeBounds};
+use crate::stats::{BuildStats, QueryStats, SeStats, Step1Stats, UpdateStats};
+use pv_exthash::ExtHash;
+use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
+use pv_octree::{decode_leaf_record, encode_leaf_record, Octree};
+use pv_rtree::RTree;
+use pv_storage::{codec, MemPager, Pager};
+use pv_uncertain::{UncertainDb, UncertainObject};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// The PV-index.
+pub struct PvIndex {
+    params: PvParams,
+    domain: HyperRect,
+    dim: usize,
+    /// Primary index (octree with disk-resident leaves).
+    octree: Octree<MemPager>,
+    /// Secondary index: id → (UBR, object payload).
+    secondary: ExtHash<MemPager>,
+    /// Shared simulated disk.
+    pager: MemPager,
+    /// In-memory object catalog (regions + pdf descriptors).
+    objects: HashMap<u64, UncertainObject>,
+    /// Uncertainty-region catalog kept in lock-step with `objects`; feeds
+    /// `chooseCSet` without per-update rebuilding.
+    regions: HashMap<u64, HyperRect>,
+    /// In-memory UBR catalog mirroring the secondary index.
+    ubrs: HashMap<u64, HyperRect>,
+    /// R*-tree over object mean positions, kept live for `chooseCSet`.
+    mean_tree: RTree,
+    /// Construction statistics.
+    build_stats: BuildStats,
+}
+
+/// Secondary-index record: a tag selecting the UBR representation —
+/// `0`: raw `2d × f64` corners; `1`: grid-quantized corners (`steps: u16`
+/// then `2d × u16` cell indices, the §VIII "compression" extension) —
+/// followed by the object payload.
+fn encode_secondary(
+    ubr: &HyperRect,
+    o: &UncertainObject,
+    domain: &HyperRect,
+    quantize: Option<u16>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    match quantize {
+        None => {
+            codec::put_u16(&mut out, 0);
+            for &x in ubr.lo() {
+                codec::put_f64(&mut out, x);
+            }
+            for &x in ubr.hi() {
+                codec::put_f64(&mut out, x);
+            }
+        }
+        Some(steps) => {
+            codec::put_u16(&mut out, 1);
+            let q = pv_geom::QuantizedRect::encode(ubr, domain, steps);
+            codec::put_u16(&mut out, q.steps);
+            for &c in &q.lo {
+                codec::put_u16(&mut out, c);
+            }
+            for &c in &q.hi {
+                codec::put_u16(&mut out, c);
+            }
+        }
+    }
+    out.extend_from_slice(&o.encode());
+    out
+}
+
+fn decode_secondary(buf: &[u8], dim: usize, domain: &HyperRect) -> (HyperRect, UncertainObject) {
+    let mut r = codec::Reader::new(buf);
+    match r.u16() {
+        0 => {
+            let lo: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+            let hi: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+            let ubr = HyperRect::new(lo, hi);
+            let obj = UncertainObject::decode(&buf[2 + dim * 16..]);
+            (ubr, obj)
+        }
+        1 => {
+            let steps = r.u16();
+            let lo: Vec<u16> = (0..dim).map(|_| r.u16()).collect();
+            let hi: Vec<u16> = (0..dim).map(|_| r.u16()).collect();
+            let q = pv_geom::QuantizedRect { lo, hi, steps };
+            let ubr = q.decode(domain);
+            let obj = UncertainObject::decode(&buf[2 + 2 + dim * 4..]);
+            (ubr, obj)
+        }
+        t => panic!("unknown secondary record tag {t}"),
+    }
+}
+
+impl PvIndex {
+    /// Builds the PV-index for a database: computes every UBR with SE
+    /// (optionally in parallel) and bulk-inserts them.
+    pub fn build(db: &UncertainDb, params: PvParams) -> Self {
+        let t_total = Instant::now();
+        let dim = db.dim();
+        let pager = MemPager::new(params.page_size);
+        let leaf_record_len = 8 + dim * 16;
+        let octree = Octree::new(
+            pager.clone(),
+            db.domain.clone(),
+            params.mem_budget,
+            leaf_record_len,
+        );
+        let secondary = ExtHash::new(pager.clone());
+        let regions: HashMap<u64, HyperRect> = db
+            .objects
+            .iter()
+            .map(|o| (o.id, o.region.clone()))
+            .collect();
+        let mean_tree = build_mean_tree(
+            regions.iter().map(|(&id, r)| (id, r.clone())),
+            dim,
+            params.rtree_fanout,
+        );
+
+        // Phase 1: UBR computation (embarrassingly parallel over objects).
+        let mut se_total = SeStats::default();
+        let mut ubr_list: Vec<(u64, HyperRect)> = Vec::with_capacity(db.len());
+        let compute_one = |o: &UncertainObject| -> (u64, HyperRect, SeStats) {
+            let t_cset = Instant::now();
+            let cset = choose_cset(o, params.cset, &mean_tree, &regions);
+            let cset_time = t_cset.elapsed();
+            let (ubr, mut st) = compute_ubr(o, &db.domain, &cset, params.delta, params.mmax);
+            st.cset_time = cset_time;
+            (o.id, ubr, st)
+        };
+        if params.build_threads <= 1 {
+            for o in &db.objects {
+                let (id, ubr, st) = compute_one(o);
+                se_total.absorb(&st);
+                ubr_list.push((id, ubr));
+            }
+        } else {
+            let threads = params.build_threads;
+            let chunk = db.len().div_ceil(threads).max(1);
+            let results: Vec<Vec<(u64, HyperRect, SeStats)>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = db
+                        .objects
+                        .chunks(chunk)
+                        .map(|objs| {
+                            scope.spawn(move |_| {
+                                objs.iter().map(compute_one).collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                })
+                .expect("crossbeam scope");
+            for batch in results {
+                for (id, ubr, st) in batch {
+                    se_total.absorb(&st);
+                    ubr_list.push((id, ubr));
+                }
+            }
+        }
+
+        // Phase 2: insert into primary + secondary indexes.
+        let t_insert = Instant::now();
+        let mut index = Self {
+            params,
+            domain: db.domain.clone(),
+            dim,
+            octree,
+            secondary,
+            pager,
+            objects: db.objects.iter().map(|o| (o.id, o.clone())).collect(),
+            regions,
+            ubrs: HashMap::with_capacity(db.len()),
+            mean_tree,
+            build_stats: BuildStats::default(),
+        };
+        for (id, ubr) in ubr_list {
+            let ubr = index.maybe_quantize(ubr);
+            let o = &index.objects[&id];
+            let record = encode_secondary(&ubr, o, &index.domain, index.params.ubr_quantize_steps);
+            index.secondary.put(id, &record);
+            index.ubrs.insert(id, ubr);
+        }
+        // Octree insertion after the catalog is complete (splits may look up
+        // any resident object's UBR).
+        let ids: Vec<u64> = index.ubrs.keys().copied().collect();
+        for id in ids {
+            let ubr = index.ubrs[&id].clone();
+            let region = index.objects[&id].region.clone();
+            let record = encode_leaf_record(id, &region);
+            let ubrs = &index.ubrs;
+            let lookup = move |i: u64| ubrs[&i].clone();
+            index.octree.insert(&ubr, &record, &lookup);
+        }
+        index.build_stats = BuildStats {
+            total_time: t_total.elapsed(),
+            se: se_total,
+            insert_time: t_insert.elapsed(),
+            ubr_count: index.objects.len(),
+        };
+        index
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the index holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Domain covered.
+    pub fn domain(&self) -> &HyperRect {
+        &self.domain
+    }
+
+    /// Parameters used to build / maintain the index.
+    pub fn params(&self) -> &PvParams {
+        &self.params
+    }
+
+    /// Construction statistics of the initial build.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// Applies the optional §VIII compression: snap a UBR outward onto the
+    /// configured grid (a no-op when compression is off). Enlargement keeps
+    /// `B(o) ⊇ V(o)`, so Step 1 stays exact.
+    fn maybe_quantize(&self, ubr: HyperRect) -> HyperRect {
+        match self.params.ubr_quantize_steps {
+            None => ubr,
+            Some(steps) => pv_geom::snap_outward(&ubr, &self.domain, steps),
+        }
+    }
+
+    /// The UBR of an object.
+    pub fn ubr(&self, id: u64) -> Option<&HyperRect> {
+        self.ubrs.get(&id)
+    }
+
+    /// The object catalog entry.
+    pub fn object(&self, id: u64) -> Option<&UncertainObject> {
+        self.objects.get(&id)
+    }
+
+    /// The shared simulated disk (I/O statistics).
+    pub fn pager(&self) -> &MemPager {
+        &self.pager
+    }
+
+    /// Primary-index shape statistics.
+    pub fn octree_stats(&self) -> pv_octree::OctreeStats {
+        self.octree.stats()
+    }
+
+    /// Secondary-index shape statistics.
+    pub fn secondary_stats(&self) -> pv_exthash::ExtHashStats {
+        self.secondary.stats()
+    }
+
+    /// PNNQ Step 1: descend to the leaf containing `q`, then prune with the
+    /// min/max-distance filter (§VI-A "Query Evaluation").
+    pub fn query_step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+        let t0 = Instant::now();
+        let io0 = self.pager.stats().snapshot();
+        let records = self.octree.point_query(q);
+        let mut candidates: Vec<(u64, f64, f64)> = Vec::with_capacity(records.len());
+        for rec in &records {
+            let (id, region) = decode_leaf_record(rec, self.dim);
+            candidates.push((
+                id,
+                min_dist_sq(&region, q),
+                max_dist_sq(&region, q),
+            ));
+        }
+        let tau_sq = candidates
+            .iter()
+            .map(|&(_, _, maxd)| maxd)
+            .fold(f64::INFINITY, f64::min);
+        let mut ids: Vec<u64> = candidates
+            .iter()
+            .filter(|&&(_, mind, _)| mind <= tau_sq)
+            .map(|&(id, _, _)| id)
+            .collect();
+        ids.sort_unstable();
+        let io1 = self.pager.stats().snapshot();
+        let stats = Step1Stats {
+            time: t0.elapsed(),
+            io_reads: io1.since(&io0).reads,
+            candidates: candidates.len(),
+            answers: ids.len(),
+        };
+        (ids, stats)
+    }
+
+    /// Full PNNQ: Step 1, then Step 2 over the secondary index.
+    pub fn query(&self, q: &Point) -> (Vec<(u64, f64)>, QueryStats) {
+        let (ids, step1) = self.query_step1(q);
+        let t1 = Instant::now();
+        let io0 = self.pager.stats().snapshot();
+        // Fetch uncertainty info from the secondary index (charges I/O),
+        // then charge the pdf payload pages the instances would occupy.
+        let mut fetched: Vec<UncertainObject> = Vec::with_capacity(ids.len());
+        let mut payload_pages = 0u64;
+        for id in &ids {
+            let buf = self
+                .secondary
+                .get(*id)
+                .expect("step-1 answer must exist in the secondary index");
+            let (_, obj) = decode_secondary(&buf, self.dim, &self.domain);
+            payload_pages += pdf_payload_pages(&obj, self.params.page_size);
+            fetched.push(obj);
+        }
+        let refs: Vec<&UncertainObject> = fetched.iter().collect();
+        let probs = qualification_probabilities(q, &refs);
+        let io1 = self.pager.stats().snapshot();
+        let stats = QueryStats {
+            step1,
+            pc_time: t1.elapsed(),
+            pc_io_reads: io1.since(&io0).reads + payload_pages,
+        };
+        (probs, stats)
+    }
+
+    /// Recomputes and stores the UBR of `id` with the given SE bounds.
+    /// Returns its old and new UBRs.
+    fn refresh_ubr(
+        &mut self,
+        id: u64,
+        bounds: SeBounds,
+        se_total: &mut SeStats,
+    ) -> (HyperRect, HyperRect) {
+        let o = self.objects[&id].clone();
+        let t_cset = Instant::now();
+        let cset = choose_cset(&o, self.params.cset, &self.mean_tree, &self.regions);
+        let cset_time = t_cset.elapsed();
+        let (new_ubr, mut st) = compute_ubr_with_bounds(
+            &o,
+            &self.domain,
+            &cset,
+            self.params.delta,
+            self.params.mmax,
+            bounds,
+        );
+        st.cset_time = cset_time;
+        se_total.absorb(&st);
+        let new_ubr = self.maybe_quantize(new_ubr);
+        let old_ubr = self.ubrs.insert(id, new_ubr.clone()).expect("known id");
+        let record = encode_secondary(&new_ubr, &o, &self.domain, self.params.ubr_quantize_steps);
+        self.secondary.put(id, &record);
+        (old_ubr, new_ubr)
+    }
+
+    /// The set `A` of §VI-B step 2: ids found by a primary-index range
+    /// query, minus those proven unaffected by Lemma 8 (with the erratum
+    /// fix: overlapping uncertainty regions ⇒ *unaffected*).
+    fn affected_candidates(&self, probe_ubr: &HyperRect, other: &UncertainObject) -> Vec<u64> {
+        self.octree
+            .range_query(probe_ubr)
+            .iter()
+            .map(|rec| decode_leaf_record(rec, self.dim))
+            .filter(|(id, _)| *id != other.id)
+            .filter(|(_, region)| !region.intersects(&other.region)) // Lemma 8(3)
+            .filter(|(id, _)| {
+                // Lemma 8(1)/(2) via the UBR proxy: disjoint bounding
+                // rectangles certainly mean disjoint PV-cells.
+                self.ubrs[id].intersects(probe_ubr)
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Incrementally inserts a new object (§VI-B "Insertion").
+    ///
+    /// # Panics
+    /// If the id already exists or the region lies outside the domain.
+    pub fn insert(&mut self, o: UncertainObject) -> UpdateStats {
+        assert!(
+            !self.objects.contains_key(&o.id),
+            "duplicate object id {}",
+            o.id
+        );
+        assert!(
+            self.domain.contains_rect(&o.region),
+            "object {} outside the domain",
+            o.id
+        );
+        let t0 = Instant::now();
+        let mut se_total = SeStats::default();
+
+        // Step 0: register o' so SE runs against S' = S ∪ {o'}.
+        self.mean_tree
+            .insert(HyperRect::from_point(&o.region.center()), o.id);
+        self.objects.insert(o.id, o.clone());
+        self.regions.insert(o.id, o.region.clone());
+
+        // Step 1: B(S', o') by a fresh SE run.
+        let t_cset = Instant::now();
+        let cset = choose_cset(&o, self.params.cset, &self.mean_tree, &self.regions);
+        let cset_time = t_cset.elapsed();
+        let (new_ubr, mut st) =
+            compute_ubr(&o, &self.domain, &cset, self.params.delta, self.params.mmax);
+        st.cset_time = cset_time;
+        se_total.absorb(&st);
+
+        // Step 2: find objects that may be affected.
+        let affected = self.affected_candidates(&new_ubr, &o);
+        let scanned = affected.len();
+
+        // Step 3: shrink affected UBRs, warm-starting from the old UBR.
+        for id in &affected {
+            let old = self.ubrs[id].clone();
+            let (_, shrunk) =
+                self.refresh_ubr(*id, SeBounds::after_insertion(old.clone()), &mut se_total);
+            // Step 4 (per object): drop leaf registrations in N − N'.
+            self.octree.remove_delta(&old, &shrunk, *id);
+        }
+
+        // Step 4 (new object): register o' everywhere.
+        let new_ubr = self.maybe_quantize(new_ubr);
+        let record = encode_secondary(&new_ubr, &o, &self.domain, self.params.ubr_quantize_steps);
+        self.secondary.put(o.id, &record);
+        self.ubrs.insert(o.id, new_ubr.clone());
+        let record = encode_leaf_record(o.id, &o.region);
+        let ubrs = &self.ubrs;
+        let lookup = move |i: u64| ubrs[&i].clone();
+        self.octree.insert(&new_ubr, &record, &lookup);
+
+        UpdateStats {
+            time: t0.elapsed(),
+            scanned,
+            affected: affected.len(),
+            se: se_total,
+        }
+    }
+
+    /// Incrementally removes an object (§VI-B "Deletion"). Returns `None`
+    /// if the id is unknown.
+    pub fn remove(&mut self, id: u64) -> Option<UpdateStats> {
+        let o = self.objects.get(&id)?.clone();
+        let t0 = Instant::now();
+        let mut se_total = SeStats::default();
+        let old_ubr = self.ubrs[&id].clone();
+
+        // Step 2: affected set from a range query with B(S, o').
+        let affected = self.affected_candidates(&old_ubr, &o);
+        let scanned = affected.len();
+
+        // Step 4a: unregister o' everywhere, then update the catalogs so the
+        // recomputations run against S' = S \ {o'}.
+        self.octree.remove(&old_ubr, id);
+        self.secondary.remove(id);
+        self.ubrs.remove(&id);
+        self.objects.remove(&id);
+        self.regions.remove(&id);
+        self.mean_tree
+            .remove(&HyperRect::from_point(&o.region.center()), id);
+
+        // Step 3: grow affected UBRs, warm-starting l from the old UBR.
+        for aid in &affected {
+            let old = self.ubrs[aid].clone();
+            let (_, grown) =
+                self.refresh_ubr(*aid, SeBounds::after_deletion(old.clone()), &mut se_total);
+            // Step 4b: register in the new leaves N' − N.
+            let region = self.objects[aid].region.clone();
+            let record = encode_leaf_record(*aid, &region);
+            let ubrs = &self.ubrs;
+            let lookup = move |i: u64| ubrs[&i].clone();
+            self.octree.insert_delta(&old, &grown, &record, &lookup);
+        }
+
+        Some(UpdateStats {
+            time: t0.elapsed(),
+            scanned,
+            affected: affected.len(),
+            se: se_total,
+        })
+    }
+
+    /// Rebuilds the index from its current object catalog (the paper's
+    /// "Rebuild" competitor for Figs. 10(h)/(i)).
+    pub fn rebuild(&mut self) -> BuildStats {
+        let db = UncertainDb::new(
+            self.domain.clone(),
+            self.objects.values().cloned().collect(),
+        );
+        let fresh = PvIndex::build(&db, self.params);
+        let stats = fresh.build_stats.clone();
+        *self = fresh;
+        stats
+    }
+
+    /// Mean-tree leaf visits (construction-side I/O diagnostics).
+    pub fn mean_tree_leaf_visits(&self) -> u64 {
+        self.mean_tree.stats.leaf_visits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use pv_workload::{queries, synthetic, SyntheticConfig};
+
+    fn small_db(n: usize, dim: usize, seed: u64) -> UncertainDb {
+        synthetic(&SyntheticConfig {
+            n,
+            dim,
+            max_side: 200.0,
+            samples: 16,
+            seed,
+        })
+    }
+
+    fn check_queries(index: &PvIndex, db_objects: &[UncertainObject], seeds: u64) {
+        let qs = queries::uniform(index.domain(), 25, seeds);
+        for q in qs {
+            let (got, _) = index.query_step1(&q);
+            let want = verify::possible_nn(db_objects.iter(), &q);
+            assert_eq!(got, want, "q = {q:?}");
+        }
+    }
+
+    #[test]
+    fn step1_matches_naive_2d() {
+        let db = small_db(300, 2, 1);
+        let index = PvIndex::build(&db, PvParams::default());
+        check_queries(&index, &db.objects, 11);
+    }
+
+    #[test]
+    fn step1_matches_naive_3d() {
+        let db = small_db(250, 3, 2);
+        let index = PvIndex::build(&db, PvParams::default());
+        check_queries(&index, &db.objects, 13);
+    }
+
+    #[test]
+    fn step1_matches_naive_with_fs() {
+        let db = small_db(300, 2, 3);
+        let index = PvIndex::build(&db, PvParams::with_fs(40));
+        check_queries(&index, &db.objects, 17);
+    }
+
+    #[test]
+    fn full_query_probabilities_sum_to_one() {
+        let db = small_db(200, 2, 4);
+        let index = PvIndex::build(&db, PvParams::default());
+        for q in queries::uniform(&db.domain, 10, 19) {
+            let (probs, stats) = index.query(&q);
+            let total: f64 = probs.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+            assert!(stats.pc_io_reads > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_build_equals_serial_build() {
+        let db = small_db(150, 2, 5);
+        let serial = PvIndex::build(&db, PvParams::default());
+        let parallel = PvIndex::build(
+            &db,
+            PvParams {
+                build_threads: 4,
+                ..Default::default()
+            },
+        );
+        for o in &db.objects {
+            assert_eq!(
+                serial.ubr(o.id).unwrap(),
+                parallel.ubr(o.id).unwrap(),
+                "UBR of {} differs between serial and parallel builds",
+                o.id
+            );
+        }
+    }
+
+    #[test]
+    fn insert_keeps_queries_exact() {
+        let mut db = small_db(200, 2, 6);
+        let mut index = PvIndex::build(&db, PvParams::default());
+        let extra = small_db(20, 2, 777);
+        for (i, mut o) in extra.objects.into_iter().enumerate() {
+            o.id = 50_000 + i as u64;
+            db.objects.push(o.clone());
+            index.insert(o);
+        }
+        check_queries(&index, &db.objects, 23);
+    }
+
+    #[test]
+    fn remove_keeps_queries_exact() {
+        let mut db = small_db(200, 2, 7);
+        let mut index = PvIndex::build(&db, PvParams::default());
+        for id in (0..200u64).step_by(7) {
+            assert!(index.remove(id).is_some());
+        }
+        db.objects.retain(|o| o.id % 7 != 0);
+        check_queries(&index, &db.objects, 29);
+    }
+
+    #[test]
+    fn mixed_updates_match_rebuild() {
+        let mut db = small_db(150, 2, 8);
+        let mut index = PvIndex::build(&db, PvParams::default());
+        // interleave deletions and insertions
+        for id in [3u64, 17, 42, 99, 140] {
+            index.remove(id);
+            db.objects.retain(|o| o.id != id);
+        }
+        let extra = small_db(10, 2, 888);
+        for (i, mut o) in extra.objects.into_iter().enumerate() {
+            o.id = 60_000 + i as u64;
+            db.objects.push(o.clone());
+            index.insert(o);
+        }
+        // compare against a fresh build
+        let fresh = PvIndex::build(&db, PvParams::default());
+        for q in queries::uniform(&db.domain, 25, 31) {
+            let (a, _) = index.query_step1(&q);
+            let (b, _) = fresh.query_step1(&q);
+            assert_eq!(a, b, "incremental index diverged from rebuild");
+        }
+        check_queries(&index, &db.objects, 37);
+    }
+
+    #[test]
+    fn remove_unknown_returns_none() {
+        let db = small_db(50, 2, 9);
+        let mut index = PvIndex::build(&db, PvParams::default());
+        assert!(index.remove(123_456).is_none());
+        assert_eq!(index.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate object id")]
+    fn insert_duplicate_panics() {
+        let db = small_db(50, 2, 10);
+        let mut index = PvIndex::build(&db, PvParams::default());
+        let dup = db.objects[0].clone();
+        index.insert(dup);
+    }
+
+    #[test]
+    fn ubrs_contain_uncertainty_regions() {
+        let db = small_db(150, 3, 11);
+        let index = PvIndex::build(&db, PvParams::default());
+        for o in &db.objects {
+            assert!(index.ubr(o.id).unwrap().contains_rect(&o.region));
+        }
+    }
+
+    #[test]
+    fn query_io_is_counted() {
+        let db = small_db(400, 2, 12);
+        let index = PvIndex::build(&db, PvParams::default());
+        let q = queries::uniform(&db.domain, 1, 41)[0].clone();
+        let (_, st) = index.query_step1(&q);
+        assert!(st.io_reads >= 1, "leaf pages must be charged");
+    }
+
+    #[test]
+    fn build_stats_are_populated() {
+        let db = small_db(100, 2, 13);
+        let index = PvIndex::build(&db, PvParams::default());
+        let bs = index.build_stats();
+        assert_eq!(bs.ubr_count, 100);
+        assert!(bs.se.slab_tests > 0);
+        assert!(bs.avg_cset_size() > 0.0);
+        assert!(bs.total_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn secondary_round_trip() {
+        let db = small_db(60, 2, 14);
+        let index = PvIndex::build(&db, PvParams::default());
+        let o = &db.objects[5];
+        let buf = index.secondary.get(o.id).unwrap();
+        let (ubr, obj) = decode_secondary(&buf, 2, index.domain());
+        assert_eq!(&ubr, index.ubr(o.id).unwrap());
+        assert_eq!(&obj, o);
+    }
+
+    #[test]
+    fn quantized_ubrs_keep_queries_exact() {
+        // §VIII compression extension: snapped-outward UBRs may admit more
+        // candidates, but Step 1 must stay exact.
+        let db = small_db(250, 2, 15);
+        let index = PvIndex::build(
+            &db,
+            PvParams {
+                ubr_quantize_steps: Some(4_096),
+                ..Default::default()
+            },
+        );
+        check_queries(&index, &db.objects, 43);
+        // and the stored UBRs still contain the uncertainty regions
+        for o in &db.objects {
+            assert!(index.ubr(o.id).unwrap().contains_rect(&o.region));
+        }
+    }
+
+    #[test]
+    fn quantized_secondary_roundtrip_and_size() {
+        let db = small_db(60, 3, 16);
+        let plain = PvIndex::build(&db, PvParams::default());
+        let packed = PvIndex::build(
+            &db,
+            PvParams {
+                ubr_quantize_steps: Some(65_535),
+                ..Default::default()
+            },
+        );
+        let o = &db.objects[7];
+        let buf = packed.secondary.get(o.id).unwrap();
+        let (ubr, obj) = decode_secondary(&buf, 3, packed.domain());
+        assert_eq!(&ubr, packed.ubr(o.id).unwrap());
+        assert_eq!(&obj, o);
+        // the quantized record is strictly smaller (48-byte corners → 14)
+        let plain_buf = plain.secondary.get(o.id).unwrap();
+        assert!(buf.len() < plain_buf.len());
+        // enlargement only: the packed UBR contains the plain one
+        assert!(packed
+            .ubr(o.id)
+            .unwrap()
+            .contains_rect(plain.ubr(o.id).unwrap()));
+    }
+
+    #[test]
+    fn quantized_updates_stay_exact() {
+        let mut db = small_db(150, 2, 17);
+        let mut index = PvIndex::build(
+            &db,
+            PvParams {
+                ubr_quantize_steps: Some(4_096),
+                ..Default::default()
+            },
+        );
+        for id in (0..150u64).step_by(11) {
+            index.remove(id).unwrap();
+        }
+        db.objects.retain(|o| o.id % 11 != 0);
+        let extra = small_db(15, 2, 1717);
+        for (i, mut o) in extra.objects.into_iter().enumerate() {
+            o.id = 40_000 + i as u64;
+            db.objects.push(o.clone());
+            index.insert(o);
+        }
+        check_queries(&index, &db.objects, 47);
+    }
+}

@@ -1,0 +1,47 @@
+//! # pv-core — PV-cells, UBRs, the SE algorithm and the PV-index
+//!
+//! This crate implements the primary contribution of *"Voronoi-based Nearest
+//! Neighbor Search for Multi-Dimensional Uncertain Databases"* (Zhang, Cheng,
+//! Mamoulis, Renz, Züfle, Tang, Emrich — ICDE 2013):
+//!
+//! * [`cset`] — the `chooseCSet` routine (§V-A): **ALL**, **FS** (fixed
+//!   selection: k nearest means) and **IS** (incremental selection with
+//!   `2^d` partition counters);
+//! * [`se`] — the **Shrink-and-Expand** algorithm (§V, Algorithm 1)
+//!   computing an Uncertain Bounding Rectangle `B(o) ⊇ V(o)`, including the
+//!   warm-started variants used by incremental maintenance (§VI-B);
+//! * [`index`] — the **PV-index** (§VI): octree primary index + extendible
+//!   hash secondary index, PNNQ Step-1 retrieval, full PNNQ evaluation, and
+//!   incremental insertion/deletion;
+//! * [`prob`] — PNNQ **Step 2**: qualification probabilities from discrete
+//!   instances (the method of Cheng et al., the paper's reference \[8\]);
+//! * [`baseline`] — the R-tree branch-and-prune Step-1 baseline \[8\] the
+//!   experiments compare against;
+//! * [`verify`] — a naive linear-scan ground truth used by tests and the
+//!   recall measurements.
+//!
+//! ## Example
+//!
+//! ```
+//! use pv_core::{index::PvIndex, params::PvParams};
+//! use pv_workload::{synthetic, SyntheticConfig, queries};
+//!
+//! let db = synthetic(&SyntheticConfig { n: 200, dim: 2, samples: 50, ..Default::default() });
+//! let index = PvIndex::build(&db, PvParams::default());
+//! let q = &queries::uniform(&db.domain, 1, 7)[0];
+//! let (answers, _stats) = index.query_step1(q);
+//! assert!(!answers.is_empty()); // someone is always a possible NN
+//! ```
+
+pub mod baseline;
+pub mod cset;
+pub mod index;
+pub mod params;
+pub mod prob;
+pub mod se;
+pub mod stats;
+pub mod verify;
+
+pub use index::PvIndex;
+pub use params::{CSetStrategy, PvParams};
+pub use stats::{BuildStats, QueryStats, Step1Stats, UpdateStats};

@@ -1,0 +1,249 @@
+//! PNNQ Step 2 — qualification-probability computation.
+//!
+//! Implements the discrete-instance method of Cheng et al. (the paper's
+//! reference \[8\]) that §VI-A plugs in after Step 1: given the candidate
+//! objects (those whose PV-cells contain `q`), the probability that object
+//! `o` is the nearest neighbor of `q` is
+//!
+//! ```text
+//! P(o) = Σ_{instance s of o} p(s) · Π_{o' ≠ o} P( dist(o', q) > dist(s, q) )
+//! ```
+//!
+//! where each instance carries probability `1/n` and
+//! `P(dist(o',q) > r)` is the fraction of `o'`'s instances farther than `r`.
+//! With each object's instance distances sorted once, every factor is a
+//! binary search, giving `O(|L|² · n · log n)` per query for `|L|`
+//! candidates — cheap because Step 1 already reduced `|L|` to a handful.
+
+use pv_geom::Point;
+use pv_uncertain::UncertainObject;
+
+/// Pre-processed candidate: sorted distances of all instances to `q`.
+struct Sorted {
+    id: u64,
+    dists: Vec<f64>,
+}
+
+/// Computes the qualification probability of every candidate.
+///
+/// Returns `(id, probability)` pairs in the input order. Candidates with
+/// zero probability (possible when UBR-based Step 1 over-approximates) are
+/// retained with `0.0` so callers can observe the filter effectiveness.
+pub fn qualification_probabilities(
+    q: &Point,
+    candidates: &[&UncertainObject],
+) -> Vec<(u64, f64)> {
+    let sorted: Vec<Sorted> = candidates
+        .iter()
+        .map(|o| {
+            let mut dists: Vec<f64> = o.samples().iter().map(|s| s.dist(q)).collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            Sorted { id: o.id, dists }
+        })
+        .collect();
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, me)| {
+            let n = me.dists.len();
+            if n == 0 {
+                return (me.id, 0.0);
+            }
+            let mut p = 0.0;
+            for &d in &me.dists {
+                let mut world = 1.0 / n as f64;
+                for (j, other) in sorted.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    world *= frac_farther(&other.dists, d);
+                    if world == 0.0 {
+                        break;
+                    }
+                }
+                p += world;
+            }
+            (me.id, p)
+        })
+        .collect()
+}
+
+/// Fraction of (sorted) distances strictly greater than `r`.
+fn frac_farther(sorted: &[f64], r: f64) -> f64 {
+    if sorted.is_empty() {
+        return 1.0; // an absent competitor never wins
+    }
+    // first index with dist > r
+    let idx = sorted.partition_point(|&d| d <= r);
+    (sorted.len() - idx) as f64 / sorted.len() as f64
+}
+
+/// Estimated number of disk pages a candidate's full instance payload
+/// occupies (used to charge Step-2 I/O for lazily materialised pdfs, which
+/// the paper would have read from disk — see DESIGN.md §3).
+pub fn pdf_payload_pages(o: &UncertainObject, page_size: usize) -> u64 {
+    let bytes = o.pdf.n_samples() * o.region.dim() * std::mem::size_of::<f64>();
+    (bytes as u64).div_ceil(page_size as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_geom::HyperRect;
+    use pv_uncertain::Pdf;
+    use std::sync::Arc;
+
+    fn explicit(id: u64, region: HyperRect, pts: Vec<Point>) -> UncertainObject {
+        UncertainObject {
+            id,
+            region,
+            pdf: Pdf::Explicit(Arc::new(pts)),
+        }
+    }
+
+    fn mk(lo: &[f64], hi: &[f64]) -> HyperRect {
+        HyperRect::new(lo.to_vec(), hi.to_vec())
+    }
+
+    #[test]
+    fn certain_winner_gets_probability_one() {
+        let q = Point::new(vec![0.0, 0.0]);
+        let near = explicit(
+            1,
+            mk(&[1.0, 0.0], &[2.0, 1.0]),
+            vec![Point::new(vec![1.0, 0.0]), Point::new(vec![2.0, 1.0])],
+        );
+        let far = explicit(
+            2,
+            mk(&[10.0, 10.0], &[11.0, 11.0]),
+            vec![Point::new(vec![10.0, 10.0]), Point::new(vec![11.0, 11.0])],
+        );
+        let probs = qualification_probabilities(&q, &[&near, &far]);
+        assert_eq!(probs[0], (1, 1.0));
+        assert_eq!(probs[1], (2, 0.0));
+    }
+
+    #[test]
+    fn symmetric_objects_split_evenly() {
+        let q = Point::new(vec![0.0, 0.0]);
+        // interleaved tie-free distances: a at {1, 4}, b at {2, 3}
+        let a = explicit(
+            1,
+            mk(&[1.0, -1.0], &[4.0, 1.0]),
+            vec![Point::new(vec![1.0, 0.0]), Point::new(vec![4.0, 0.0])],
+        );
+        let b = explicit(
+            2,
+            mk(&[-3.0, -1.0], &[-2.0, 1.0]),
+            vec![Point::new(vec![-2.0, 0.0]), Point::new(vec![-3.0, 0.0])],
+        );
+        let probs = qualification_probabilities(&q, &[&a, &b]);
+        // P(a) = ½·P(b>1) + ½·P(b>4) = ½·1 + 0 = ½
+        // P(b) = ½·P(a>2) + ½·P(a>3) = ¼ + ¼ = ½
+        assert!((probs[0].1 - 0.5).abs() < 1e-12);
+        assert!((probs[1].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_instance_distances_lose_tied_mass() {
+        // With strict comparison, tied worlds award the win to no one; the
+        // remaining mass is exactly the probability of a strict winner.
+        let q = Point::new(vec![0.0]);
+        let a = explicit(1, mk(&[1.0], &[3.0]),
+            vec![Point::new(vec![1.0]), Point::new(vec![3.0])]);
+        let b = explicit(2, mk(&[1.0], &[3.0]),
+            vec![Point::new(vec![1.0]), Point::new(vec![3.0])]);
+        let probs = qualification_probabilities(&q, &[&a, &b]);
+        // each: ½·P(other>1)=½·½ + ½·P(other>3)=0 → ¼
+        assert!((probs[0].1 - 0.25).abs() < 1e-12);
+        assert!((probs[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_without_ties() {
+        let q = Point::new(vec![5.0, 5.0]);
+        let objs: Vec<UncertainObject> = (0..6)
+            .map(|i| {
+                let base = 1.0 + i as f64;
+                UncertainObject::uniform(
+                    i as u64,
+                    mk(&[base, base], &[base + 2.0, base + 2.0]),
+                    64,
+                )
+            })
+            .collect();
+        let refs: Vec<&UncertainObject> = objs.iter().collect();
+        let probs = qualification_probabilities(&q, &refs);
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probabilities must sum to 1, got {total}"
+        );
+        assert!(probs.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn dominated_candidate_gets_zero() {
+        let q = Point::new(vec![0.0]);
+        let near = explicit(
+            1,
+            mk(&[1.0], &[2.0]),
+            vec![Point::new(vec![1.0]), Point::new(vec![2.0])],
+        );
+        // every instance of `blocked` is farther than near's farthest
+        let blocked = explicit(
+            2,
+            mk(&[5.0], &[6.0]),
+            vec![Point::new(vec![5.0]), Point::new(vec![6.0])],
+        );
+        let probs = qualification_probabilities(&q, &[&near, &blocked]);
+        assert_eq!(probs[1].1, 0.0);
+        assert_eq!(probs[0].1, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_gives_intermediate_probability() {
+        let q = Point::new(vec![0.0]);
+        // a: instances at 1, 3 ; b: instances at 2, 4
+        let a = explicit(
+            1,
+            mk(&[1.0], &[3.0]),
+            vec![Point::new(vec![1.0]), Point::new(vec![3.0])],
+        );
+        let b = explicit(
+            2,
+            mk(&[2.0], &[4.0]),
+            vec![Point::new(vec![2.0]), Point::new(vec![4.0])],
+        );
+        let probs = qualification_probabilities(&q, &[&a, &b]);
+        // P(a) = 1/2·[d=1: b>1 always =1] + 1/2·[d=3: b>3 w.p. 1/2] = 0.75
+        assert!((probs[0].1 - 0.75).abs() < 1e-12);
+        assert!((probs[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_candidate_is_certain() {
+        let q = Point::new(vec![9.0, 9.0]);
+        let only = UncertainObject::uniform(3, mk(&[0.0, 0.0], &[1.0, 1.0]), 32);
+        let probs = qualification_probabilities(&q, &[&only]);
+        assert_eq!(probs, vec![(3, 1.0)]);
+    }
+
+    #[test]
+    fn payload_page_estimate() {
+        let o = UncertainObject::uniform(1, mk(&[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]), 500);
+        // 500 × 3 × 8 = 12000 bytes → 3 pages of 4096
+        assert_eq!(pdf_payload_pages(&o, 4096), 3);
+        let tiny = UncertainObject::uniform(2, mk(&[0.0], &[1.0]), 1);
+        assert_eq!(pdf_payload_pages(&tiny, 4096), 1);
+    }
+
+    #[test]
+    fn frac_farther_edges() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(frac_farther(&v, 0.5), 1.0);
+        assert_eq!(frac_farther(&v, 2.0), 0.5); // strictly greater
+        assert_eq!(frac_farther(&v, 4.0), 0.0);
+        assert_eq!(frac_farther(&[], 1.0), 1.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Naive linear-scan ground truth for PNNQ Step 1.
+//!
+//! Under the region-based possible-worlds semantics used by the PV-cell
+//! literature, object `o` has a non-zero chance of being the nearest
+//! neighbor of `q` iff
+//!
+//! ```text
+//! distmin(o, q) <= min over all o' in S of distmax(o', q)
+//! ```
+//!
+//! (If the inequality holds, a world exists placing `o` at its closest point
+//! and everyone else at their farthest.) The scan below is O(|S|) per query
+//! and serves as the reference implementation the indexes are validated
+//! against, as well as the recall oracle for the UV-index baseline.
+
+use crate::stats::Step1Stats;
+use pv_geom::{max_dist_sq, min_dist_sq, Point};
+use pv_uncertain::UncertainObject;
+use std::time::Instant;
+
+/// All objects with a non-zero probability of being `q`'s nearest neighbor.
+/// The returned ids are sorted ascending for easy comparison.
+pub fn possible_nn<'a>(
+    objects: impl IntoIterator<Item = &'a UncertainObject>,
+    q: &Point,
+) -> Vec<u64> {
+    let objects: Vec<&UncertainObject> = objects.into_iter().collect();
+    let tau_sq = objects
+        .iter()
+        .map(|o| max_dist_sq(&o.region, q))
+        .fold(f64::INFINITY, f64::min);
+    let mut out: Vec<u64> = objects
+        .iter()
+        .filter(|o| min_dist_sq(&o.region, q) <= tau_sq)
+        .map(|o| o.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Same as [`possible_nn`] with timing, for harness use.
+pub fn possible_nn_timed<'a>(
+    objects: impl IntoIterator<Item = &'a UncertainObject>,
+    q: &Point,
+) -> (Vec<u64>, Step1Stats) {
+    let t0 = Instant::now();
+    let ids = possible_nn(objects, q);
+    let stats = Step1Stats {
+        time: t0.elapsed(),
+        io_reads: 0,
+        candidates: ids.len(),
+        answers: ids.len(),
+    };
+    (ids, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_geom::HyperRect;
+
+    fn mk(id: u64, lo: &[f64], hi: &[f64]) -> UncertainObject {
+        UncertainObject::uniform(id, HyperRect::new(lo.to_vec(), hi.to_vec()), 4)
+    }
+
+    #[test]
+    fn obvious_nearest_wins_alone() {
+        let objs = [mk(1, &[1.0, 1.0], &[2.0, 2.0]),
+            mk(2, &[50.0, 50.0], &[51.0, 51.0])];
+        let q = Point::new(vec![0.0, 0.0]);
+        assert_eq!(possible_nn(objs.iter(), &q), vec![1]);
+    }
+
+    #[test]
+    fn overlapping_regions_are_both_possible() {
+        let objs = [mk(1, &[1.0, 0.0], &[4.0, 1.0]),
+            mk(2, &[2.0, 0.0], &[5.0, 1.0])];
+        let q = Point::new(vec![0.0, 0.5]);
+        assert_eq!(possible_nn(objs.iter(), &q), vec![1, 2]);
+    }
+
+    #[test]
+    fn the_minmax_object_is_always_possible() {
+        // Whoever minimises distmax can always be the NN.
+        let objs = [
+            mk(1, &[1.0], &[9.0]),  // wide region
+            mk(2, &[4.0], &[5.0]),  // small region with smallest maxdist
+            mk(3, &[20.0], &[21.0]),
+        ];
+        let q = Point::new(vec![4.5]);
+        let ids = possible_nn(objs.iter(), &q);
+        assert!(ids.contains(&2));
+        assert!(!ids.contains(&3));
+    }
+
+    #[test]
+    fn query_inside_a_region_keeps_that_object() {
+        let objs = [mk(1, &[0.0, 0.0], &[10.0, 10.0]),
+            mk(2, &[4.0, 4.0], &[5.0, 5.0])];
+        let q = Point::new(vec![4.5, 4.5]); // inside both
+        let ids = possible_nn(objs.iter(), &q);
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn timed_variant_agrees() {
+        let objs = [mk(1, &[0.0], &[1.0]), mk(2, &[5.0], &[6.0])];
+        let q = Point::new(vec![0.5]);
+        let (ids, stats) = possible_nn_timed(objs.iter(), &q);
+        assert_eq!(ids, possible_nn(objs.iter(), &q));
+        assert_eq!(stats.answers, ids.len());
+    }
+}

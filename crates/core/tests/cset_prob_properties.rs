@@ -1,0 +1,109 @@
+//! Property tests for `chooseCSet` and the Step-2 probability module.
+
+use proptest::prelude::*;
+use pv_core::cset::{build_mean_tree, choose_cset};
+use pv_core::params::CSetStrategy;
+use pv_core::prob::qualification_probabilities;
+use pv_geom::{HyperRect, Point};
+use pv_uncertain::UncertainObject;
+use std::collections::HashMap;
+
+/// A random 2-D object set with ids 0..n.
+fn arb_objects(n: usize) -> impl Strategy<Value = Vec<UncertainObject>> {
+    prop::collection::vec(
+        ((0.0f64..900.0, 0.0f64..900.0), (1.0f64..80.0, 1.0f64..80.0)),
+        2..n,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, ((x, y), (w, h)))| {
+                UncertainObject::uniform(
+                    i as u64,
+                    HyperRect::new(vec![x, y], vec![(x + w).min(1000.0), (y + h).min(1000.0)]),
+                    8,
+                )
+            })
+            .collect()
+    })
+}
+
+fn setup(objects: &[UncertainObject]) -> (HashMap<u64, HyperRect>, pv_rtree::RTree) {
+    let regions: HashMap<u64, HyperRect> =
+        objects.iter().map(|o| (o.id, o.region.clone())).collect();
+    let tree = build_mean_tree(regions.iter().map(|(&id, r)| (id, r.clone())), 2, 8);
+    (regions, tree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strategy returns a valid C-set: no self-reference, no unknown
+    /// ids, and (for ALL/IS) no candidate overlapping `u(o)`.
+    #[test]
+    fn cset_structural_invariants(objects in arb_objects(30)) {
+        let (regions, tree) = setup(&objects);
+        let o = &objects[0];
+        for strategy in [
+            CSetStrategy::All,
+            CSetStrategy::Fixed { k: 10 },
+            CSetStrategy::default(),
+        ] {
+            let cs = choose_cset(o, strategy, &tree, &regions);
+            prop_assert!(!cs.ids.contains(&o.id), "{strategy:?} returned o itself");
+            prop_assert_eq!(cs.ids.len(), cs.regions.len());
+            for id in &cs.ids {
+                prop_assert!(regions.contains_key(id));
+            }
+            if !matches!(strategy, CSetStrategy::Fixed { .. }) {
+                for r in &cs.regions {
+                    prop_assert!(
+                        !r.intersects(&o.region),
+                        "{strategy:?} kept an overlapping candidate"
+                    );
+                }
+            }
+        }
+    }
+
+    /// FS returns exactly min(k, |S|−1) candidates in mean-distance order.
+    #[test]
+    fn fs_cardinality_and_order(objects in arb_objects(25), k in 1usize..30) {
+        let (regions, tree) = setup(&objects);
+        let o = &objects[0];
+        let cs = choose_cset(o, CSetStrategy::Fixed { k }, &tree, &regions);
+        prop_assert_eq!(cs.ids.len(), k.min(objects.len() - 1));
+        let mean = o.mean();
+        for w in cs.ids.windows(2) {
+            let d0 = regions[&w[0]].center().dist(&mean);
+            let d1 = regions[&w[1]].center().dist(&mean);
+            prop_assert!(d0 <= d1 + 1e-9);
+        }
+    }
+
+    /// Probabilities over any candidate set are a sub-distribution, and over
+    /// the full object set they sum to 1 (distances are almost surely
+    /// tie-free for random float inputs).
+    #[test]
+    fn probabilities_form_distribution(
+        objects in arb_objects(12),
+        qx in 0.0f64..1000.0,
+        qy in 0.0f64..1000.0,
+    ) {
+        let q = Point::new(vec![qx, qy]);
+        let refs: Vec<&UncertainObject> = objects.iter().collect();
+        let probs = qualification_probabilities(&q, &refs);
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        prop_assert!(probs.iter().all(|&(_, p)| (0.0..=1.0 + 1e-12).contains(&p)));
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        // dropping a candidate can only redistribute mass upward for the rest
+        let subset: Vec<&UncertainObject> = objects.iter().skip(1).collect();
+        let sub_probs = qualification_probabilities(&q, &subset);
+        for ((id_a, p_all), (id_b, p_sub)) in probs.iter().skip(1).zip(sub_probs.iter()) {
+            prop_assert_eq!(id_a, id_b);
+            prop_assert!(p_sub + 1e-12 >= *p_all,
+                "removing a competitor reduced P({id_a}): {p_all} -> {p_sub}");
+        }
+    }
+}

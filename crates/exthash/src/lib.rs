@@ -1,0 +1,523 @@
+//! # pv-exthash — extendible hashing on the simulated paged disk
+//!
+//! The PV-index stores its *secondary index* — object id → (UBR, uncertainty
+//! region, pdf descriptor) — in "an extensible hash table" kept on disk
+//! (§VI-A of the paper; reference \[41\]). This crate implements classic
+//! extendible hashing (Fagin et al.):
+//!
+//! * an in-memory **directory** of `2^global_depth` bucket pointers,
+//! * disk-resident **buckets**, one page each, with a local depth;
+//!   splitting a full bucket either halves its directory range or doubles
+//!   the directory,
+//! * values larger than one page spill into **overflow chains** built from
+//!   [`pv_storage::PageList`] pages (needed for pdf payloads).
+//!
+//! Keys are `u64` object ids; the hash is a Fibonacci multiplicative mix so
+//! sequential ids spread uniformly over buckets.
+
+//! ```
+//! use pv_exthash::ExtHash;
+//! use pv_storage::MemPager;
+//!
+//! let mut table = ExtHash::new(MemPager::new(4096));
+//! table.put(7, b"payload");
+//! assert_eq!(table.get(7).unwrap(), b"payload");
+//! assert!(table.remove(7));
+//! assert!(table.is_empty());
+//! ```
+
+use pv_storage::{codec, IoStats, PageId, Pager};
+use std::collections::HashMap;
+
+/// Bucket page layout:
+/// `[local_depth: u16 | count: u16 | record*]` where
+/// `record = key: u64 | inline_len: u32 | overflow_head: u64 | bytes`.
+const BUCKET_HDR: usize = 4;
+const REC_FIXED: usize = 8 + 4 + 8;
+
+/// Statistics describing hash-table shape; useful for space accounting
+/// (the paper reports the PV-index's small spatial requirements vs UV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtHashStats {
+    /// Current directory size (`2^global_depth`).
+    pub directory_size: usize,
+    /// Number of distinct buckets.
+    pub buckets: usize,
+    /// Total stored key/value pairs.
+    pub entries: usize,
+    /// Number of values spilled to overflow chains.
+    pub overflow_values: usize,
+}
+
+/// An extendible hash table mapping `u64` keys to byte-string values.
+pub struct ExtHash<P: Pager> {
+    pager: P,
+    directory: Vec<PageId>,
+    global_depth: u32,
+    entries: usize,
+    overflow_values: usize,
+    /// Cached per-bucket entry counts (refreshed on every write); avoids
+    /// re-reading pages for statistics.
+    len_cache: HashMap<PageId, usize>,
+}
+
+#[inline]
+fn hash_key(key: u64) -> u64 {
+    // Fibonacci hashing: multiply by 2^64 / phi and mix high bits down.
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 32)
+}
+
+struct Record {
+    key: u64,
+    inline: Vec<u8>,
+    overflow: PageId,
+}
+
+impl<P: Pager> ExtHash<P> {
+    /// Creates an empty table with a directory of two buckets.
+    pub fn new(pager: P) -> Self {
+        let b0 = Self::alloc_bucket(&pager, 1);
+        let b1 = Self::alloc_bucket(&pager, 1);
+        let mut len_cache = HashMap::new();
+        len_cache.insert(b0, 0);
+        len_cache.insert(b1, 0);
+        Self {
+            pager,
+            directory: vec![b0, b1],
+            global_depth: 1,
+            entries: 0,
+            overflow_values: 0,
+            len_cache,
+        }
+    }
+
+    fn alloc_bucket(pager: &P, local_depth: u16) -> PageId {
+        let id = pager.alloc();
+        let mut page = vec![0u8; pager.page_size()];
+        page[0..2].copy_from_slice(&local_depth.to_le_bytes());
+        page[2..4].copy_from_slice(&0u16.to_le_bytes());
+        pager.write(id, &page);
+        id
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// I/O statistics of the underlying pager (shared with other structures
+    /// living on the same simulated disk).
+    pub fn io_stats(&self) -> &IoStats {
+        self.pager.stats()
+    }
+
+    /// Shape statistics.
+    pub fn stats(&self) -> ExtHashStats {
+        let mut distinct: Vec<PageId> = self.directory.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        ExtHashStats {
+            directory_size: self.directory.len(),
+            buckets: distinct.len(),
+            entries: self.entries,
+            overflow_values: self.overflow_values,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> PageId {
+        let idx = (hash_key(key) & ((1u64 << self.global_depth) - 1)) as usize;
+        self.directory[idx]
+    }
+
+    fn parse_bucket(page: &[u8]) -> (u16, Vec<Record>) {
+        let local_depth = u16::from_le_bytes([page[0], page[1]]);
+        let count = u16::from_le_bytes([page[2], page[3]]) as usize;
+        let mut records = Vec::with_capacity(count);
+        let mut off = BUCKET_HDR;
+        for _ in 0..count {
+            let mut r = codec::Reader::new(&page[off..]);
+            let key = r.u64();
+            let inline_len = r.u32() as usize;
+            let overflow = PageId(r.u64());
+            let start = off + REC_FIXED;
+            records.push(Record {
+                key,
+                inline: page[start..start + inline_len].to_vec(),
+                overflow,
+            });
+            off = start + inline_len;
+        }
+        (local_depth, records)
+    }
+
+    fn write_bucket(&self, id: PageId, local_depth: u16, records: &[Record]) {
+        let mut page = vec![0u8; self.pager.page_size()];
+        page[0..2].copy_from_slice(&local_depth.to_le_bytes());
+        page[2..4].copy_from_slice(&(records.len() as u16).to_le_bytes());
+        let mut off = BUCKET_HDR;
+        for rec in records {
+            let mut buf = Vec::with_capacity(REC_FIXED + rec.inline.len());
+            codec::put_u64(&mut buf, rec.key);
+            codec::put_u32(&mut buf, rec.inline.len() as u32);
+            codec::put_u64(&mut buf, rec.overflow.0);
+            buf.extend_from_slice(&rec.inline);
+            page[off..off + buf.len()].copy_from_slice(&buf);
+            off += buf.len();
+        }
+        self.pager.write(id, &page);
+    }
+
+    fn bucket_bytes(records: &[Record]) -> usize {
+        records.iter().map(|r| REC_FIXED + r.inline.len()).sum()
+    }
+
+    /// Bytes of value that can be stored inline in a bucket record. Larger
+    /// values spill their tail to an overflow chain. Keeping the inline part
+    /// small (a quarter page) bounds the split cascade for skewed sizes.
+    fn inline_budget(&self) -> usize {
+        (self.pager.page_size() - BUCKET_HDR - REC_FIXED) / 4
+    }
+
+    fn store_value(&mut self, value: &[u8]) -> (Vec<u8>, PageId) {
+        let budget = self.inline_budget();
+        if value.len() <= budget {
+            return (value.to_vec(), PageId::NULL);
+        }
+        self.overflow_values += 1;
+        let mut list = pv_storage::PageList::new();
+        let chunk = pv_storage::PageList::max_record_len(&self.pager);
+        // Append chunks in reverse so head-first reads return them in order.
+        let tail = &value[budget..];
+        let chunks: Vec<&[u8]> = tail.chunks(chunk).collect();
+        for part in chunks.iter().rev() {
+            list.append(&self.pager, part);
+        }
+        (value[..budget].to_vec(), list.head())
+    }
+
+    fn load_value(&self, rec: &Record) -> Vec<u8> {
+        if rec.overflow.is_null() {
+            return rec.inline.clone();
+        }
+        let list = pv_storage::PageList::from_head(rec.overflow);
+        let mut out = rec.inline.clone();
+        for part in list.read_all(&self.pager) {
+            out.extend_from_slice(&part);
+        }
+        out
+    }
+
+    fn free_overflow(&mut self, rec: &Record) {
+        if !rec.overflow.is_null() {
+            let mut list = pv_storage::PageList::from_head(rec.overflow);
+            list.clear(&self.pager);
+            self.overflow_values -= 1;
+        }
+    }
+
+    /// Inserts or replaces the value under `key`. Returns `true` if the key
+    /// already existed (replacement).
+    pub fn put(&mut self, key: u64, value: &[u8]) -> bool {
+        let replaced = self.remove(key);
+        loop {
+            let bucket = self.bucket_of(key);
+            let page = self.pager.read(bucket);
+            let (local_depth, mut records) = Self::parse_bucket(&page);
+            let (inline, overflow) = self.store_value(value);
+            records.push(Record { key, inline, overflow });
+            if Self::bucket_bytes(&records) <= self.pager.page_size() - BUCKET_HDR {
+                self.write_bucket(bucket, local_depth, &records);
+                self.len_cache.insert(bucket, records.len());
+                self.entries += 1;
+                return replaced;
+            }
+            // Bucket full: roll back the tentative record, split, retry.
+            let rec = records.pop().expect("just pushed");
+            self.free_overflow(&rec);
+            self.split_bucket(bucket);
+        }
+    }
+
+    /// Splits the given bucket, doubling the directory when its local depth
+    /// equals the global depth.
+    fn split_bucket(&mut self, bucket: PageId) {
+        let page = self.pager.read(bucket);
+        let (local_depth, records) = Self::parse_bucket(&page);
+        if u32::from(local_depth) == self.global_depth {
+            assert!(
+                self.global_depth < 32,
+                "directory would exceed 2^32 entries; key distribution is degenerate"
+            );
+            let old = std::mem::take(&mut self.directory);
+            self.directory = Vec::with_capacity(old.len() * 2);
+            self.directory.extend_from_slice(&old);
+            self.directory.extend_from_slice(&old);
+            self.global_depth += 1;
+        }
+        let new_depth = local_depth + 1;
+        let sibling = Self::alloc_bucket(&self.pager, new_depth);
+        // Partition records by the newly significant hash bit.
+        let bit = 1u64 << local_depth;
+        let (stay, move_out): (Vec<Record>, Vec<Record>) =
+            records.into_iter().partition(|r| hash_key(r.key) & bit == 0);
+        self.write_bucket(bucket, new_depth, &stay);
+        self.write_bucket(sibling, new_depth, &move_out);
+        self.len_cache.insert(bucket, stay.len());
+        self.len_cache.insert(sibling, move_out.len());
+        // Redirect directory slots: slots pointing at `bucket` whose index
+        // has the new bit set now point at the sibling.
+        for (idx, slot) in self.directory.iter_mut().enumerate() {
+            if *slot == bucket && (idx as u64) & bit != 0 {
+                *slot = sibling;
+            }
+        }
+    }
+
+    /// Fetches the value stored under `key`.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let bucket = self.bucket_of(key);
+        let page = self.pager.read(bucket);
+        let (_, records) = Self::parse_bucket(&page);
+        records
+            .iter()
+            .find(|r| r.key == key)
+            .map(|r| self.load_value(r))
+    }
+
+    /// Removes `key`, returning `true` if it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let bucket = self.bucket_of(key);
+        let page = self.pager.read(bucket);
+        let (local_depth, mut records) = Self::parse_bucket(&page);
+        let Some(pos) = records.iter().position(|r| r.key == key) else {
+            return false;
+        };
+        let victim = records.remove(pos);
+        self.free_overflow(&victim);
+        self.write_bucket(bucket, local_depth, &records);
+        self.len_cache.insert(bucket, records.len());
+        self.entries -= 1;
+        true
+    }
+
+    /// True if `key` is present (cheaper than `get` for overflowed values).
+    pub fn contains(&self, key: u64) -> bool {
+        let bucket = self.bucket_of(key);
+        let page = self.pager.read(bucket);
+        let (_, records) = Self::parse_bucket(&page);
+        records.iter().any(|r| r.key == key)
+    }
+
+    /// Returns every `(key, value)` pair (reads every bucket once, plus
+    /// overflow pages).
+    pub fn iter_all(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut distinct: Vec<PageId> = self.directory.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut out = Vec::with_capacity(self.entries);
+        for b in distinct {
+            let page = self.pager.read(b);
+            let (_, records) = Self::parse_bucket(&page);
+            for r in records {
+                let v = self.load_value(&r);
+                out.push((r.key, v));
+            }
+        }
+        out
+    }
+
+    /// Checks directory/bucket invariants (test helper).
+    pub fn check_invariants(&self) {
+        assert_eq!(self.directory.len(), 1 << self.global_depth);
+        let mut total = 0usize;
+        let mut distinct: Vec<PageId> = self.directory.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for b in distinct {
+            let page = self.pager.read(b);
+            let (local_depth, records) = Self::parse_bucket(&page);
+            assert!(u32::from(local_depth) <= self.global_depth);
+            // The bucket must be referenced by exactly 2^(global-local) slots.
+            let refs = self.directory.iter().filter(|&&s| s == b).count();
+            assert_eq!(refs, 1usize << (self.global_depth - u32::from(local_depth)));
+            // Every record must hash into this bucket under its local depth.
+            let mask = (1u64 << local_depth) - 1;
+            let slot_low_bits = self
+                .directory
+                .iter()
+                .position(|&s| s == b)
+                .expect("bucket referenced") as u64
+                & mask;
+            for r in &records {
+                assert_eq!(
+                    hash_key(r.key) & mask,
+                    slot_low_bits,
+                    "record hashed into the wrong bucket"
+                );
+            }
+            total += records.len();
+        }
+        assert_eq!(total, self.entries, "entry count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_storage::MemPager;
+
+    fn table(page: usize) -> ExtHash<MemPager> {
+        ExtHash::new(MemPager::new(page))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut h = table(256);
+        assert!(!h.put(1, b"one"));
+        assert!(!h.put(2, b"two"));
+        assert_eq!(h.get(1).unwrap(), b"one");
+        assert_eq!(h.get(2).unwrap(), b"two");
+        assert!(h.get(3).is_none());
+        assert_eq!(h.len(), 2);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn replace_value() {
+        let mut h = table(256);
+        h.put(7, b"first");
+        assert!(h.put(7, b"second"));
+        assert_eq!(h.get(7).unwrap(), b"second");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn grows_through_many_splits() {
+        let mut h = table(256);
+        for k in 0..2000u64 {
+            h.put(k, format!("value-{k}").as_bytes());
+        }
+        h.check_invariants();
+        assert_eq!(h.len(), 2000);
+        assert!(h.stats().buckets > 10, "expected many buckets");
+        for k in 0..2000u64 {
+            assert_eq!(h.get(k).unwrap(), format!("value-{k}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut h = table(256);
+        for k in 0..500u64 {
+            h.put(k, &k.to_le_bytes());
+        }
+        for k in (0..500u64).step_by(2) {
+            assert!(h.remove(k));
+        }
+        assert!(!h.remove(0));
+        assert_eq!(h.len(), 250);
+        h.check_invariants();
+        for k in 0..500u64 {
+            assert_eq!(h.get(k).is_some(), k % 2 == 1);
+        }
+        for k in (0..500u64).step_by(2) {
+            h.put(k, b"back");
+        }
+        assert_eq!(h.len(), 500);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn large_values_use_overflow_chains() {
+        let mut h = table(256);
+        let big = vec![0xABu8; 5000];
+        h.put(42, &big);
+        assert_eq!(h.stats().overflow_values, 1);
+        assert_eq!(h.get(42).unwrap(), big);
+        // Replacing with a small value must free the chain.
+        h.put(42, b"small");
+        assert_eq!(h.stats().overflow_values, 0);
+        assert_eq!(h.get(42).unwrap(), b"small");
+        h.check_invariants();
+    }
+
+    #[test]
+    fn overflow_value_removal_frees_pages() {
+        let pager = MemPager::new(256);
+        let mut h = ExtHash::new(pager.clone());
+        let big = vec![1u8; 4000];
+        h.put(1, &big);
+        let live_with_value = pager.live_pages();
+        assert!(h.remove(1));
+        assert!(
+            pager.live_pages() < live_with_value,
+            "overflow pages must be freed"
+        );
+        h.check_invariants();
+    }
+
+    #[test]
+    fn mixed_value_sizes() {
+        let mut h = table(512);
+        for k in 0..200u64 {
+            let len = (k as usize * 37) % 2000;
+            h.put(k, &vec![k as u8; len]);
+        }
+        h.check_invariants();
+        for k in 0..200u64 {
+            let len = (k as usize * 37) % 2000;
+            assert_eq!(h.get(k).unwrap(), vec![k as u8; len], "key {k}");
+        }
+    }
+
+    #[test]
+    fn iter_all_returns_everything() {
+        let mut h = table(256);
+        for k in 0..300u64 {
+            h.put(k, &k.to_le_bytes());
+        }
+        let mut all = h.iter_all();
+        all.sort_by_key(|(k, _)| *k);
+        assert_eq!(all.len(), 300);
+        for (i, (k, v)) in all.iter().enumerate() {
+            assert_eq!(*k, i as u64);
+            assert_eq!(v, &k.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn io_is_counted() {
+        let mut h = table(256);
+        let s0 = h.io_stats().snapshot();
+        h.put(9, b"payload");
+        let s1 = h.io_stats().snapshot();
+        assert!(s1.since(&s0).total() > 0);
+        h.get(9);
+        let s2 = h.io_stats().snapshot();
+        assert!(s2.since(&s1).reads >= 1);
+    }
+
+    #[test]
+    fn empty_value_is_storable() {
+        let mut h = table(256);
+        h.put(5, b"");
+        assert_eq!(h.get(5).unwrap(), b"");
+        assert!(h.contains(5));
+    }
+
+    #[test]
+    fn huge_value_replacing_huge_value() {
+        let mut h = table(256);
+        h.put(3, &vec![1u8; 3000]);
+        h.put(3, &vec![2u8; 6000]);
+        assert_eq!(h.stats().overflow_values, 1);
+        assert_eq!(h.get(3).unwrap(), vec![2u8; 6000]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests: the extendible hash table must behave like a HashMap
+//! under arbitrary operation sequences, for multiple page sizes.
+
+use proptest::prelude::*;
+use pv_exthash::ExtHash;
+use pv_storage::MemPager;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, Vec<u8>),
+    Remove(u64),
+    Get(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..200, prop::collection::vec(any::<u8>(), 0..600))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => (0u64..200).prop_map(Op::Remove),
+        2 => (0u64..200).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn behaves_like_hashmap(
+        ops in prop::collection::vec(arb_op(), 1..200),
+        page_size in prop::sample::select(vec![256usize, 512, 1024]),
+    ) {
+        let mut h = ExtHash::new(MemPager::new(page_size));
+        let mut shadow: HashMap<u64, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    let existed = h.put(k, &v);
+                    prop_assert_eq!(existed, shadow.insert(k, v).is_some());
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(h.remove(k), shadow.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(h.get(k), shadow.get(&k).cloned());
+                }
+            }
+            prop_assert_eq!(h.len(), shadow.len());
+        }
+        h.check_invariants();
+        // final full comparison
+        let mut all = h.iter_all();
+        all.sort_by_key(|(k, _)| *k);
+        let mut want: Vec<(u64, Vec<u8>)> = shadow.into_iter().collect();
+        want.sort_by_key(|(k, _)| *k);
+        prop_assert_eq!(all, want);
+    }
+
+    #[test]
+    fn no_page_leaks_after_clearing(
+        keys in prop::collection::vec(0u64..500, 1..100),
+        val_len in 0usize..3000,
+    ) {
+        let pager = MemPager::new(512);
+        let mut h = ExtHash::new(pager.clone());
+        for &k in &keys {
+            h.put(k, &vec![7u8; val_len]);
+        }
+        let mut unique = keys.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for &k in &unique {
+            prop_assert!(h.remove(k));
+        }
+        prop_assert!(h.is_empty());
+        // Only bucket pages may remain live; no overflow chains.
+        prop_assert_eq!(h.stats().overflow_values, 0);
+        let live = pager.live_pages();
+        prop_assert!(live <= h.stats().buckets,
+            "live pages {} exceed bucket count {}", live, h.stats().buckets);
+    }
+}

@@ -1,0 +1,156 @@
+//! Minimum / maximum Euclidean distances between points and rectangles.
+//!
+//! These are the `distmin` / `distmax` functions of §III-A of the paper: for
+//! an uncertain object `o` with rectangular uncertainty region `u(o)` and a
+//! point `p`, `distmin(o,p)` (`distmax(o,p)`) is the smallest (largest)
+//! possible distance between any instance of `o` and `p`.
+
+use crate::{HyperRect, Point};
+
+/// Squares a value. Tiny helper used pervasively in distance code.
+#[inline(always)]
+pub fn sq(x: f64) -> f64 {
+    x * x
+}
+
+/// Squared minimum distance between rectangle `r` and point `p`
+/// (`0` when `p ∈ r`).
+#[inline]
+pub fn min_dist_sq(r: &HyperRect, p: &Point) -> f64 {
+    debug_assert_eq!(r.dim(), p.dim());
+    let (lo, hi) = (r.lo(), r.hi());
+    let mut acc = 0.0;
+    for j in 0..r.dim() {
+        let c = p[j];
+        if c < lo[j] {
+            acc += sq(lo[j] - c);
+        } else if c > hi[j] {
+            acc += sq(c - hi[j]);
+        }
+    }
+    acc
+}
+
+/// Squared maximum distance between rectangle `r` and point `p`
+/// (distance to the farthest corner).
+#[inline]
+pub fn max_dist_sq(r: &HyperRect, p: &Point) -> f64 {
+    debug_assert_eq!(r.dim(), p.dim());
+    let (lo, hi) = (r.lo(), r.hi());
+    let mut acc = 0.0;
+    for j in 0..r.dim() {
+        let c = p[j];
+        acc += sq((c - lo[j]).abs().max((hi[j] - c).abs()));
+    }
+    acc
+}
+
+/// `distmin(r, p)`.
+#[inline]
+pub fn min_dist(r: &HyperRect, p: &Point) -> f64 {
+    min_dist_sq(r, p).sqrt()
+}
+
+/// `distmax(r, p)`.
+#[inline]
+pub fn max_dist(r: &HyperRect, p: &Point) -> f64 {
+    max_dist_sq(r, p).sqrt()
+}
+
+/// Squared minimum distance between two rectangles (`0` when they intersect).
+#[inline]
+pub fn min_dist_sq_rr(a: &HyperRect, b: &HyperRect) -> f64 {
+    debug_assert_eq!(a.dim(), b.dim());
+    let mut acc = 0.0;
+    for j in 0..a.dim() {
+        let gap = (b.lo()[j] - a.hi()[j]).max(a.lo()[j] - b.hi()[j]);
+        if gap > 0.0 {
+            acc += sq(gap);
+        }
+    }
+    acc
+}
+
+/// Squared maximum distance between two rectangles: the largest distance
+/// between any point of `a` and any point of `b` (farthest corner pair;
+/// separable per dimension).
+#[inline]
+pub fn max_dist_sq_rr(a: &HyperRect, b: &HyperRect) -> f64 {
+    debug_assert_eq!(a.dim(), b.dim());
+    let mut acc = 0.0;
+    for j in 0..a.dim() {
+        let w = (b.hi()[j] - a.lo()[j]).abs().max((a.hi()[j] - b.lo()[j]).abs());
+        acc += sq(w);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: &[f64], hi: &[f64]) -> HyperRect {
+        HyperRect::new(lo.to_vec(), hi.to_vec())
+    }
+
+    #[test]
+    fn point_rect_distances() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        let inside = Point::new(vec![1.0, 1.0]);
+        let outside = Point::new(vec![5.0, 2.0]);
+        assert_eq!(min_dist_sq(&a, &inside), 0.0);
+        // farthest corner from (1,1) is any corner: dist^2 = 2
+        assert!((max_dist_sq(&a, &inside) - 2.0).abs() < 1e-12);
+        assert_eq!(min_dist_sq(&a, &outside), 9.0);
+        // farthest corner from (5,2) is (0,0): 25+4
+        assert_eq!(max_dist_sq(&a, &outside), 29.0);
+    }
+
+    #[test]
+    fn rect_rect_distances() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[3.0, 0.0], &[4.0, 1.0]);
+        assert_eq!(min_dist_sq_rr(&a, &b), 4.0);
+        // farthest pair: (0,0)..(4,1) or (0,1)..(4,0) -> 16+1
+        assert_eq!(max_dist_sq_rr(&a, &b), 17.0);
+        let c = r(&[0.5, 0.5], &[2.0, 2.0]);
+        assert_eq!(min_dist_sq_rr(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn degenerate_rect_is_point() {
+        let p = Point::new(vec![1.0, 2.0]);
+        let pr = HyperRect::from_point(&p);
+        let q = Point::new(vec![4.0, 6.0]);
+        assert_eq!(min_dist_sq(&pr, &q), 25.0);
+        assert_eq!(max_dist_sq(&pr, &q), 25.0);
+    }
+
+    #[test]
+    fn brute_force_agreement() {
+        // Compare analytic min/max dist against dense sampling of the rect.
+        let a = r(&[-1.0, 2.0, 0.0], &[3.0, 5.0, 0.5]);
+        let p = Point::new(vec![4.0, 0.0, -2.0]);
+        let mut bf_min = f64::INFINITY;
+        let mut bf_max: f64 = 0.0;
+        let steps = 12;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                for k in 0..=steps {
+                    let s = Point::new(vec![
+                        -1.0 + 4.0 * i as f64 / steps as f64,
+                        2.0 + 3.0 * j as f64 / steps as f64,
+                        0.5 * k as f64 / steps as f64,
+                    ]);
+                    let d = s.dist_sq(&p);
+                    bf_min = bf_min.min(d);
+                    bf_max = bf_max.max(d);
+                }
+            }
+        }
+        assert!(min_dist_sq(&a, &p) <= bf_min + 1e-9);
+        assert!(max_dist_sq(&a, &p) >= bf_max - 1e-9);
+        // corners are part of the sample grid, so max must agree exactly
+        assert!((max_dist_sq(&a, &p) - bf_max).abs() < 1e-9);
+    }
+}

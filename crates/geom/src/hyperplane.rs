@@ -1,0 +1,140 @@
+//! Bisector ("hyperplane `H_{a,b}`") utilities.
+//!
+//! Equation (1) of the paper defines, for two uncertain objects `a` and `b`,
+//! the surface `H_{a,b} = { p : distmax(a, p) = distmin(b, p) }`, which
+//! separates the dominated region `dom(a, b)` from `¬dom(a, b)`. Computing
+//! the surface explicitly is exactly what the paper avoids; this module only
+//! provides the *side* classification, which is cheap and exact, and is used
+//! by tests, the naive verifier and the examples.
+
+use crate::{max_dist_sq, min_dist_sq, HyperRect, Point};
+
+/// Which side of the bisector `H_{a,b}` a point lies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BisectorSide {
+    /// `distmax(a,p) < distmin(b,p)`: `p ∈ dom(a,b)` — `b` can never be the
+    /// NN of `p` while `a` exists.
+    Dominated,
+    /// `distmax(a,p) = distmin(b,p)` (within `eps`): `p` lies on `H_{a,b}`.
+    OnBoundary,
+    /// `distmax(a,p) > distmin(b,p)`: `p ∈ ¬dom(a,b)` — `b` may still be
+    /// closer to `p` than `a`.
+    NotDominated,
+}
+
+/// Classifies `p` against the bisector of `(a, b)`.
+///
+/// `eps` is an absolute tolerance on the *squared* distance difference used
+/// to report boundary hits; pass `0.0` for strict classification.
+pub fn bisector_side(a: &HyperRect, b: &HyperRect, p: &Point, eps: f64) -> BisectorSide {
+    let diff = max_dist_sq(a, p) - min_dist_sq(b, p);
+    if diff.abs() <= eps {
+        BisectorSide::OnBoundary
+    } else if diff < 0.0 {
+        BisectorSide::Dominated
+    } else {
+        BisectorSide::NotDominated
+    }
+}
+
+/// Finds (by bisection along the segment `p0 → p1`) a point approximately on
+/// `H_{a,b}`, assuming `p0 ∈ dom(a,b)` and `p1 ∉ dom(a,b)`.
+///
+/// Returns `None` when the endpoints do not straddle the boundary. Used by
+/// visualisation code and boundary tests.
+pub fn bisector_bisection(
+    a: &HyperRect,
+    b: &HyperRect,
+    p0: &Point,
+    p1: &Point,
+    iters: usize,
+) -> Option<Point> {
+    let side0 = bisector_side(a, b, p0, 0.0);
+    let side1 = bisector_side(a, b, p1, 0.0);
+    if side0 == side1 {
+        return None;
+    }
+    let (mut lo, mut hi) = match (side0, side1) {
+        (BisectorSide::Dominated, _) => (p0.clone(), p1.clone()),
+        (_, BisectorSide::Dominated) => (p1.clone(), p0.clone()),
+        _ => return Some(p0.clone()), // one endpoint already on the boundary
+    };
+    for _ in 0..iters {
+        let mid = lo.midpoint(&hi);
+        match bisector_side(a, b, &mid, 0.0) {
+            BisectorSide::Dominated => lo = mid,
+            BisectorSide::NotDominated => hi = mid,
+            BisectorSide::OnBoundary => return Some(mid),
+        }
+    }
+    Some(lo.midpoint(&hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: &[f64], hi: &[f64]) -> HyperRect {
+        HyperRect::new(lo.to_vec(), hi.to_vec())
+    }
+
+    #[test]
+    fn sides_for_point_objects() {
+        // Two point objects at 0 and 10 on a line: the bisector is x = 5.
+        let a = r(&[0.0], &[0.0]);
+        let b = r(&[10.0], &[10.0]);
+        assert_eq!(
+            bisector_side(&a, &b, &Point::new(vec![2.0]), 0.0),
+            BisectorSide::Dominated
+        );
+        assert_eq!(
+            bisector_side(&a, &b, &Point::new(vec![5.0]), 1e-12),
+            BisectorSide::OnBoundary
+        );
+        assert_eq!(
+            bisector_side(&a, &b, &Point::new(vec![8.0]), 0.0),
+            BisectorSide::NotDominated
+        );
+    }
+
+    #[test]
+    fn bisection_finds_boundary() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[8.0, 0.0], &[9.0, 1.0]);
+        let p0 = Point::new(vec![1.5, 0.5]); // near a: dominated
+        let p1 = Point::new(vec![7.5, 0.5]); // near b: not dominated
+        let hit = bisector_bisection(&a, &b, &p0, &p1, 60).unwrap();
+        assert_eq!(
+            bisector_side(&a, &b, &hit, 1e-6),
+            BisectorSide::OnBoundary,
+            "hit = {hit:?}"
+        );
+    }
+
+    #[test]
+    fn bisection_requires_straddle() {
+        let a = r(&[0.0], &[1.0]);
+        let b = r(&[10.0], &[11.0]);
+        let p0 = Point::new(vec![0.5]);
+        let p1 = Point::new(vec![1.0]);
+        assert!(bisector_bisection(&a, &b, &p0, &p1, 10).is_none());
+    }
+
+    #[test]
+    fn uncertainty_shifts_boundary_toward_a() {
+        // With a rectangular `a` (not a point) the bisector uses distmax from
+        // a's far corner, pulling the crossover toward `a`: here `a = [0,2]`,
+        // `b = {10}` in 1-D, so the balance point solves p − 0 = 10 − p,
+        // i.e. p = 5 — left of the centre midpoint 5.5.
+        let a = r(&[0.0], &[2.0]);
+        let b = r(&[10.0], &[10.0]);
+        let mut x = 0.0;
+        while x < 10.0 {
+            if bisector_side(&a, &b, &Point::new(vec![x]), 0.0) == BisectorSide::NotDominated {
+                break;
+            }
+            x += 0.01;
+        }
+        assert!((x - 5.0).abs() < 0.05, "crossover at {x}");
+    }
+}

@@ -1,0 +1,752 @@
+//! # pv-octree — the PV-index's primary index structure
+//!
+//! §VI-A of the paper describes the primary index: a multi-dimensional
+//! octree whose non-leaf nodes each point to `2^d` children covering equal
+//! fractions of the parent region, with child regions derived (never stored);
+//! leaf nodes store, for every object whose UBR overlaps the leaf region, the
+//! object id and its uncertainty region. Non-leaf nodes live in main memory;
+//! each leaf is a linked list of disk pages.
+//!
+//! This crate implements exactly that structure for arbitrary dimensionality
+//! (a quad-tree at `d = 2`, octree at `d = 3`, …):
+//!
+//! * child regions are derived from the parent on the fly — they are never
+//!   stored (as in the paper);
+//! * leaves are [`pv_storage::PageList`] chains on the simulated disk;
+//! * non-leaf nodes consume a **main-memory budget** `M`; once the budget is
+//!   exhausted, full leaves grow by chaining additional pages instead of
+//!   splitting (§VI-A construction step 3);
+//! * insertion requires a *UBR lookup* callback, because a leaf split must
+//!   re-route the resident objects by their UBRs, which live in the
+//!   secondary index (§VI-A step 3 re-inserts the UBRs of the objects that
+//!   the overflowing leaf contained).
+//!
+//! Leaf records are opaque byte strings whose first 8 bytes must be the
+//! object id; the rest is up to the caller (the PV-index stores the
+//! uncertainty region `u(o)` there).
+
+use pv_geom::{HyperRect, Point};
+use pv_storage::{codec, PageList, Pager};
+
+/// Per-node main-memory cost model (bytes) used against the budget `M`.
+///
+/// A non-leaf node stores `2^d` child pointers (8 bytes each) plus a small
+/// header; a leaf stores its head page id, entry count and header. This
+/// mirrors the paper's `⌈M/2^{d+2}⌉·(1+2^d)` node-count bound.
+fn internal_node_cost(dim: usize) -> usize {
+    16 + (1 << dim) * 8
+}
+fn leaf_node_cost() -> usize {
+    32
+}
+
+#[derive(Debug)]
+enum ONode {
+    /// Child arena indices, one per octant (always exactly `2^d`).
+    Internal(Vec<u32>),
+    Leaf { list: PageList, entries: u32 },
+}
+
+/// Aggregate shape / occupancy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OctreeStats {
+    /// Number of internal nodes (resident in main memory).
+    pub internal_nodes: usize,
+    /// Number of leaf nodes.
+    pub leaf_nodes: usize,
+    /// Total leaf records (an object appears once per overlapped leaf).
+    pub leaf_records: usize,
+    /// Main-memory bytes consumed by the node arena.
+    pub mem_used: usize,
+    /// Tree depth (root = 1).
+    pub depth: usize,
+}
+
+/// A `2^d`-ary space-partitioning tree with disk-resident leaves.
+pub struct Octree<P: Pager> {
+    pager: P,
+    domain: HyperRect,
+    dim: usize,
+    nodes: Vec<ONode>,
+    root: u32,
+    mem_budget: usize,
+    mem_used: usize,
+    /// Maximum records in a leaf before a split is attempted. Derived from
+    /// the page size and a representative record length at construction.
+    split_threshold: usize,
+}
+
+impl<P: Pager> Octree<P> {
+    /// Creates an empty tree over `domain` with a main-memory budget of
+    /// `mem_budget` bytes for nodes (the paper uses 5 MB).
+    ///
+    /// `record_len_hint` is the typical leaf record length in bytes; it
+    /// determines how many records fit a page and therefore when a leaf is
+    /// considered full.
+    pub fn new(pager: P, domain: HyperRect, mem_budget: usize, record_len_hint: usize) -> Self {
+        let dim = domain.dim();
+        let payload = pager.page_size() - 10; // PageList header
+        let per_record = record_len_hint + 2; // record length prefix
+        let split_threshold = (payload / per_record).max(2);
+        let mut tree = Self {
+            pager,
+            domain,
+            dim,
+            nodes: Vec::new(),
+            root: 0,
+            mem_budget,
+            mem_used: 0,
+            split_threshold,
+        };
+        tree.root = tree.alloc_leaf();
+        tree
+    }
+
+    fn alloc_leaf(&mut self) -> u32 {
+        self.mem_used += leaf_node_cost();
+        let id = self.nodes.len() as u32;
+        self.nodes.push(ONode::Leaf {
+            list: PageList::new(),
+            entries: 0,
+        });
+        id
+    }
+
+    /// Domain covered by the tree.
+    pub fn domain(&self) -> &HyperRect {
+        &self.domain
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Main-memory bytes currently used by nodes.
+    pub fn mem_used(&self) -> usize {
+        self.mem_used
+    }
+
+    /// True when the budget still allows converting a leaf into an internal
+    /// node with `2^d` fresh leaves.
+    fn can_split(&self) -> bool {
+        let extra = internal_node_cost(self.dim) - leaf_node_cost()
+            + (1 << self.dim) * leaf_node_cost();
+        self.mem_used + extra <= self.mem_budget
+    }
+
+    /// Inserts an object: `ubr` decides which leaves hold the record;
+    /// `record` is the leaf payload (first 8 bytes = object id);
+    /// `ubr_lookup` resolves object id → UBR during leaf splits.
+    pub fn insert(
+        &mut self,
+        ubr: &HyperRect,
+        record: &[u8],
+        ubr_lookup: &dyn Fn(u64) -> HyperRect,
+    ) {
+        debug_assert_eq!(ubr.dim(), self.dim);
+        debug_assert!(record.len() >= 8, "record must start with the object id");
+        self.insert_rec(self.root, self.domain.clone(), ubr, record, ubr_lookup, 0);
+    }
+
+    fn insert_rec(
+        &mut self,
+        node: u32,
+        region: HyperRect,
+        ubr: &HyperRect,
+        record: &[u8],
+        ubr_lookup: &dyn Fn(u64) -> HyperRect,
+        depth: usize,
+    ) {
+        match &self.nodes[node as usize] {
+            ONode::Internal(children) => {
+                let children = children.clone();
+                for (i, child_region) in region.octants().into_iter().enumerate() {
+                    if child_region.intersects(ubr) {
+                        self.insert_rec(
+                            children[i],
+                            child_region,
+                            ubr,
+                            record,
+                            ubr_lookup,
+                            depth + 1,
+                        );
+                    }
+                }
+            }
+            ONode::Leaf { .. } => {
+                self.leaf_insert(node, region, record, ubr_lookup, depth);
+            }
+        }
+    }
+
+    fn leaf_insert(
+        &mut self,
+        node: u32,
+        region: HyperRect,
+        record: &[u8],
+        ubr_lookup: &dyn Fn(u64) -> HyperRect,
+        depth: usize,
+    ) {
+        let entries = match &self.nodes[node as usize] {
+            ONode::Leaf { entries, .. } => *entries,
+            ONode::Internal(_) => unreachable!(),
+        };
+        // Paper step 2/3: if the leaf is full, either split (if main memory
+        // allows) or chain a page — `PageList::append` chains automatically,
+        // so the only decision made here is the split. The depth guard stops
+        // subdividing once cells approach float resolution.
+        let should_split =
+            entries as usize >= self.split_threshold && self.can_split() && depth < 40;
+        if !should_split {
+            match &mut self.nodes[node as usize] {
+                ONode::Leaf { list, entries } => {
+                    list.append(&self.pager, record);
+                    *entries += 1;
+                }
+                ONode::Internal(_) => unreachable!(),
+            }
+            return;
+        }
+        // Split: convert the leaf into an internal node with 2^d leaf
+        // children and re-route all resident records by their UBRs.
+        let old_records = match &mut self.nodes[node as usize] {
+            ONode::Leaf { list, .. } => {
+                let recs = list.read_all(&self.pager);
+                list.clear(&self.pager);
+                recs
+            }
+            ONode::Internal(_) => unreachable!(),
+        };
+        self.mem_used -= leaf_node_cost();
+        self.mem_used += internal_node_cost(self.dim);
+        let children: Vec<u32> = (0..(1 << self.dim)).map(|_| self.alloc_leaf()).collect();
+        self.nodes[node as usize] = ONode::Internal(children.clone());
+        let child_regions = region.octants();
+        for rec in old_records.iter().map(Vec::as_slice).chain([record]) {
+            let id = u64::from_le_bytes(rec[0..8].try_into().expect("record has id"));
+            let obj_ubr = ubr_lookup(id);
+            for (i, child_region) in child_regions.iter().enumerate() {
+                if child_region.intersects(&obj_ubr) {
+                    self.leaf_insert(children[i], child_region.clone(), rec, ubr_lookup, depth + 1);
+                }
+            }
+        }
+    }
+
+    /// Point query: descends to the single leaf containing `q` and returns
+    /// its records (the PV-index's Step-1 lookup). Page reads are charged to
+    /// the pager's statistics.
+    pub fn point_query(&self, q: &Point) -> Vec<Vec<u8>> {
+        debug_assert!(self.domain.contains_point(q), "query outside the domain");
+        let mut node = self.root;
+        let mut region = self.domain.clone();
+        loop {
+            match &self.nodes[node as usize] {
+                ONode::Internal(children) => {
+                    let oct = region.octant_of(q);
+                    node = children[oct];
+                    region = region.octants().swap_remove(oct);
+                }
+                ONode::Leaf { list, .. } => return list.read_all(&self.pager),
+            }
+        }
+    }
+
+    /// Range query: returns the distinct records of every leaf whose region
+    /// intersects `range`. Records are deduplicated by object id (an object
+    /// may be registered in several leaves).
+    pub fn range_query(&self, range: &HyperRect) -> Vec<Vec<u8>> {
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        self.range_rec(self.root, self.domain.clone(), range, &mut |rec| {
+            let id = u64::from_le_bytes(rec[0..8].try_into().expect("record has id"));
+            if seen.insert(id) {
+                out.push(rec.to_vec());
+            }
+        });
+        out
+    }
+
+    fn range_rec(
+        &self,
+        node: u32,
+        region: HyperRect,
+        range: &HyperRect,
+        sink: &mut dyn FnMut(&[u8]),
+    ) {
+        match &self.nodes[node as usize] {
+            ONode::Internal(children) => {
+                for (i, child_region) in region.octants().into_iter().enumerate() {
+                    if child_region.intersects(range) {
+                        self.range_rec(children[i], child_region, range, sink);
+                    }
+                }
+            }
+            ONode::Leaf { list, .. } => {
+                for rec in list.read_all(&self.pager) {
+                    sink(&rec);
+                }
+            }
+        }
+    }
+
+    /// Removes every record of `id` from leaves overlapping `ubr`.
+    /// Returns the number of leaf records removed.
+    pub fn remove(&mut self, ubr: &HyperRect, id: u64) -> usize {
+        self.remove_rec(self.root, self.domain.clone(), ubr, id)
+    }
+
+    fn remove_rec(&mut self, node: u32, region: HyperRect, ubr: &HyperRect, id: u64) -> usize {
+        match &self.nodes[node as usize] {
+            ONode::Internal(children) => {
+                let children = children.clone();
+                let mut removed = 0;
+                for (i, child_region) in region.octants().into_iter().enumerate() {
+                    if child_region.intersects(ubr) {
+                        removed += self.remove_rec(children[i], child_region, ubr, id);
+                    }
+                }
+                removed
+            }
+            ONode::Leaf { .. } => match &mut self.nodes[node as usize] {
+                ONode::Leaf { list, entries } => {
+                    let removed = list.retain(&self.pager, |rec| {
+                        u64::from_le_bytes(rec[0..8].try_into().expect("record has id")) != id
+                    });
+                    *entries -= removed as u32;
+                    removed
+                }
+                ONode::Internal(_) => unreachable!(),
+            },
+        }
+    }
+
+    /// Registers a record in exactly the leaves overlapping `new_ubr` but not
+    /// `old_ubr` (the `N' − N` set of the paper's incremental update). The
+    /// caller guarantees the record is already present in leaves overlapping
+    /// `old_ubr`.
+    pub fn insert_delta(
+        &mut self,
+        old_ubr: &HyperRect,
+        new_ubr: &HyperRect,
+        record: &[u8],
+        ubr_lookup: &dyn Fn(u64) -> HyperRect,
+    ) {
+        self.insert_delta_rec(
+            self.root,
+            self.domain.clone(),
+            old_ubr,
+            new_ubr,
+            record,
+            ubr_lookup,
+            0,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_delta_rec(
+        &mut self,
+        node: u32,
+        region: HyperRect,
+        old_ubr: &HyperRect,
+        new_ubr: &HyperRect,
+        record: &[u8],
+        ubr_lookup: &dyn Fn(u64) -> HyperRect,
+        depth: usize,
+    ) {
+        match &self.nodes[node as usize] {
+            ONode::Internal(children) => {
+                let children = children.clone();
+                for (i, child_region) in region.octants().into_iter().enumerate() {
+                    if child_region.intersects(new_ubr) {
+                        self.insert_delta_rec(
+                            children[i],
+                            child_region,
+                            old_ubr,
+                            new_ubr,
+                            record,
+                            ubr_lookup,
+                            depth + 1,
+                        );
+                    }
+                }
+            }
+            ONode::Leaf { .. } => {
+                // A leaf already containing the record (region ∩ old ≠ ∅)
+                // is skipped: N' − N.
+                if !region.intersects(old_ubr) {
+                    self.leaf_insert(node, region, record, ubr_lookup, depth);
+                }
+            }
+        }
+    }
+
+    /// Removes the record of `id` from leaves overlapping `old_ubr` but not
+    /// `new_ubr` (the `N − N'` set used when a PV-cell shrinks on insertion).
+    pub fn remove_delta(&mut self, old_ubr: &HyperRect, new_ubr: &HyperRect, id: u64) -> usize {
+        self.remove_delta_rec(self.root, self.domain.clone(), old_ubr, new_ubr, id)
+    }
+
+    fn remove_delta_rec(
+        &mut self,
+        node: u32,
+        region: HyperRect,
+        old_ubr: &HyperRect,
+        new_ubr: &HyperRect,
+        id: u64,
+    ) -> usize {
+        match &self.nodes[node as usize] {
+            ONode::Internal(children) => {
+                let children = children.clone();
+                let mut removed = 0;
+                for (i, child_region) in region.octants().into_iter().enumerate() {
+                    if child_region.intersects(old_ubr) {
+                        removed +=
+                            self.remove_delta_rec(children[i], child_region, old_ubr, new_ubr, id);
+                    }
+                }
+                removed
+            }
+            ONode::Leaf { .. } => {
+                if region.intersects(new_ubr) {
+                    return 0; // stays registered here
+                }
+                match &mut self.nodes[node as usize] {
+                    ONode::Leaf { list, entries } => {
+                        let removed = list.retain(&self.pager, |rec| {
+                            u64::from_le_bytes(rec[0..8].try_into().expect("record has id")) != id
+                        });
+                        *entries -= removed as u32;
+                        removed
+                    }
+                    ONode::Internal(_) => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Shape statistics (walks the arena; leaf record counts come from the
+    /// in-memory counters, so no I/O is charged).
+    pub fn stats(&self) -> OctreeStats {
+        let mut st = OctreeStats {
+            mem_used: self.mem_used,
+            ..Default::default()
+        };
+        self.stats_rec(self.root, 1, &mut st);
+        st
+    }
+
+    fn stats_rec(&self, node: u32, depth: usize, st: &mut OctreeStats) {
+        st.depth = st.depth.max(depth);
+        match &self.nodes[node as usize] {
+            ONode::Internal(children) => {
+                st.internal_nodes += 1;
+                for &c in children {
+                    self.stats_rec(c, depth + 1, st);
+                }
+            }
+            ONode::Leaf { entries, .. } => {
+                st.leaf_nodes += 1;
+                st.leaf_records += *entries as usize;
+            }
+        }
+    }
+
+    /// Access to the pager handle (for I/O statistics).
+    pub fn pager(&self) -> &P {
+        &self.pager
+    }
+}
+
+/// Helper for the standard leaf record format used by the PV-index:
+/// `id: u64 | rect(lo..hi): f64 × 2d`.
+pub fn encode_leaf_record(id: u64, rect: &HyperRect) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + rect.dim() * 16);
+    codec::put_u64(&mut out, id);
+    for &x in rect.lo() {
+        codec::put_f64(&mut out, x);
+    }
+    for &x in rect.hi() {
+        codec::put_f64(&mut out, x);
+    }
+    out
+}
+
+/// Decodes a record produced by [`encode_leaf_record`].
+pub fn decode_leaf_record(rec: &[u8], dim: usize) -> (u64, HyperRect) {
+    let mut r = codec::Reader::new(rec);
+    let id = r.u64();
+    let lo: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+    let hi: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+    (id, HyperRect::new(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_storage::MemPager;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn domain2d() -> HyperRect {
+        HyperRect::cube(2, 0.0, 100.0)
+    }
+
+    fn mk_tree(mem: usize) -> Octree<MemPager> {
+        Octree::new(MemPager::new(512), domain2d(), mem, 40)
+    }
+
+    /// Builds `n` random (id, ubr) pairs.
+    fn random_objects(n: usize, seed: u64) -> Vec<(u64, HyperRect)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let lo: Vec<f64> = (0..2).map(|_| rng.gen_range(0.0..90.0)).collect();
+                let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(0.5..10.0)).collect();
+                (i as u64, HyperRect::new(lo, hi))
+            })
+            .collect()
+    }
+
+    fn insert_all(tree: &mut Octree<MemPager>, objs: &[(u64, HyperRect)]) {
+        let lookup_src: std::collections::HashMap<u64, HyperRect> =
+            objs.iter().cloned().collect();
+        let lookup = move |id: u64| lookup_src[&id].clone();
+        for (id, ubr) in objs {
+            tree.insert(ubr, &encode_leaf_record(*id, ubr), &lookup);
+        }
+    }
+
+    #[test]
+    fn point_query_finds_overlapping_ubrs() {
+        let mut tree = mk_tree(1 << 20);
+        let objs = random_objects(300, 5);
+        insert_all(&mut tree, &objs);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..50 {
+            let q = Point::new(vec![rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
+            let got: std::collections::HashSet<u64> = tree
+                .point_query(&q)
+                .iter()
+                .map(|r| decode_leaf_record(r, 2).0)
+                .collect();
+            // every object whose UBR contains q must be present
+            for (id, ubr) in &objs {
+                if ubr.contains_point(&q) {
+                    assert!(got.contains(id), "object {id} missing at {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splits_happen_with_memory() {
+        let mut tree = mk_tree(1 << 20);
+        let objs = random_objects(500, 9);
+        insert_all(&mut tree, &objs);
+        let st = tree.stats();
+        assert!(st.internal_nodes > 0, "expected splits: {st:?}");
+        assert!(st.depth > 1);
+    }
+
+    #[test]
+    fn no_memory_means_chaining_not_splitting() {
+        // Budget so small that no leaf can ever split.
+        let mut tree = mk_tree(64);
+        let objs = random_objects(200, 11);
+        insert_all(&mut tree, &objs);
+        let st = tree.stats();
+        assert_eq!(st.internal_nodes, 0);
+        assert_eq!(st.leaf_nodes, 1);
+        // all records in one chained leaf
+        assert_eq!(st.leaf_records, 200);
+        let recs = tree.point_query(&Point::new(vec![50.0, 50.0]));
+        assert_eq!(recs.len(), 200, "single leaf holds everything");
+    }
+
+    #[test]
+    fn memory_budget_is_respected() {
+        let budget = 4096;
+        let mut tree = Octree::new(MemPager::new(512), domain2d(), budget, 40);
+        let objs = random_objects(2000, 13);
+        insert_all(&mut tree, &objs);
+        assert!(
+            tree.mem_used() <= budget,
+            "mem_used {} exceeds budget {budget}",
+            tree.mem_used()
+        );
+    }
+
+    #[test]
+    fn range_query_deduplicates() {
+        let mut tree = mk_tree(1 << 20);
+        // one big object spanning many leaves, plus enough small ones to
+        // force splits; a single lookup must cover them all because splits
+        // re-route every resident object.
+        let big = HyperRect::new(vec![10.0, 10.0], vec![80.0, 80.0]);
+        let mut objs = vec![(1u64, big.clone())];
+        objs.extend(
+            random_objects(400, 17)
+                .into_iter()
+                .map(|(id, r)| (id + 100, r)),
+        );
+        insert_all(&mut tree, &objs);
+        let hits = tree.range_query(&HyperRect::new(vec![0.0, 0.0], vec![100.0, 100.0]));
+        let ones = hits
+            .iter()
+            .filter(|r| decode_leaf_record(r, 2).0 == 1)
+            .count();
+        assert_eq!(ones, 1, "big object must be reported once");
+    }
+
+    #[test]
+    fn remove_erases_everywhere() {
+        let mut tree = mk_tree(1 << 20);
+        let objs = random_objects(300, 19);
+        insert_all(&mut tree, &objs);
+        let (id, ubr) = objs[42].clone();
+        let removed = tree.remove(&ubr, id);
+        assert!(removed >= 1);
+        let probe = ubr.center();
+        let got: Vec<u64> = tree
+            .point_query(&probe)
+            .iter()
+            .map(|r| decode_leaf_record(r, 2).0)
+            .collect();
+        assert!(!got.contains(&id));
+        // total records decreased by exactly `removed`
+        assert_eq!(tree.stats().leaf_records, {
+            let mut tree2 = mk_tree(1 << 20);
+            insert_all(&mut tree2, &objs);
+            tree2.stats().leaf_records - removed
+        });
+    }
+
+    #[test]
+    fn insert_delta_only_touches_new_leaves() {
+        let mut tree = mk_tree(1 << 20);
+        let objs = random_objects(400, 23);
+        insert_all(&mut tree, &objs);
+        let lookup_src: std::collections::HashMap<u64, HyperRect> =
+            objs.iter().cloned().collect();
+        let old = HyperRect::new(vec![10.0, 10.0], vec![20.0, 20.0]);
+        let new = HyperRect::new(vec![10.0, 10.0], vec![40.0, 40.0]);
+        let id = 9999u64;
+        let lookup = {
+            let old = old.clone();
+            move |i: u64| {
+                if i == id {
+                    old.clone()
+                } else {
+                    lookup_src[&i].clone()
+                }
+            }
+        };
+        tree.insert(&old, &encode_leaf_record(id, &old), &lookup);
+        let before = tree.stats().leaf_records;
+        tree.insert_delta(&old, &new, &encode_leaf_record(id, &old), &lookup);
+        let after = tree.stats().leaf_records;
+        assert!(after >= before, "delta insert never removes");
+        // object must now be found across the whole new UBR
+        let q = Point::new(vec![35.0, 35.0]);
+        let got: Vec<u64> = tree
+            .point_query(&q)
+            .iter()
+            .map(|r| decode_leaf_record(r, 2).0)
+            .collect();
+        assert!(got.contains(&id));
+    }
+
+    #[test]
+    fn remove_delta_keeps_surviving_leaves() {
+        let mut tree = mk_tree(1 << 20);
+        let objs = random_objects(400, 29);
+        insert_all(&mut tree, &objs);
+        let lookup_src: std::collections::HashMap<u64, HyperRect> =
+            objs.iter().cloned().collect();
+        let old = HyperRect::new(vec![10.0, 10.0], vec![60.0, 60.0]);
+        let new = HyperRect::new(vec![10.0, 10.0], vec![25.0, 25.0]);
+        let id = 8888u64;
+        let lookup = {
+            let old = old.clone();
+            move |i: u64| {
+                if i == id {
+                    old.clone()
+                } else {
+                    lookup_src[&i].clone()
+                }
+            }
+        };
+        tree.insert(&old, &encode_leaf_record(id, &old), &lookup);
+        tree.remove_delta(&old, &new, id);
+        // still present inside the new UBR…
+        let got: Vec<u64> = tree
+            .point_query(&Point::new(vec![15.0, 15.0]))
+            .iter()
+            .map(|r| decode_leaf_record(r, 2).0)
+            .collect();
+        assert!(got.contains(&id), "must remain in kept region");
+        // …gone far outside it
+        let got: Vec<u64> = tree
+            .point_query(&Point::new(vec![55.0, 55.0]))
+            .iter()
+            .map(|r| decode_leaf_record(r, 2).0)
+            .collect();
+        assert!(!got.contains(&id), "must be gone from dropped region");
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let r = HyperRect::new(vec![1.5, -2.0, 3.0], vec![4.0, 5.0, 6.5]);
+        let rec = encode_leaf_record(42, &r);
+        let (id, back) = decode_leaf_record(&rec, 3);
+        assert_eq!(id, 42);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn three_dimensional_tree() {
+        let pager = MemPager::new(512);
+        let mut tree = Octree::new(pager, HyperRect::cube(3, 0.0, 100.0), 1 << 20, 56);
+        let mut rng = StdRng::seed_from_u64(31);
+        let objs: Vec<(u64, HyperRect)> = (0..300)
+            .map(|i| {
+                let lo: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..90.0)).collect();
+                let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(0.5..8.0)).collect();
+                (i as u64, HyperRect::new(lo, hi))
+            })
+            .collect();
+        let lookup_src: std::collections::HashMap<u64, HyperRect> =
+            objs.iter().cloned().collect();
+        let lookup = move |id: u64| lookup_src[&id].clone();
+        for (id, ubr) in &objs {
+            tree.insert(ubr, &encode_leaf_record(*id, ubr), &lookup);
+        }
+        let q = Point::new(vec![45.0, 45.0, 45.0]);
+        let got: std::collections::HashSet<u64> = tree
+            .point_query(&q)
+            .iter()
+            .map(|r| decode_leaf_record(r, 3).0)
+            .collect();
+        for (id, ubr) in &objs {
+            if ubr.contains_point(&q) {
+                assert!(got.contains(id));
+            }
+        }
+        // 8 children per internal node in 3-D
+        assert!(tree.stats().internal_nodes > 0);
+    }
+
+    #[test]
+    fn io_charged_for_point_queries() {
+        let pager = MemPager::new(512);
+        let mut tree = Octree::new(pager.clone(), domain2d(), 1 << 20, 40);
+        let objs = random_objects(200, 37);
+        insert_all(&mut tree, &objs);
+        let s0 = pager.stats().snapshot();
+        let _ = tree.point_query(&Point::new(vec![50.0, 50.0]));
+        let s1 = pager.stats().snapshot();
+        assert!(s1.since(&s0).reads >= 1, "leaf pages must cost reads");
+        assert_eq!(s1.since(&s0).writes, 0, "queries must not write");
+    }
+}

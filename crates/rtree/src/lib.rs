@@ -1,0 +1,47 @@
+//! # pv-rtree — an R*-tree for multi-dimensional rectangles
+//!
+//! A from-scratch implementation of the R*-tree (Beckmann et al., SIGMOD
+//! 1990 — reference \[42\] of the PV-index paper), which the paper uses:
+//!
+//! * as the **baseline** for PNNQ Step 1 (branch-and-prune object retrieval,
+//!   \[8\]),
+//! * as the substrate for `chooseCSet`'s nearest-neighbor searches during
+//!   PV-index construction (both FS and IS run (incremental) NN queries), and
+//! * as the bootstrap index from which UV- and PV-indexes are built (§VII-A).
+//!
+//! Features: insertion with R\*-split and forced reinsertion, deletion with
+//! tree condensation, STR bulk loading, rectangle range queries, point
+//! stabbing queries, and best-first *distance browsing* (Hjaltason & Samet,
+//! TODS 1999 — reference \[39\]) exposed as a lazy iterator, which is exactly
+//! the "examine the nearest neighbor of o one at a time, using the algorithm
+//! in \[39\]" primitive required by the paper's Incremental Selection.
+//!
+//! The tree is an in-memory arena (nodes are `u32` indices into a `Vec`),
+//! but node visits are counted per level so experiments can charge leaf-node
+//! visits as disk I/O with the same accounting the paper uses (non-leaf
+//! nodes live in main memory, leaves on disk).
+
+//! ```
+//! use pv_rtree::{Entry, RTree, RTreeParams};
+//! use pv_geom::{HyperRect, Point};
+//!
+//! let entries: Vec<Entry> = (0..100)
+//!     .map(|i| Entry {
+//!         rect: HyperRect::new(vec![i as f64, 0.0], vec![i as f64 + 0.5, 1.0]),
+//!         id: i,
+//!     })
+//!     .collect();
+//! let tree = RTree::bulk_load(2, RTreeParams::with_fanout(16), entries);
+//! let nn = tree.knn(&Point::new(vec![42.3, 0.5]), 1);
+//! assert_eq!(nn[0].id, 42);
+//! ```
+
+mod node;
+mod query;
+mod split;
+
+pub use node::{Entry, RTree, RTreeParams, RTreeStats};
+pub use query::{Neighbor, NnIter};
+
+#[cfg(test)]
+mod tests;

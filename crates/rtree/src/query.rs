@@ -1,0 +1,138 @@
+//! Queries: range search, point stabbing, and best-first distance browsing.
+
+use crate::node::{NodeId, NodeKind, RTree};
+use pv_geom::{min_dist_sq, HyperRect, OrderedF64, Point};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An object produced by [`RTree::nn_iter`], in ascending order of the
+/// minimum distance between the query point and the entry rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// Minimum distance (not squared) from the query point to the rectangle.
+    pub dist: f64,
+    /// Entry rectangle.
+    pub rect: HyperRect,
+    /// Entry payload.
+    pub id: u64,
+}
+
+enum HeapItem {
+    Node(NodeId),
+    Entry(Neighbor),
+}
+
+/// Lazy best-first nearest-neighbor iterator (distance browsing, Hjaltason &
+/// Samet \[39\]). Node visits are charged to the tree's statistics as they
+/// happen, so partial consumption is billed fairly — exactly what the IS
+/// candidate-set selection of the paper relies on.
+pub struct NnIter<'a> {
+    tree: &'a RTree,
+    heap: BinaryHeap<(Reverse<OrderedF64>, usize)>,
+    items: Vec<HeapItem>,
+    query: Point,
+}
+
+impl<'a> Iterator for NnIter<'a> {
+    type Item = Neighbor;
+
+    fn next(&mut self) -> Option<Neighbor> {
+        while let Some((Reverse(OrderedF64(_d)), idx)) = self.heap.pop() {
+            match std::mem::replace(&mut self.items[idx], HeapItem::Node(u32::MAX)) {
+                HeapItem::Entry(n) => return Some(n),
+                HeapItem::Node(node_id) => {
+                    let node = &self.tree.nodes[node_id as usize];
+                    match &node.kind {
+                        NodeKind::Leaf(entries) => {
+                            self.tree
+                                .stats
+                                .leaf_visits
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            for e in entries {
+                                let d = min_dist_sq(&e.rect, &self.query).sqrt();
+                                let idx = self.items.len();
+                                self.items.push(HeapItem::Entry(Neighbor {
+                                    dist: d,
+                                    rect: e.rect.clone(),
+                                    id: e.id,
+                                }));
+                                self.heap.push((Reverse(OrderedF64(d)), idx));
+                            }
+                        }
+                        NodeKind::Internal(children) => {
+                            self.tree
+                                .stats
+                                .internal_visits
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            for c in children {
+                                let d = min_dist_sq(&c.rect, &self.query).sqrt();
+                                let idx = self.items.len();
+                                self.items.push(HeapItem::Node(c.node));
+                                self.heap.push((Reverse(OrderedF64(d)), idx));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl RTree {
+    /// All entries whose rectangles intersect `range`.
+    pub fn range_search(&self, range: &HyperRect) -> Vec<crate::Entry> {
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let node = self.node(n);
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    self.stats.leaf_visits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    out.extend(entries.iter().filter(|e| e.rect.intersects(range)).cloned());
+                }
+                NodeKind::Internal(children) => {
+                    self.stats
+                        .internal_visits
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    stack.extend(
+                        children
+                            .iter()
+                            .filter(|c| c.rect.intersects(range))
+                            .map(|c| c.node),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// All entries whose rectangles contain the point `p`.
+    pub fn stab(&self, p: &Point) -> Vec<crate::Entry> {
+        self.range_search(&HyperRect::from_point(p))
+    }
+
+    /// Best-first distance browsing from point `q`: yields entries in
+    /// ascending order of `distmin(rect, q)`, lazily.
+    pub fn nn_iter(&self, q: &Point) -> NnIter<'_> {
+        let mut it = NnIter {
+            tree: self,
+            heap: BinaryHeap::new(),
+            items: Vec::new(),
+            query: q.clone(),
+        };
+        if !self.is_empty() {
+            it.items.push(HeapItem::Node(self.root));
+            it.heap.push((Reverse(OrderedF64(0.0)), 0));
+        }
+        it
+    }
+
+    /// The `k` nearest entries to `q` by minimum rectangle distance.
+    pub fn knn(&self, q: &Point, k: usize) -> Vec<Neighbor> {
+        self.nn_iter(q).take(k).collect()
+    }
+}

@@ -1,0 +1,142 @@
+//! The R* topological split.
+//!
+//! Given an overflowing set of `M+1` items, the R* split (Beckmann et al.)
+//! chooses a split *axis* by minimising the total margin over all candidate
+//! distributions, then chooses the *distribution* along that axis minimising
+//! overlap (ties: combined area). The chosen tail is drained out of the input
+//! vector and returned for placement in the new sibling node.
+
+use crate::node::HasRect;
+use pv_geom::{HyperRect, OrderedF64};
+
+fn mbr_of<T: HasRect>(items: &[T]) -> HyperRect {
+    let mut it = items.iter();
+    let first = it.next().expect("non-empty").rect_ref().clone();
+    it.fold(first, |acc, x| acc.union(x.rect_ref()))
+}
+
+/// Performs the R* split in place: `items` keeps the first group, the second
+/// group is returned.
+pub(crate) fn rstar_split<T, F>(items: &mut Vec<T>, min_entries: usize, rect_of: F) -> Vec<T>
+where
+    T: HasRect + Clone,
+    F: Fn(&T) -> &HyperRect,
+{
+    let total = items.len();
+    debug_assert!(total > 2 * min_entries.saturating_sub(1));
+    let dim = rect_of(&items[0]).dim();
+    let k_max = total - 2 * min_entries + 1; // number of candidate distributions per sort
+
+    // 1. Choose the split axis: minimise the margin sum over both sortings
+    //    (by lower then by upper boundary) and all legal distributions.
+    let mut best_axis = 0usize;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..dim {
+        let mut margin_sum = 0.0;
+        for sort_by_upper in [false, true] {
+            sort_items(items, axis, sort_by_upper);
+            for k in 0..k_max {
+                let split_at = min_entries + k;
+                margin_sum += mbr_of(&items[..split_at]).margin()
+                    + mbr_of(&items[split_at..]).margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // 2. Along the best axis, choose the distribution with minimal overlap
+    //    (ties broken by total area), over both sortings.
+    let mut best: Option<(f64, f64, bool, usize)> = None;
+    for sort_by_upper in [false, true] {
+        sort_items(items, best_axis, sort_by_upper);
+        for k in 0..k_max {
+            let split_at = min_entries + k;
+            let a = mbr_of(&items[..split_at]);
+            let b = mbr_of(&items[split_at..]);
+            let overlap = a.overlap_volume(&b);
+            let area = a.volume() + b.volume();
+            let cand = (overlap, area, sort_by_upper, split_at);
+            let better = match &best {
+                None => true,
+                Some((bo, ba, _, _)) => {
+                    overlap < *bo || (overlap == *bo && area < *ba)
+                }
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+    }
+    let (_, _, sort_by_upper, split_at) = best.expect("at least one distribution");
+    sort_items(items, best_axis, sort_by_upper);
+    items.split_off(split_at)
+}
+
+fn sort_items<T: HasRect>(items: &mut [T], axis: usize, by_upper: bool) {
+    if by_upper {
+        items.sort_by_key(|it| {
+            let r = it.rect_ref();
+            (OrderedF64(r.hi()[axis]), OrderedF64(r.lo()[axis]))
+        });
+    } else {
+        items.sort_by_key(|it| {
+            let r = it.rect_ref();
+            (OrderedF64(r.lo()[axis]), OrderedF64(r.hi()[axis]))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Entry;
+
+    fn entry(lo: &[f64], hi: &[f64], id: u64) -> Entry {
+        Entry {
+            rect: HyperRect::new(lo.to_vec(), hi.to_vec()),
+            id,
+        }
+    }
+
+    #[test]
+    fn split_respects_min_entries() {
+        let mut items: Vec<Entry> = (0..11)
+            .map(|i| entry(&[i as f64, 0.0], &[i as f64 + 0.5, 1.0], i))
+            .collect();
+        let second = rstar_split(&mut items, 4, |e| &e.rect);
+        assert!(items.len() >= 4);
+        assert!(second.len() >= 4);
+        assert_eq!(items.len() + second.len(), 11);
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two well-separated clusters along x must be split apart.
+        let mut items: Vec<Entry> = Vec::new();
+        for i in 0..5 {
+            items.push(entry(&[i as f64 * 0.1, 0.0], &[i as f64 * 0.1 + 0.05, 1.0], i));
+        }
+        for i in 0..6 {
+            let x = 100.0 + i as f64 * 0.1;
+            items.push(entry(&[x, 0.0], &[x + 0.05, 1.0], 100 + i));
+        }
+        let second = rstar_split(&mut items, 4, |e| &e.rect);
+        let a = mbr_of(&items);
+        let b = mbr_of(&second);
+        assert_eq!(a.overlap_volume(&b), 0.0, "clusters should not overlap");
+    }
+
+    #[test]
+    fn split_ids_are_preserved() {
+        let mut items: Vec<Entry> = (0..9)
+            .map(|i| entry(&[(i % 3) as f64, (i / 3) as f64], &[(i % 3) as f64 + 0.9, (i / 3) as f64 + 0.9], i))
+            .collect();
+        let second = rstar_split(&mut items, 3, |e| &e.rect);
+        let mut ids: Vec<u64> = items.iter().chain(second.iter()).map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
+    }
+}

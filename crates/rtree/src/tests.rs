@@ -1,0 +1,248 @@
+//! Unit tests for the R*-tree.
+
+use crate::{Entry, RTree, RTreeParams};
+use pv_geom::{min_dist_sq, HyperRect, Point};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn rect(lo: &[f64], hi: &[f64]) -> HyperRect {
+    HyperRect::new(lo.to_vec(), hi.to_vec())
+}
+
+fn random_rects(n: usize, dim: usize, seed: u64) -> Vec<Entry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let lo: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1000.0)).collect();
+            let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(0.1..20.0)).collect();
+            Entry {
+                rect: HyperRect::new(lo, hi),
+                id: i as u64,
+            }
+        })
+        .collect()
+}
+
+/// Linear-scan range search used as ground truth.
+fn brute_range(entries: &[Entry], range: &HyperRect) -> Vec<u64> {
+    let mut ids: Vec<u64> = entries
+        .iter()
+        .filter(|e| e.rect.intersects(range))
+        .map(|e| e.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn empty_tree_behaviour() {
+    let tree = RTree::with_default_params(2);
+    assert!(tree.is_empty());
+    assert!(tree.mbr().is_none());
+    assert_eq!(tree.range_search(&rect(&[0.0, 0.0], &[10.0, 10.0])).len(), 0);
+    assert_eq!(tree.nn_iter(&Point::new(vec![0.0, 0.0])).count(), 0);
+}
+
+#[test]
+fn insert_and_range_small() {
+    let mut tree = RTree::new(2, RTreeParams::with_fanout(4));
+    let entries = random_rects(50, 2, 7);
+    for e in &entries {
+        tree.insert(e.rect.clone(), e.id);
+        tree.check_invariants();
+    }
+    assert_eq!(tree.len(), 50);
+    let range = rect(&[200.0, 200.0], &[600.0, 600.0]);
+    let mut got: Vec<u64> = tree.range_search(&range).iter().map(|e| e.id).collect();
+    got.sort_unstable();
+    assert_eq!(got, brute_range(&entries, &range));
+}
+
+#[test]
+fn insert_large_matches_bruteforce_many_ranges() {
+    let mut tree = RTree::new(3, RTreeParams::with_fanout(8));
+    let entries = random_rects(800, 3, 11);
+    for e in &entries {
+        tree.insert(e.rect.clone(), e.id);
+    }
+    tree.check_invariants();
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..25 {
+        let lo: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..900.0)).collect();
+        let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(10.0..300.0)).collect();
+        let range = HyperRect::new(lo, hi);
+        let mut got: Vec<u64> = tree.range_search(&range).iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_range(&entries, &range));
+    }
+}
+
+#[test]
+fn bulk_load_matches_bruteforce() {
+    let entries = random_rects(1000, 2, 13);
+    let tree = RTree::bulk_load(2, RTreeParams::with_fanout(16), entries.clone());
+    tree.check_invariants();
+    assert_eq!(tree.len(), 1000);
+    let range = rect(&[100.0, 100.0], &[400.0, 900.0]);
+    let mut got: Vec<u64> = tree.range_search(&range).iter().map(|e| e.id).collect();
+    got.sort_unstable();
+    assert_eq!(got, brute_range(&entries, &range));
+}
+
+#[test]
+fn bulk_load_is_packed() {
+    let entries = random_rects(1024, 2, 17);
+    let tree = RTree::bulk_load(2, RTreeParams::with_fanout(16), entries);
+    // ~1024/16 = 64 leaves; a packed tree of fanout 16 has height 3
+    assert!(tree.height() <= 3, "height {}", tree.height());
+}
+
+#[test]
+fn nn_iter_is_sorted_and_complete() {
+    let entries = random_rects(500, 2, 23);
+    let tree = RTree::bulk_load(2, RTreeParams::with_fanout(8), entries.clone());
+    let q = Point::new(vec![500.0, 500.0]);
+    let result: Vec<_> = tree.nn_iter(&q).collect();
+    assert_eq!(result.len(), 500);
+    for w in result.windows(2) {
+        assert!(w[0].dist <= w[1].dist + 1e-12);
+    }
+    // first neighbor matches brute force
+    let brute_best = entries
+        .iter()
+        .map(|e| min_dist_sq(&e.rect, &q).sqrt())
+        .fold(f64::INFINITY, f64::min);
+    assert!((result[0].dist - brute_best).abs() < 1e-9);
+}
+
+#[test]
+fn knn_prefix_of_full_browse() {
+    let entries = random_rects(300, 3, 29);
+    let tree = RTree::bulk_load(3, RTreeParams::with_fanout(8), entries);
+    let q = Point::new(vec![100.0, 800.0, 50.0]);
+    let k10 = tree.knn(&q, 10);
+    let full: Vec<_> = tree.nn_iter(&q).take(10).collect();
+    assert_eq!(k10.len(), 10);
+    for (a, b) in k10.iter().zip(full.iter()) {
+        assert_eq!(a.dist, b.dist);
+    }
+}
+
+#[test]
+fn lazy_browsing_visits_fewer_leaves() {
+    let entries = random_rects(2000, 2, 31);
+    let tree = RTree::bulk_load(2, RTreeParams::with_fanout(16), entries);
+    let q = Point::new(vec![500.0, 500.0]);
+    tree.stats.reset_visits();
+    let _ = tree.knn(&q, 5);
+    let partial = tree.stats.leaf_visits.load(std::sync::atomic::Ordering::Relaxed);
+    tree.stats.reset_visits();
+    let _: Vec<_> = tree.nn_iter(&q).collect();
+    let full = tree.stats.leaf_visits.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        partial < full / 4,
+        "5-NN visited {partial} leaves vs {full} for a full scan"
+    );
+}
+
+#[test]
+fn remove_entries_and_requery() {
+    let mut tree = RTree::new(2, RTreeParams::with_fanout(6));
+    let entries = random_rects(300, 2, 37);
+    for e in &entries {
+        tree.insert(e.rect.clone(), e.id);
+    }
+    // remove every third entry
+    let mut remaining = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        if i % 3 == 0 {
+            assert!(tree.remove(&e.rect, e.id), "entry {i} should be removable");
+        } else {
+            remaining.push(e.clone());
+        }
+    }
+    tree.check_invariants();
+    assert_eq!(tree.len(), remaining.len());
+    let range = rect(&[0.0, 0.0], &[1000.0, 1000.0]);
+    let mut got: Vec<u64> = tree.range_search(&range).iter().map(|e| e.id).collect();
+    got.sort_unstable();
+    assert_eq!(got, brute_range(&remaining, &range));
+}
+
+#[test]
+fn remove_missing_returns_false() {
+    let mut tree = RTree::with_default_params(2);
+    tree.insert(rect(&[0.0, 0.0], &[1.0, 1.0]), 1);
+    assert!(!tree.remove(&rect(&[5.0, 5.0], &[6.0, 6.0]), 1));
+    assert!(!tree.remove(&rect(&[0.0, 0.0], &[1.0, 1.0]), 2));
+    assert_eq!(tree.len(), 1);
+}
+
+#[test]
+fn remove_all_leaves_empty_tree() {
+    let mut tree = RTree::new(2, RTreeParams::with_fanout(4));
+    let entries = random_rects(100, 2, 41);
+    for e in &entries {
+        tree.insert(e.rect.clone(), e.id);
+    }
+    for e in &entries {
+        assert!(tree.remove(&e.rect, e.id));
+    }
+    assert!(tree.is_empty());
+    tree.check_invariants();
+    // tree remains usable
+    tree.insert(rect(&[1.0, 1.0], &[2.0, 2.0]), 777);
+    assert_eq!(tree.len(), 1);
+}
+
+#[test]
+fn duplicate_rects_distinct_ids() {
+    let mut tree = RTree::new(2, RTreeParams::with_fanout(4));
+    let r = rect(&[10.0, 10.0], &[20.0, 20.0]);
+    for id in 0..20 {
+        tree.insert(r.clone(), id);
+    }
+    assert_eq!(tree.len(), 20);
+    assert_eq!(tree.stab(&Point::new(vec![15.0, 15.0])).len(), 20);
+    assert!(tree.remove(&r, 7));
+    assert_eq!(tree.len(), 19);
+    let ids: Vec<u64> = tree
+        .stab(&Point::new(vec![15.0, 15.0]))
+        .iter()
+        .map(|e| e.id)
+        .collect();
+    assert!(!ids.contains(&7));
+}
+
+#[test]
+fn stab_query() {
+    let mut tree = RTree::with_default_params(2);
+    tree.insert(rect(&[0.0, 0.0], &[10.0, 10.0]), 1);
+    tree.insert(rect(&[5.0, 5.0], &[15.0, 15.0]), 2);
+    tree.insert(rect(&[20.0, 20.0], &[30.0, 30.0]), 3);
+    let hits: Vec<u64> = tree
+        .stab(&Point::new(vec![7.0, 7.0]))
+        .iter()
+        .map(|e| e.id)
+        .collect();
+    assert_eq!(hits.len(), 2);
+    assert!(hits.contains(&1) && hits.contains(&2));
+}
+
+#[test]
+fn high_dimensional_round_trip() {
+    // d = 5, the paper's maximum.
+    let entries = random_rects(400, 5, 43);
+    let mut tree = RTree::new(5, RTreeParams::with_fanout(10));
+    for e in &entries {
+        tree.insert(e.rect.clone(), e.id);
+    }
+    tree.check_invariants();
+    let q = Point::new(vec![500.0; 5]);
+    let nn: Vec<_> = tree.nn_iter(&q).take(3).collect();
+    assert_eq!(nn.len(), 3);
+    let brute_best = entries
+        .iter()
+        .map(|e| min_dist_sq(&e.rect, &q).sqrt())
+        .fold(f64::INFINITY, f64::min);
+    assert!((nn[0].dist - brute_best).abs() < 1e-9);
+}

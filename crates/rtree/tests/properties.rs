@@ -1,0 +1,110 @@
+//! Property-based tests: the R*-tree must agree with a linear scan under
+//! arbitrary interleavings of inserts, deletes and queries.
+
+use proptest::prelude::*;
+use pv_geom::{min_dist_sq, HyperRect, Point};
+use pv_rtree::{Entry, RTree, RTreeParams};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { lo: (f64, f64), ext: (f64, f64) },
+    RemoveNth(usize),
+    Range { lo: (f64, f64), ext: (f64, f64) },
+    Knn { q: (f64, f64), k: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => ((0.0f64..500.0, 0.0f64..500.0), (0.1f64..50.0, 0.1f64..50.0))
+            .prop_map(|(lo, ext)| Op::Insert { lo, ext }),
+        1 => (0usize..64).prop_map(Op::RemoveNth),
+        2 => ((0.0f64..500.0, 0.0f64..500.0), (1.0f64..200.0, 1.0f64..200.0))
+            .prop_map(|(lo, ext)| Op::Range { lo, ext }),
+        2 => ((0.0f64..500.0, 0.0f64..500.0), 1usize..10)
+            .prop_map(|(q, k)| Op::Knn { q, k }),
+    ]
+}
+
+fn rect(lo: (f64, f64), ext: (f64, f64)) -> HyperRect {
+    HyperRect::new(vec![lo.0, lo.1], vec![lo.0 + ext.0, lo.1 + ext.1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_linear_scan(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut tree = RTree::new(2, RTreeParams::with_fanout(5));
+        let mut shadow: Vec<Entry> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert { lo, ext } => {
+                    let r = rect(lo, ext);
+                    tree.insert(r.clone(), next_id);
+                    shadow.push(Entry { rect: r, id: next_id });
+                    next_id += 1;
+                }
+                Op::RemoveNth(n) => {
+                    if !shadow.is_empty() {
+                        let victim = shadow.remove(n % shadow.len());
+                        prop_assert!(tree.remove(&victim.rect, victim.id));
+                    }
+                }
+                Op::Range { lo, ext } => {
+                    let r = rect(lo, ext);
+                    let mut got: Vec<u64> =
+                        tree.range_search(&r).iter().map(|e| e.id).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = shadow
+                        .iter()
+                        .filter(|e| e.rect.intersects(&r))
+                        .map(|e| e.id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Knn { q, k } => {
+                    let qp = Point::new(vec![q.0, q.1]);
+                    let got = tree.knn(&qp, k);
+                    // compare the distance sequence with brute force
+                    let mut want: Vec<f64> = shadow
+                        .iter()
+                        .map(|e| min_dist_sq(&e.rect, &qp).sqrt())
+                        .collect();
+                    want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    for (g, w) in got.iter().zip(want.iter()) {
+                        prop_assert!((g.dist - w).abs() < 1e-9,
+                            "knn dist {} vs brute {}", g.dist, w);
+                    }
+                    prop_assert_eq!(got.len(), k.min(shadow.len()));
+                }
+            }
+            tree.check_invariants();
+            prop_assert_eq!(tree.len(), shadow.len());
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(seeds in prop::collection::vec(
+        ((0.0f64..500.0, 0.0f64..500.0), (0.1f64..30.0, 0.1f64..30.0)), 1..150))
+    {
+        let entries: Vec<Entry> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, ext))| Entry { rect: rect(*lo, *ext), id: i as u64 })
+            .collect();
+        let bulk = RTree::bulk_load(2, RTreeParams::with_fanout(6), entries.clone());
+        bulk.check_invariants();
+        let mut incr = RTree::new(2, RTreeParams::with_fanout(6));
+        for e in &entries {
+            incr.insert(e.rect.clone(), e.id);
+        }
+        let probe = HyperRect::new(vec![100.0, 100.0], vec![400.0, 400.0]);
+        let mut a: Vec<u64> = bulk.range_search(&probe).iter().map(|e| e.id).collect();
+        let mut b: Vec<u64> = incr.range_search(&probe).iter().map(|e| e.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

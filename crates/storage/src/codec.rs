@@ -1,0 +1,145 @@
+//! Little-endian record encoding helpers.
+//!
+//! All on-page records in the workspace (octree leaf entries, hash-table
+//! values, secondary-index payloads) are encoded with these helpers so that
+//! page space accounting is exact and platform-independent.
+
+use bytes::{Buf, BufMut};
+
+/// Serialises a `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.put_u64_le(v);
+}
+
+/// Serialises a `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.put_u32_le(v);
+}
+
+/// Serialises a `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.put_u16_le(v);
+}
+
+/// Serialises an `f64`.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.put_f64_le(v);
+}
+
+/// Serialises a length-prefixed byte string (u32 length).
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+/// Serialises a slice of f64 with a u16 length prefix.
+pub fn put_f64_slice(out: &mut Vec<u8>, v: &[f64]) {
+    put_u16(out, v.len() as u16);
+    for &x in v {
+        put_f64(out, x);
+    }
+}
+
+/// Cursor-style decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.buf.get_u64_le()
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.buf.get_u32_le()
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.buf.get_u16_le()
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> f64 {
+        self.buf.get_f64_le()
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Vec<u8> {
+        let n = self.u32() as usize;
+        let (head, rest) = self.buf.split_at(n);
+        let out = head.to_vec();
+        self.buf = rest;
+        out
+    }
+
+    /// Reads a u16-length-prefixed f64 slice.
+    pub fn f64_slice(&mut self) -> Vec<f64> {
+        let n = self.u16() as usize;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Takes exactly `n` raw bytes.
+    ///
+    /// # Panics
+    /// If fewer than `n` bytes remain (check [`Reader::remaining`] first
+    /// when parsing untrusted input).
+    pub fn take(&mut self, n: usize) -> Vec<u8> {
+        let (head, rest) = self.buf.split_at(n);
+        let out = head.to_vec();
+        self.buf = rest;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 0xDEAD_BEEF_CAFE_F00D);
+        put_u32(&mut out, 77);
+        put_u16(&mut out, 513);
+        put_f64(&mut out, -1234.5);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u64(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(r.u32(), 77);
+        assert_eq!(r.u16(), 513);
+        assert_eq!(r.f64(), -1234.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_composites() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"hello pages");
+        put_f64_slice(&mut out, &[1.0, 2.5, -3.0]);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.bytes(), b"hello pages");
+        assert_eq!(r.f64_slice(), vec![1.0, 2.5, -3.0]);
+    }
+
+    #[test]
+    fn empty_composites() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"");
+        put_f64_slice(&mut out, &[]);
+        let mut r = Reader::new(&out);
+        assert!(r.bytes().is_empty());
+        assert!(r.f64_slice().is_empty());
+    }
+}

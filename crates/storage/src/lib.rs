@@ -1,0 +1,30 @@
+//! # pv-storage — a simulated paged disk with honest I/O accounting
+//!
+//! The ICDE 2013 PV-index paper measures its indexes on a machine with 4 KiB
+//! disk pages and a 5 MB main-memory budget for non-leaf index nodes
+//! (§VII-A). Figures 9(c) and 9(g) report *I/O* directly. To reproduce those
+//! experiments on a modern laptop we model the disk explicitly instead of
+//! relying on a real device:
+//!
+//! * [`MemPager`] is an in-memory array of fixed-size pages with read / write
+//!   / allocation counters ([`IoStats`]) and an optional per-access latency
+//!   model ([`LatencyModel`]) for wall-clock realism experiments;
+//! * [`PageList`] implements the paper's leaf-node layout: a linked list of
+//!   pages holding variable-size records, with new pages attached at the
+//!   *head* of the list (§VI-A, construction step 3);
+//! * [`BufferPool`] is an optional LRU read cache used in ablation studies;
+//! * [`codec`] provides the little-endian record encoding shared by the
+//!   octree leaves and the extendible hash table.
+//!
+//! Every index structure in the workspace performs its "disk" accesses
+//! through this crate, so a unit of I/O means the same thing for the R-tree
+//! baseline, the PV-index and the UV-index.
+
+pub mod buffer;
+pub mod codec;
+pub mod pagelist;
+pub mod pager;
+
+pub use buffer::BufferPool;
+pub use pagelist::{PageList, PageListStats};
+pub use pager::{IoStats, LatencyModel, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};

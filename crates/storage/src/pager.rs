@@ -1,0 +1,339 @@
+//! The pager: fixed-size pages on a simulated disk.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default page size, matching the paper's 4 KiB disk pages (§VII-A).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Identifier of a disk page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel used on disk to encode "no page" (e.g. end of a page list).
+    pub const NULL: PageId = PageId(u64::MAX);
+
+    /// True if this is the [`PageId::NULL`] sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+}
+
+/// Monotonic counters describing traffic to the simulated disk.
+///
+/// All counters are atomic so that read-only query workloads can run from
+/// multiple threads; snapshots are taken with [`IoStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Pages read from the simulated disk.
+    pub reads: AtomicU64,
+    /// Pages written to the simulated disk.
+    pub writes: AtomicU64,
+    /// Pages allocated.
+    pub allocs: AtomicU64,
+    /// Pages freed.
+    pub frees: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`], supporting deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub reads: u64,
+    pub writes: u64,
+    pub allocs: u64,
+    pub frees: u64,
+}
+
+impl IoSnapshot {
+    /// Component-wise difference (`self - earlier`).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            allocs: self.allocs - earlier.allocs,
+            frees: self.frees - earlier.frees,
+        }
+    }
+
+    /// Total page accesses (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl IoStats {
+    /// Takes a consistent-enough snapshot for benchmarking purposes.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Optional synthetic latency charged per page access, to let wall-clock
+/// benchmarks reflect a disk-bound regime like the paper's 2013 testbed.
+///
+/// With [`LatencyModel::None`] (the default) accesses cost only the in-memory
+/// copy; experiments then report I/O *counts*, which is what Figs. 9(c)/9(g)
+/// plot anyway.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// No artificial latency.
+    #[default]
+    None,
+    /// Spin for roughly this many nanoseconds per page access.
+    PerAccessNanos(u64),
+}
+
+impl LatencyModel {
+    #[inline]
+    fn charge(&self) {
+        if let LatencyModel::PerAccessNanos(ns) = *self {
+            let start = std::time::Instant::now();
+            while (std::time::Instant::now() - start).as_nanos() < ns as u128 {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Abstract page store. [`MemPager`] is the only production implementation;
+/// the trait exists so tests can interpose failure-injection wrappers.
+pub trait Pager {
+    /// Page size in bytes; every page has exactly this size.
+    fn page_size(&self) -> usize;
+    /// Allocates a zeroed page.
+    fn alloc(&self) -> PageId;
+    /// Reads a full page into a fresh buffer.
+    fn read(&self, id: PageId) -> Vec<u8>;
+    /// Overwrites a full page. `data.len()` must equal `page_size()`.
+    fn write(&self, id: PageId, data: &[u8]);
+    /// Releases a page for reuse.
+    fn free(&self, id: PageId);
+    /// Shared I/O statistics.
+    fn stats(&self) -> &IoStats;
+}
+
+/// An in-memory simulated disk.
+///
+/// Cloning a `MemPager` is cheap and yields a handle to the *same* disk
+/// (pages and counters are shared), which lets multiple index structures
+/// (octree + hash table) live on one "device" as in the paper's setup.
+#[derive(Clone)]
+pub struct MemPager {
+    inner: Arc<PagerInner>,
+}
+
+struct PagerInner {
+    page_size: usize,
+    latency: LatencyModel,
+    stats: IoStats,
+    state: Mutex<PagerState>,
+}
+
+#[derive(Default)]
+struct PagerState {
+    pages: Vec<Option<Box<[u8]>>>,
+    free_list: Vec<PageId>,
+}
+
+impl MemPager {
+    /// Creates a pager with the given page size and no latency model.
+    pub fn new(page_size: usize) -> Self {
+        Self::with_latency(page_size, LatencyModel::None)
+    }
+
+    /// Creates a pager with the default 4 KiB pages.
+    pub fn default_pager() -> Self {
+        Self::new(DEFAULT_PAGE_SIZE)
+    }
+
+    /// Creates a pager with an explicit latency model.
+    pub fn with_latency(page_size: usize, latency: LatencyModel) -> Self {
+        assert!(page_size >= 64, "page size unreasonably small");
+        Self {
+            inner: Arc::new(PagerInner {
+                page_size,
+                latency,
+                stats: IoStats::default(),
+                state: Mutex::new(PagerState::default()),
+            }),
+        }
+    }
+
+    /// Number of live (allocated, not freed) pages.
+    pub fn live_pages(&self) -> usize {
+        let st = self.inner.state.lock();
+        st.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Total bytes currently occupied on the simulated disk.
+    pub fn disk_bytes(&self) -> usize {
+        self.live_pages() * self.inner.page_size
+    }
+}
+
+impl Pager for MemPager {
+    fn page_size(&self) -> usize {
+        self.inner.page_size
+    }
+
+    fn alloc(&self) -> PageId {
+        self.inner.stats.allocs.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        if let Some(id) = st.free_list.pop() {
+            st.pages[id.0 as usize] = Some(vec![0u8; self.inner.page_size].into_boxed_slice());
+            return id;
+        }
+        let id = PageId(st.pages.len() as u64);
+        st.pages
+            .push(Some(vec![0u8; self.inner.page_size].into_boxed_slice()));
+        id
+    }
+
+    fn read(&self, id: PageId) -> Vec<u8> {
+        self.inner.latency.charge();
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let st = self.inner.state.lock();
+        st.pages
+            .get(id.0 as usize)
+            .and_then(|p| p.as_ref())
+            .unwrap_or_else(|| panic!("read of unallocated page {id:?}"))
+            .to_vec()
+    }
+
+    fn write(&self, id: PageId, data: &[u8]) {
+        assert_eq!(data.len(), self.inner.page_size, "partial page write");
+        self.inner.latency.charge();
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        let slot = st
+            .pages
+            .get_mut(id.0 as usize)
+            .unwrap_or_else(|| panic!("write of unallocated page {id:?}"));
+        match slot {
+            Some(p) => p.copy_from_slice(data),
+            None => panic!("write of freed page {id:?}"),
+        }
+    }
+
+    fn free(&self, id: PageId) {
+        self.inner.stats.frees.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        let slot = st
+            .pages
+            .get_mut(id.0 as usize)
+            .unwrap_or_else(|| panic!("free of unallocated page {id:?}"));
+        assert!(slot.is_some(), "double free of page {id:?}");
+        *slot = None;
+        st.free_list.push(id);
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.inner.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let pager = MemPager::new(128);
+        let id = pager.alloc();
+        let mut buf = vec![0u8; 128];
+        buf[0] = 0xAB;
+        buf[127] = 0xCD;
+        pager.write(id, &buf);
+        assert_eq!(pager.read(id), buf);
+        let snap = pager.stats().snapshot();
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.allocs, 1);
+    }
+
+    #[test]
+    fn freed_pages_are_reused() {
+        let pager = MemPager::new(128);
+        let a = pager.alloc();
+        pager.free(a);
+        let b = pager.alloc();
+        assert_eq!(a, b, "free list should recycle the page id");
+        assert_eq!(pager.live_pages(), 1);
+    }
+
+    #[test]
+    fn fresh_pages_are_zeroed_even_after_reuse() {
+        let pager = MemPager::new(128);
+        let a = pager.alloc();
+        pager.write(a, &[0xFFu8; 128]);
+        pager.free(a);
+        let b = pager.alloc();
+        assert!(pager.read(b).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let pager = MemPager::new(128);
+        let a = pager.alloc();
+        pager.free(a);
+        pager.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "partial page write")]
+    fn short_write_panics() {
+        let pager = MemPager::new(128);
+        let a = pager.alloc();
+        pager.write(a, &[0u8; 64]);
+    }
+
+    #[test]
+    fn clones_share_the_disk() {
+        let pager = MemPager::new(128);
+        let other = pager.clone();
+        let id = pager.alloc();
+        let mut buf = vec![0u8; 128];
+        buf[5] = 42;
+        other.write(id, &buf);
+        assert_eq!(pager.read(id)[5], 42);
+        assert_eq!(pager.stats().snapshot().writes, 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let pager = MemPager::new(128);
+        let id = pager.alloc();
+        pager.write(id, &[0u8; 128]);
+        let s0 = pager.stats().snapshot();
+        pager.read(id);
+        pager.read(id);
+        let s1 = pager.stats().snapshot();
+        let d = s1.since(&s0);
+        assert_eq!(d.reads, 2);
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn null_page_id() {
+        assert!(PageId::NULL.is_null());
+        assert!(!PageId(0).is_null());
+    }
+}

@@ -1,0 +1,416 @@
+//! # pv-uncertain — the attribute-uncertainty object model
+//!
+//! The paper adopts the *attribute uncertainty model* (§I): each object's
+//! d-dimensional attribute vector is a random variable whose support is
+//! minimally bounded by an axis-parallel **uncertainty region** `u(o)`, and
+//! whose pdf is discretised into `n` weighted point *instances* (500 in the
+//! paper's experiments, each carrying probability `1/n`).
+//!
+//! [`UncertainObject`] couples the region with a [`Pdf`] descriptor. To keep
+//! 10⁷-instance datasets (the paper's scale) affordable in memory, the
+//! uniform and Gaussian pdfs are stored as *(kind, seed, n)* and their
+//! instances are re-materialised deterministically on demand; an
+//! [`Pdf::Explicit`] variant stores literal samples for callers that need
+//! full control. Serialisation helpers encode objects for the PV-index's
+//! disk-resident secondary index.
+
+pub mod persist;
+
+use pv_geom::{HyperRect, Point};
+use pv_storage::codec;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Probability density descriptor for an uncertain object.
+///
+/// All variants discretise to `n` instances of weight `1/n` (the discrete
+/// model of the paper's references \[13\], \[14\]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pdf {
+    /// `n` samples drawn uniformly from the uncertainty region.
+    Uniform {
+        /// Number of instances.
+        n: u32,
+        /// Deterministic sampling seed.
+        seed: u64,
+    },
+    /// `n` samples from an isotropic Gaussian centred in the region
+    /// (σ in domain units), clipped by rejection to the region — the model
+    /// used for the paper's GPS-derived `airports` dataset.
+    Gaussian {
+        /// Standard deviation in each dimension.
+        sigma: f64,
+        /// Number of instances.
+        n: u32,
+        /// Deterministic sampling seed.
+        seed: u64,
+    },
+    /// Explicit instance list (uniform weights).
+    Explicit(Arc<Vec<Point>>),
+}
+
+impl Pdf {
+    /// Number of instances this pdf discretises to.
+    pub fn n_samples(&self) -> usize {
+        match self {
+            Pdf::Uniform { n, .. } | Pdf::Gaussian { n, .. } => *n as usize,
+            Pdf::Explicit(v) => v.len(),
+        }
+    }
+
+    /// Materialises the instance list for a given uncertainty region.
+    ///
+    /// Deterministic: the same `(pdf, region)` pair always yields the same
+    /// samples, which is what makes lazily materialised pdfs sound for both
+    /// probability computation and testing.
+    pub fn samples(&self, region: &HyperRect) -> Vec<Point> {
+        match self {
+            Pdf::Uniform { n, seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let d = region.dim();
+                (0..*n)
+                    .map(|_| {
+                        Point::new(
+                            (0..d)
+                                .map(|j| {
+                                    if region.extent(j) > 0.0 {
+                                        rng.gen_range(region.lo()[j]..=region.hi()[j])
+                                    } else {
+                                        region.lo()[j]
+                                    }
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            }
+            Pdf::Gaussian { sigma, n, seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let d = region.dim();
+                let c = region.center();
+                (0..*n)
+                    .map(|_| {
+                        // Rejection-sample a clipped Gaussian; fall back to
+                        // clamping after a bounded number of tries so the
+                        // generator cannot stall on tiny regions.
+                        for _ in 0..64 {
+                            let cand = Point::new(
+                                (0..d).map(|j| c[j] + sigma * gauss(&mut rng)).collect(),
+                            );
+                            if region.contains_point(&cand) {
+                                return cand;
+                            }
+                        }
+                        let clamped: Vec<f64> = (0..d)
+                            .map(|j| {
+                                (c[j] + sigma * gauss(&mut rng))
+                                    .clamp(region.lo()[j], region.hi()[j])
+                            })
+                            .collect();
+                        Point::new(clamped)
+                    })
+                    .collect()
+            }
+            Pdf::Explicit(v) => v.as_ref().clone(),
+        }
+    }
+}
+
+/// One standard-normal variate via Box–Muller (keeps us inside the approved
+/// dependency set — `rand_distr` is not vendored).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// An uncertain object: identity, rectangular uncertainty region and pdf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainObject {
+    /// Database-unique identifier.
+    pub id: u64,
+    /// Uncertainty region `u(o)` minimally bounding all attribute values.
+    pub region: HyperRect,
+    /// Discretised pdf over the region.
+    pub pdf: Pdf,
+}
+
+impl UncertainObject {
+    /// Convenience constructor with a uniform pdf whose seed derives from
+    /// the object id (deterministic per object).
+    pub fn uniform(id: u64, region: HyperRect, n_samples: u32) -> Self {
+        Self {
+            id,
+            region,
+            pdf: Pdf::Uniform {
+                n: n_samples,
+                seed: id.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(1),
+            },
+        }
+    }
+
+    /// Materialised instances.
+    pub fn samples(&self) -> Vec<Point> {
+        self.pdf.samples(&self.region)
+    }
+
+    /// Mean position (centre of the uncertainty region) — what FS/IS use as
+    /// the object's "mean position" for NN ordering.
+    pub fn mean(&self) -> Point {
+        self.region.center()
+    }
+
+    /// Serialises `(id, region, pdf)` for the secondary index.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_u64(&mut out, self.id);
+        codec::put_u16(&mut out, self.region.dim() as u16);
+        for &x in self.region.lo() {
+            codec::put_f64(&mut out, x);
+        }
+        for &x in self.region.hi() {
+            codec::put_f64(&mut out, x);
+        }
+        match &self.pdf {
+            Pdf::Uniform { n, seed } => {
+                codec::put_u16(&mut out, 0);
+                codec::put_u32(&mut out, *n);
+                codec::put_u64(&mut out, *seed);
+            }
+            Pdf::Gaussian { sigma, n, seed } => {
+                codec::put_u16(&mut out, 1);
+                codec::put_f64(&mut out, *sigma);
+                codec::put_u32(&mut out, *n);
+                codec::put_u64(&mut out, *seed);
+            }
+            Pdf::Explicit(points) => {
+                codec::put_u16(&mut out, 2);
+                codec::put_u32(&mut out, points.len() as u32);
+                for p in points.iter() {
+                    for &x in p.coords() {
+                        codec::put_f64(&mut out, x);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes an object serialised with [`UncertainObject::encode`].
+    pub fn decode(buf: &[u8]) -> Self {
+        let mut r = codec::Reader::new(buf);
+        let id = r.u64();
+        let dim = r.u16() as usize;
+        let lo: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+        let hi: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+        let region = HyperRect::new(lo, hi);
+        let pdf = match r.u16() {
+            0 => Pdf::Uniform {
+                n: r.u32(),
+                seed: r.u64(),
+            },
+            1 => Pdf::Gaussian {
+                sigma: r.f64(),
+                n: r.u32(),
+                seed: r.u64(),
+            },
+            2 => {
+                let n = r.u32() as usize;
+                let pts = (0..n)
+                    .map(|_| Point::new((0..dim).map(|_| r.f64()).collect()))
+                    .collect();
+                Pdf::Explicit(Arc::new(pts))
+            }
+            t => panic!("unknown pdf tag {t}"),
+        };
+        UncertainObject { id, region, pdf }
+    }
+}
+
+/// An uncertain database: a domain and a set of objects (§III: the set `S`).
+#[derive(Debug, Clone)]
+pub struct UncertainDb {
+    /// The d-dimensional domain `D`.
+    pub domain: HyperRect,
+    /// Objects, indexable by position; ids are unique but not necessarily
+    /// dense after updates.
+    pub objects: Vec<UncertainObject>,
+}
+
+impl UncertainDb {
+    /// Creates a database over `domain` with the given objects.
+    ///
+    /// # Panics
+    /// If an object's region is not fully inside the domain, or ids repeat.
+    pub fn new(domain: HyperRect, objects: Vec<UncertainObject>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for o in &objects {
+            assert!(
+                domain.contains_rect(&o.region),
+                "object {} outside the domain",
+                o.id
+            );
+            assert!(seen.insert(o.id), "duplicate object id {}", o.id);
+        }
+        Self { domain, objects }
+    }
+
+    /// Number of objects (`|S|`).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.domain.dim()
+    }
+
+    /// Finds an object by id (linear; index structures are built on top).
+    pub fn get(&self, id: u64) -> Option<&UncertainObject> {
+        self.objects.iter().find(|o| o.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(lo: &[f64], hi: &[f64]) -> HyperRect {
+        HyperRect::new(lo.to_vec(), hi.to_vec())
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_region_and_are_deterministic() {
+        let r = region(&[0.0, 10.0], &[2.0, 12.0]);
+        let o = UncertainObject::uniform(7, r.clone(), 200);
+        let s1 = o.samples();
+        let s2 = o.samples();
+        assert_eq!(s1.len(), 200);
+        assert_eq!(s1, s2, "sampling must be deterministic");
+        assert!(s1.iter().all(|p| r.contains_point(p)));
+    }
+
+    #[test]
+    fn different_ids_sample_differently() {
+        let r = region(&[0.0, 0.0], &[1.0, 1.0]);
+        let a = UncertainObject::uniform(1, r.clone(), 50);
+        let b = UncertainObject::uniform(2, r, 50);
+        assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn gaussian_samples_cluster_near_center() {
+        let r = region(&[0.0, 0.0], &[10.0, 10.0]);
+        let o = UncertainObject {
+            id: 3,
+            region: r.clone(),
+            pdf: Pdf::Gaussian {
+                sigma: 0.5,
+                n: 500,
+                seed: 99,
+            },
+        };
+        let samples = o.samples();
+        assert!(samples.iter().all(|p| r.contains_point(p)));
+        let c = r.center();
+        let mean_dist: f64 =
+            samples.iter().map(|p| p.dist(&c)).sum::<f64>() / samples.len() as f64;
+        // sigma=0.5 ⇒ expected 2-D distance ≈ sigma·sqrt(π/2) ≈ 0.63
+        assert!(mean_dist < 1.5, "mean distance {mean_dist}");
+    }
+
+    #[test]
+    fn gaussian_tiny_region_terminates() {
+        let r = region(&[5.0, 5.0], &[5.0, 5.0]); // degenerate point region
+        let o = UncertainObject {
+            id: 4,
+            region: r.clone(),
+            pdf: Pdf::Gaussian {
+                sigma: 3.0,
+                n: 32,
+                seed: 1,
+            },
+        };
+        let s = o.samples();
+        assert_eq!(s.len(), 32);
+        assert!(s.iter().all(|p| r.contains_point(p)));
+    }
+
+    #[test]
+    fn explicit_pdf_roundtrip() {
+        let pts = vec![Point::new(vec![1.0, 2.0]), Point::new(vec![3.0, 4.0])];
+        let o = UncertainObject {
+            id: 11,
+            region: region(&[0.0, 0.0], &[5.0, 5.0]),
+            pdf: Pdf::Explicit(Arc::new(pts.clone())),
+        };
+        assert_eq!(o.samples(), pts);
+        assert_eq!(o.pdf.n_samples(), 2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_pdfs() {
+        let objs = vec![
+            UncertainObject::uniform(1, region(&[0.0, 1.0], &[2.0, 3.0]), 64),
+            UncertainObject {
+                id: 2,
+                region: region(&[5.0, 5.0], &[6.0, 7.0]),
+                pdf: Pdf::Gaussian {
+                    sigma: 0.25,
+                    n: 16,
+                    seed: 5,
+                },
+            },
+            UncertainObject {
+                id: 3,
+                region: region(&[0.0, 0.0], &[1.0, 1.0]),
+                pdf: Pdf::Explicit(Arc::new(vec![
+                    Point::new(vec![0.5, 0.5]),
+                    Point::new(vec![0.25, 0.75]),
+                ])),
+            },
+        ];
+        for o in objs {
+            let buf = o.encode();
+            let back = UncertainObject::decode(&buf);
+            assert_eq!(back, o);
+        }
+    }
+
+    #[test]
+    fn db_rejects_out_of_domain_objects() {
+        let domain = region(&[0.0, 0.0], &[10.0, 10.0]);
+        let bad = UncertainObject::uniform(1, region(&[9.0, 9.0], &[11.0, 11.0]), 8);
+        let result = std::panic::catch_unwind(|| {
+            UncertainDb::new(domain.clone(), vec![bad.clone()]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn db_rejects_duplicate_ids() {
+        let domain = region(&[0.0, 0.0], &[10.0, 10.0]);
+        let a = UncertainObject::uniform(1, region(&[1.0, 1.0], &[2.0, 2.0]), 8);
+        let b = UncertainObject::uniform(1, region(&[3.0, 3.0], &[4.0, 4.0]), 8);
+        let result = std::panic::catch_unwind(|| {
+            UncertainDb::new(domain.clone(), vec![a.clone(), b.clone()]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn db_lookup() {
+        let domain = region(&[0.0, 0.0], &[10.0, 10.0]);
+        let a = UncertainObject::uniform(5, region(&[1.0, 1.0], &[2.0, 2.0]), 8);
+        let db = UncertainDb::new(domain, vec![a.clone()]);
+        assert_eq!(db.get(5), Some(&a));
+        assert_eq!(db.get(6), None);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.dim(), 2);
+    }
+}

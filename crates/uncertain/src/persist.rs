@@ -1,0 +1,163 @@
+//! Binary dataset persistence.
+//!
+//! Reproducible experiments need datasets that can be generated once and
+//! shared; this module serialises an [`UncertainDb`] to a compact binary
+//! file (magic + version + domain + length-prefixed object records reusing
+//! [`UncertainObject::encode`]) and reads it back.
+
+use crate::{UncertainDb, UncertainObject};
+use pv_geom::HyperRect;
+use pv_storage::codec;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PVUDB\0\0\x01";
+
+/// Serialises a database into a byte vector.
+pub fn to_bytes(db: &UncertainDb) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    codec::put_u16(&mut out, db.dim() as u16);
+    for &x in db.domain.lo() {
+        codec::put_f64(&mut out, x);
+    }
+    for &x in db.domain.hi() {
+        codec::put_f64(&mut out, x);
+    }
+    codec::put_u64(&mut out, db.len() as u64);
+    for o in &db.objects {
+        codec::put_bytes(&mut out, &o.encode());
+    }
+    out
+}
+
+/// Deserialises a database from bytes produced by [`to_bytes`].
+///
+/// # Errors
+/// Returns `InvalidData` on a bad magic number or truncated payload.
+pub fn from_bytes(buf: &[u8]) -> io::Result<UncertainDb> {
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a PV uncertain-database file",
+        ));
+    }
+    let body = &buf[MAGIC.len()..];
+    let parse = || -> Option<UncertainDb> {
+        let mut r = codec::Reader::new(body);
+        if r.remaining() < 2 {
+            return None;
+        }
+        let dim = r.u16() as usize;
+        if dim == 0 || dim > 64 || r.remaining() < dim * 16 + 8 {
+            return None;
+        }
+        let lo: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+        let hi: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+        let domain = HyperRect::new(lo, hi);
+        let n = r.u64() as usize;
+        let mut objects = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            if r.remaining() < 4 {
+                return None;
+            }
+            let len = r.u32() as usize;
+            if r.remaining() < len {
+                return None;
+            }
+            let rec = r.take(len);
+            objects.push(UncertainObject::decode(&rec));
+        }
+        Some(UncertainDb::new(domain, objects))
+    };
+    parse().ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated database file"))
+}
+
+/// Writes a database to a file.
+pub fn save(db: &UncertainDb, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(db))?;
+    f.flush()
+}
+
+/// Reads a database from a file.
+pub fn load(path: impl AsRef<Path>) -> io::Result<UncertainDb> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pdf;
+    use pv_geom::Point;
+    use std::sync::Arc;
+
+    fn sample_db() -> UncertainDb {
+        let domain = HyperRect::cube(2, 0.0, 100.0);
+        let objects = vec![
+            UncertainObject::uniform(1, HyperRect::new(vec![1.0, 2.0], vec![3.0, 4.0]), 16),
+            UncertainObject {
+                id: 2,
+                region: HyperRect::new(vec![10.0, 10.0], vec![12.0, 12.0]),
+                pdf: Pdf::Gaussian {
+                    sigma: 0.5,
+                    n: 8,
+                    seed: 9,
+                },
+            },
+            UncertainObject {
+                id: 3,
+                region: HyperRect::new(vec![50.0, 50.0], vec![51.0, 51.0]),
+                pdf: Pdf::Explicit(Arc::new(vec![Point::new(vec![50.5, 50.5])])),
+            },
+        ];
+        UncertainDb::new(domain, objects)
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let db = sample_db();
+        let bytes = to_bytes(&db);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.domain, db.domain);
+        assert_eq!(back.objects, db.objects);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = sample_db();
+        let path = std::env::temp_dir().join("pv_persist_test.pvdb");
+        save(&db, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.objects, db.objects);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_bytes(b"definitely not a database").is_err());
+        assert!(from_bytes(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let db = sample_db();
+        let bytes = to_bytes(&db);
+        for cut in [MAGIC.len() + 1, bytes.len() / 2, bytes.len() - 3] {
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_db_roundtrip() {
+        let db = UncertainDb::new(HyperRect::cube(3, 0.0, 10.0), vec![]);
+        let back = from_bytes(&to_bytes(&db)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.dim(), 3);
+    }
+}

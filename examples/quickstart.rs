@@ -1,0 +1,96 @@
+//! Quickstart: build a PV-index over a synthetic uncertain database, run a
+//! probabilistic nearest-neighbor query, and compare against the R-tree
+//! baseline and the naive scan.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pv_suite::core::baseline::RTreeBaseline;
+use pv_suite::core::{verify, PvIndex, PvParams};
+use pv_suite::workload::{queries, synthetic, SyntheticConfig};
+
+fn main() {
+    // A 3-D uncertain database, paper-style: means uniform in [0,10000]^3,
+    // uncertainty-region sides uniform in [1,60], 500-instance pdfs.
+    let cfg = SyntheticConfig {
+        n: 2_000,
+        dim: 3,
+        max_side: 60.0,
+        samples: 500,
+        seed: 42,
+    };
+    println!("generating {} uncertain objects (d = {})...", cfg.n, cfg.dim);
+    let db = synthetic(&cfg);
+
+    println!("building the PV-index (SE + octree + hash table)...");
+    let params = PvParams::default();
+    let index = PvIndex::build(&db, params);
+    let bs = index.build_stats();
+    println!(
+        "  built in {:?}  (avg C-set size {:.1}, {} slab tests)",
+        bs.total_time,
+        bs.avg_cset_size(),
+        bs.se.slab_tests
+    );
+    let ot = index.octree_stats();
+    println!(
+        "  primary index: {} internal / {} leaf nodes, depth {}, {} leaf records, {} KiB memory",
+        ot.internal_nodes,
+        ot.leaf_nodes,
+        ot.depth,
+        ot.leaf_records,
+        ot.mem_used / 1024
+    );
+
+    println!("building the R-tree baseline...");
+    let baseline = RTreeBaseline::build(&db, params.rtree_fanout, params.page_size);
+
+    // One PNNQ.
+    let q = &queries::uniform(&db.domain, 1, 7)[0];
+    println!("\nPNNQ at q = {:?}", q.coords());
+
+    let (pv_probs, pv_stats) = index.query(q);
+    println!(
+        "  PV-index : {} answers, OR {:?} ({} I/O), PC {:?} ({} I/O)",
+        pv_probs.len(),
+        pv_stats.step1.time,
+        pv_stats.step1.io_reads,
+        pv_stats.pc_time,
+        pv_stats.pc_io_reads
+    );
+
+    let (rt_probs, rt_stats) = baseline.query(q);
+    println!(
+        "  R-tree   : {} answers, OR {:?} ({} I/O), PC {:?} ({} I/O)",
+        rt_probs.len(),
+        rt_stats.step1.time,
+        rt_stats.step1.io_reads,
+        rt_stats.pc_time,
+        rt_stats.pc_io_reads
+    );
+
+    let naive = verify::possible_nn(db.objects.iter(), q);
+    println!("  naive    : {} answers (ground truth)", naive.len());
+
+    // The three Step-1 answer sets must agree.
+    let pv_ids: Vec<u64> = pv_probs.iter().map(|&(id, _)| id).collect();
+    let rt_ids: Vec<u64> = rt_probs.iter().map(|&(id, _)| id).collect();
+    assert_eq!(sorted(pv_ids), naive);
+    assert_eq!(sorted(rt_ids), naive);
+
+    println!("\nqualification probabilities (PV-index):");
+    let mut ranked = pv_probs;
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (id, p) in ranked.iter().take(5) {
+        println!("  object {:>6}  P(nearest) = {:.4}", id, p);
+    }
+    let total: f64 = ranked.iter().map(|(_, p)| p).sum();
+    println!("  Σ = {total:.6} (≈ 1)");
+}
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}

@@ -1,0 +1,51 @@
+//! # pv-suite — Voronoi-based NN search for multi-dimensional uncertain databases
+//!
+//! Umbrella crate re-exporting the full workspace: a from-scratch Rust
+//! reproduction of *"Voronoi-based Nearest Neighbor Search for
+//! Multi-Dimensional Uncertain Databases"* (Zhang, Cheng, Mamoulis, Renz,
+//! Züfle, Tang, Emrich — ICDE 2013).
+//!
+//! ## Crates
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geom`] | `pv-geom` | points, hyper-rectangles, min/max distances, spatial domination |
+//! | [`storage`] | `pv-storage` | simulated paged disk with I/O accounting |
+//! | [`rtree`] | `pv-rtree` | R*-tree with distance browsing |
+//! | [`exthash`] | `pv-exthash` | extendible hash table on disk pages |
+//! | [`octree`] | `pv-octree` | `2^d`-ary primary index with disk-resident leaves |
+//! | [`uncertain`] | `pv-uncertain` | uncertain-object model (regions + discrete pdfs) |
+//! | [`workload`] | `pv-workload` | dataset generators & query workloads |
+//! | [`core`] | `pv-core` | SE algorithm, PV-index, PNNQ, incremental updates |
+//! | [`uvindex`] | `pv-uvindex` | UV-index baseline (2-D circles) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pv_suite::core::{PvIndex, PvParams};
+//! use pv_suite::workload::{synthetic, queries, SyntheticConfig};
+//!
+//! // A small 3-D uncertain database, paper-style.
+//! let db = synthetic(&SyntheticConfig { n: 300, dim: 3, samples: 50, ..Default::default() });
+//! let index = PvIndex::build(&db, PvParams::default());
+//!
+//! // A probabilistic nearest-neighbor query.
+//! let q = &queries::uniform(&db.domain, 1, 1)[0];
+//! let (answers, stats) = index.query(q);
+//! let total: f64 = answers.iter().map(|(_, p)| p).sum();
+//! assert!((total - 1.0).abs() < 1e-6);
+//! assert!(stats.total_io() > 0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! experiment harness reproducing every figure of the paper's evaluation.
+
+pub use pv_core as core;
+pub use pv_exthash as exthash;
+pub use pv_geom as geom;
+pub use pv_octree as octree;
+pub use pv_rtree as rtree;
+pub use pv_storage as storage;
+pub use pv_uncertain as uncertain;
+pub use pv_uvindex as uvindex;
+pub use pv_workload as workload;

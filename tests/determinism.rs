@@ -1,0 +1,87 @@
+//! Reproducibility: the whole pipeline is seeded, so identical inputs must
+//! produce identical indexes, answers and probabilities — across builds,
+//! build parallelism, and rebuilds.
+
+use pv_suite::core::{PvIndex, PvParams};
+use pv_suite::workload::{queries, realistic, synthetic, SyntheticConfig};
+
+#[test]
+fn identical_builds_identical_answers() {
+    let cfg = SyntheticConfig {
+        n: 250,
+        dim: 3,
+        max_side: 120.0,
+        samples: 32,
+        seed: 99,
+    };
+    let db1 = synthetic(&cfg);
+    let db2 = synthetic(&cfg);
+    let a = PvIndex::build(&db1, PvParams::default());
+    let b = PvIndex::build(&db2, PvParams::default());
+    for o in &db1.objects {
+        assert_eq!(a.ubr(o.id), b.ubr(o.id));
+    }
+    for q in queries::uniform(&db1.domain, 20, 7) {
+        let (pa, _) = a.query(&q);
+        let (pb, _) = b.query(&q);
+        assert_eq!(pa, pb, "probabilities must be bit-identical");
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let db = synthetic(&SyntheticConfig {
+        n: 200,
+        dim: 2,
+        max_side: 150.0,
+        samples: 16,
+        seed: 101,
+    });
+    let serial = PvIndex::build(&db, PvParams::default());
+    for threads in [2usize, 8, 16] {
+        let par = PvIndex::build(
+            &db,
+            PvParams {
+                build_threads: threads,
+                ..Default::default()
+            },
+        );
+        for o in &db.objects {
+            assert_eq!(serial.ubr(o.id), par.ubr(o.id), "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn realistic_generators_are_seed_stable() {
+    type Gen = fn(usize, u64) -> pv_suite::uncertain::UncertainDb;
+    let generators: [(Gen, &str); 3] = [
+        (realistic::roads, "roads"),
+        (realistic::rrlines, "rrlines"),
+        (realistic::airports, "airports"),
+    ];
+    for (mk, name) in generators {
+        let a = mk(300, 5);
+        let b = mk(300, 5);
+        assert_eq!(a.objects, b.objects, "{name} must be deterministic");
+        let c = mk(300, 6);
+        assert_ne!(a.objects, c.objects, "{name} must vary with the seed");
+    }
+}
+
+#[test]
+fn rebuild_preserves_answers() {
+    let db = synthetic(&SyntheticConfig {
+        n: 200,
+        dim: 2,
+        max_side: 150.0,
+        samples: 16,
+        seed: 103,
+    });
+    let mut index = PvIndex::build(&db, PvParams::default());
+    let qs = queries::uniform(&db.domain, 20, 9);
+    let before: Vec<_> = qs.iter().map(|q| index.query_step1(q).0).collect();
+    index.rebuild();
+    let after: Vec<_> = qs.iter().map(|q| index.query_step1(q).0).collect();
+    assert_eq!(before, after);
+}

@@ -1,0 +1,87 @@
+//! Full-PNNQ semantics across crates: Step-1 answer sets carry all of the
+//! probability mass, PV-index and R-tree baseline produce identical
+//! probabilities, and the pipeline's I/O accounting is consistent.
+
+use pv_suite::core::baseline::RTreeBaseline;
+use pv_suite::core::{prob, PvIndex, PvParams};
+use pv_suite::uncertain::UncertainObject;
+use pv_suite::workload::{queries, synthetic, SyntheticConfig};
+
+fn db(n: usize, dim: usize, seed: u64) -> pv_suite::uncertain::UncertainDb {
+    synthetic(&SyntheticConfig {
+        n,
+        dim,
+        max_side: 250.0,
+        samples: 32,
+        seed,
+    })
+}
+
+#[test]
+fn probabilities_sum_to_one_across_queries() {
+    let db = db(250, 2, 41);
+    let index = PvIndex::build(&db, PvParams::default());
+    for q in queries::uniform(&db.domain, 15, 1) {
+        let (probs, _) = index.query(&q);
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total} at {q:?}");
+    }
+}
+
+#[test]
+fn pv_and_rtree_probabilities_agree() {
+    let db = db(200, 3, 42);
+    let index = PvIndex::build(&db, PvParams::default());
+    let baseline = RTreeBaseline::build(&db, 100, 4096);
+    for q in queries::uniform(&db.domain, 10, 2) {
+        let (mut a, _) = index.query(&q);
+        let (mut b, _) = baseline.query(&q);
+        a.sort_by_key(|&(id, _)| id);
+        b.sort_by_key(|&(id, _)| id);
+        assert_eq!(a.len(), b.len());
+        for ((ia, pa), (ib, pb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ia, ib);
+            assert!((pa - pb).abs() < 1e-12, "{ia}: {pa} vs {pb}");
+        }
+    }
+}
+
+#[test]
+fn excluded_objects_have_zero_probability() {
+    // Computing probabilities over ALL objects must put zero mass outside
+    // the Step-1 answer set — Step 1 is lossless.
+    let db = db(120, 2, 43);
+    let index = PvIndex::build(&db, PvParams::default());
+    for q in queries::uniform(&db.domain, 8, 3) {
+        let (answer_ids, _) = index.query_step1(&q);
+        let all: Vec<&UncertainObject> = db.objects.iter().collect();
+        let probs = prob::qualification_probabilities(&q, &all);
+        for (id, p) in probs {
+            if !answer_ids.contains(&id) {
+                assert_eq!(p, 0.0, "object {id} outside Step 1 has mass {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn step2_io_scales_with_answer_count() {
+    let db = db(300, 2, 44);
+    let index = PvIndex::build(&db, PvParams::default());
+    for q in queries::uniform(&db.domain, 10, 4) {
+        let (probs, stats) = index.query(&q);
+        // every answer costs at least one secondary read + payload pages
+        assert!(stats.pc_io_reads >= probs.len() as u64);
+    }
+}
+
+#[test]
+fn query_stats_accumulate_sanely() {
+    let db = db(300, 2, 45);
+    let index = PvIndex::build(&db, PvParams::default());
+    let q = &queries::uniform(&db.domain, 1, 5)[0];
+    let (_, stats) = index.query(q);
+    assert!(stats.total_time() >= stats.step1.time);
+    assert!(stats.total_io() >= stats.step1.io_reads);
+    assert!(stats.step1.candidates >= stats.step1.answers);
+}

@@ -1,0 +1,167 @@
+//! End-to-end Step-1 equivalence: PV-index ≡ R-tree branch-and-prune ≡
+//! naive scan, across dimensionalities, cset strategies and dataset shapes.
+
+use pv_suite::core::baseline::RTreeBaseline;
+use pv_suite::core::{verify, PvIndex, PvParams};
+use pv_suite::workload::{queries, realistic, synthetic, SyntheticConfig};
+
+fn assert_equivalent(db: &pv_suite::uncertain::UncertainDb, params: PvParams, n_queries: usize) {
+    let index = PvIndex::build(db, params);
+    let baseline = RTreeBaseline::build(db, params.rtree_fanout, params.page_size);
+    for q in queries::uniform(&db.domain, n_queries, 0xBEEF) {
+        let want = verify::possible_nn(db.objects.iter(), &q);
+        let (pv, _) = index.query_step1(&q);
+        let (rt, _) = baseline.query_step1(&q);
+        assert_eq!(pv, want, "PV-index differs from naive at {q:?}");
+        assert_eq!(rt, want, "R-tree differs from naive at {q:?}");
+    }
+}
+
+#[test]
+fn synthetic_2d_default_params() {
+    let db = synthetic(&SyntheticConfig {
+        n: 400,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 1,
+    });
+    assert_equivalent(&db, PvParams::default(), 40);
+}
+
+#[test]
+fn synthetic_3d_default_params() {
+    let db = synthetic(&SyntheticConfig {
+        n: 300,
+        dim: 3,
+        max_side: 300.0,
+        samples: 8,
+        seed: 2,
+    });
+    assert_equivalent(&db, PvParams::default(), 25);
+}
+
+#[test]
+fn synthetic_4d_default_params() {
+    let db = synthetic(&SyntheticConfig {
+        n: 200,
+        dim: 4,
+        max_side: 400.0,
+        samples: 8,
+        seed: 3,
+    });
+    assert_equivalent(&db, PvParams::default(), 15);
+}
+
+#[test]
+fn synthetic_5d_default_params() {
+    let db = synthetic(&SyntheticConfig {
+        n: 150,
+        dim: 5,
+        max_side: 500.0,
+        samples: 8,
+        seed: 4,
+    });
+    assert_equivalent(&db, PvParams::default(), 10);
+}
+
+#[test]
+fn fs_strategy_equivalence() {
+    let db = synthetic(&SyntheticConfig {
+        n: 300,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 5,
+    });
+    assert_equivalent(&db, PvParams::with_fs(60), 30);
+}
+
+#[test]
+fn all_strategy_equivalence() {
+    // ALL is slow; keep the database tiny.
+    let db = synthetic(&SyntheticConfig {
+        n: 120,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 6,
+    });
+    assert_equivalent(&db, PvParams::with_all(), 20);
+}
+
+#[test]
+fn coarse_delta_is_still_exact() {
+    // A loose UBR may admit more candidates but the min/max filter keeps
+    // Step 1 exact.
+    let db = synthetic(&SyntheticConfig {
+        n: 300,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 7,
+    });
+    let params = PvParams {
+        delta: 500.0,
+        ..Default::default()
+    };
+    assert_equivalent(&db, params, 30);
+}
+
+#[test]
+fn tiny_mmax_is_still_exact() {
+    let db = synthetic(&SyntheticConfig {
+        n: 250,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 8,
+    });
+    let params = PvParams {
+        mmax: 2,
+        ..Default::default()
+    };
+    assert_equivalent(&db, params, 25);
+}
+
+#[test]
+fn roads_dataset_equivalence() {
+    let db = realistic::roads(400, 9);
+    assert_equivalent(&db, PvParams::default(), 25);
+}
+
+#[test]
+fn rrlines_dataset_equivalence() {
+    let db = realistic::rrlines(400, 10);
+    assert_equivalent(&db, PvParams::default(), 25);
+}
+
+#[test]
+fn airports_dataset_equivalence() {
+    let db = realistic::airports(400, 11);
+    assert_equivalent(&db, PvParams::default(), 25);
+}
+
+#[test]
+fn degenerate_single_object() {
+    let db = synthetic(&SyntheticConfig {
+        n: 1,
+        dim: 2,
+        max_side: 50.0,
+        samples: 8,
+        seed: 12,
+    });
+    assert_equivalent(&db, PvParams::default(), 10);
+}
+
+#[test]
+fn two_objects() {
+    let db = synthetic(&SyntheticConfig {
+        n: 2,
+        dim: 3,
+        max_side: 50.0,
+        samples: 8,
+        seed: 13,
+    });
+    assert_equivalent(&db, PvParams::default(), 10);
+}

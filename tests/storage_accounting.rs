@@ -1,0 +1,118 @@
+//! Cross-crate storage accounting: the PV-index's primary and secondary
+//! structures share one simulated disk; query I/O, page lifecycles and the
+//! main-memory budget must behave like the paper's storage model.
+
+use pv_suite::core::{PvIndex, PvParams};
+use pv_suite::storage::Pager;
+use pv_suite::workload::{queries, synthetic, SyntheticConfig};
+
+fn db(n: usize, seed: u64) -> pv_suite::uncertain::UncertainDb {
+    synthetic(&SyntheticConfig {
+        n,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed,
+    })
+}
+
+#[test]
+fn queries_read_but_never_write() {
+    let db = db(400, 61);
+    let index = PvIndex::build(&db, PvParams::default());
+    let s0 = index.pager().stats().snapshot();
+    for q in queries::uniform(&db.domain, 20, 1) {
+        let _ = index.query(&q);
+    }
+    let s1 = index.pager().stats().snapshot();
+    let delta = s1.since(&s0);
+    assert!(delta.reads > 0);
+    assert_eq!(delta.writes, 0, "queries must be read-only");
+    assert_eq!(delta.allocs, 0);
+    assert_eq!(delta.frees, 0);
+}
+
+#[test]
+fn step1_io_is_small_per_query() {
+    let db = db(1_000, 62);
+    let index = PvIndex::build(&db, PvParams::default());
+    let mut total_io = 0u64;
+    let m = 30;
+    for q in queries::uniform(&db.domain, m, 2) {
+        let (_, st) = index.query_step1(&q);
+        total_io += st.io_reads;
+    }
+    // a point query touches exactly one leaf (its page chain); with the
+    // default page size this stays in the low single digits per query
+    assert!(
+        total_io <= 6 * m as u64,
+        "avg Step-1 I/O {} too high",
+        total_io as f64 / m as f64
+    );
+}
+
+#[test]
+fn memory_budget_bounds_octree_nodes() {
+    // A deliberately tiny budget forces page chaining; the node arena must
+    // stay within it while queries remain exact.
+    let db = db(600, 63);
+    let params = PvParams {
+        mem_budget: 8 * 1024,
+        ..Default::default()
+    };
+    let index = PvIndex::build(&db, params);
+    assert!(index.octree_stats().mem_used <= 8 * 1024);
+    for q in queries::uniform(&db.domain, 15, 3) {
+        let (got, _) = index.query_step1(&q);
+        let want = pv_suite::core::verify::possible_nn(db.objects.iter(), &q);
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn small_budget_costs_more_query_io() {
+    let db = db(800, 64);
+    let roomy = PvIndex::build(&db, PvParams::default());
+    // A budget too small for even one split: the single root leaf grows by
+    // page chaining only, so every point query scans the whole chain.
+    let tight = PvIndex::build(
+        &db,
+        PvParams {
+            mem_budget: 64,
+            ..Default::default()
+        },
+    );
+    let mut io_roomy = 0u64;
+    let mut io_tight = 0u64;
+    for q in queries::uniform(&db.domain, 25, 4) {
+        io_roomy += roomy.query_step1(&q).1.io_reads;
+        io_tight += tight.query_step1(&q).1.io_reads;
+    }
+    assert!(
+        io_tight > io_roomy,
+        "chained leaves ({io_tight}) should cost more I/O than split ones ({io_roomy})"
+    );
+}
+
+#[test]
+fn deletes_release_disk_pages() {
+    let db = db(400, 65);
+    let mut index = PvIndex::build(&db, PvParams::default());
+    let s0 = index.pager().stats().snapshot();
+    for id in 0..150u64 {
+        index.remove(id).unwrap();
+    }
+    let s1 = index.pager().stats().snapshot();
+    let delta = s1.since(&s0);
+    assert!(delta.frees > 0, "page-list rewrites must free empty pages");
+}
+
+#[test]
+fn secondary_index_holds_every_object() {
+    let db = db(300, 66);
+    let index = PvIndex::build(&db, PvParams::default());
+    let st = index.secondary_stats();
+    assert_eq!(st.entries, 300);
+    assert!(st.buckets > 1);
+    assert!(st.directory_size >= st.buckets);
+}

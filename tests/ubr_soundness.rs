@@ -1,0 +1,146 @@
+//! UBR conservativeness across the whole pipeline: for every object `o` and
+//! every point `p` where `o` can possibly be the nearest neighbor (region
+//! semantics), `p` must lie inside the stored `B(o)` — the invariant that
+//! makes PV-index Step 1 lossless. Also checks tightness trends (Δ, mmax)
+//! and the Δ vs UBR-volume trade-off the paper discusses in §V.
+
+use proptest::prelude::*;
+use pv_suite::core::{PvIndex, PvParams};
+use pv_suite::geom::{max_dist, min_dist, HyperRect, Point};
+use pv_suite::uncertain::{UncertainDb, UncertainObject};
+use pv_suite::workload::{synthetic, SyntheticConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn can_be_nn(o: &UncertainObject, objects: &[UncertainObject], p: &Point) -> bool {
+    let tau = objects
+        .iter()
+        .map(|x| max_dist(&x.region, p))
+        .fold(f64::INFINITY, f64::min);
+    min_dist(&o.region, p) <= tau
+}
+
+#[test]
+fn stored_ubrs_cover_all_possible_nn_points() {
+    let db = synthetic(&SyntheticConfig {
+        n: 200,
+        dim: 2,
+        max_side: 200.0,
+        samples: 8,
+        seed: 31,
+    });
+    let index = PvIndex::build(&db, PvParams::default());
+    let mut rng = StdRng::seed_from_u64(4242);
+    for _ in 0..3_000 {
+        let p = Point::new(vec![
+            rng.gen_range(0.0..10_000.0),
+            rng.gen_range(0.0..10_000.0),
+        ]);
+        for o in &db.objects {
+            if can_be_nn(o, &db.objects, &p) {
+                assert!(
+                    index.ubr(o.id).unwrap().contains_point(&p),
+                    "possible-NN point {p:?} escaped B({})",
+                    o.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ubr_volume_shrinks_with_delta() {
+    let db = synthetic(&SyntheticConfig {
+        n: 150,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 32,
+    });
+    let volumes: Vec<f64> = [1000.0, 100.0, 10.0, 1.0]
+        .iter()
+        .map(|&delta| {
+            let index = PvIndex::build(
+                &db,
+                PvParams {
+                    delta,
+                    ..Default::default()
+                },
+            );
+            db.objects
+                .iter()
+                .map(|o| index.ubr(o.id).unwrap().volume())
+                .sum::<f64>()
+        })
+        .collect();
+    for w in volumes.windows(2) {
+        assert!(
+            w[1] <= w[0] * 1.001,
+            "smaller Δ must not loosen UBRs: {volumes:?}"
+        );
+    }
+    // and the trend must be strict overall
+    assert!(volumes.last().unwrap() < &(volumes[0] * 0.9), "{volumes:?}");
+}
+
+#[test]
+fn ubrs_tighter_than_trivial_domain_bound() {
+    let db = synthetic(&SyntheticConfig {
+        n: 300,
+        dim: 3,
+        max_side: 100.0,
+        samples: 8,
+        seed: 33,
+    });
+    let index = PvIndex::build(&db, PvParams::default());
+    let dom_vol = db.domain.volume();
+    let avg_ratio: f64 = db
+        .objects
+        .iter()
+        .map(|o| index.ubr(o.id).unwrap().volume() / dom_vol)
+        .sum::<f64>()
+        / db.len() as f64;
+    // with 300 objects the average PV-cell occupies a small domain fraction
+    assert!(avg_ratio < 0.05, "avg UBR/domain ratio {avg_ratio}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomised clustered layouts: soundness must hold regardless of the
+    /// spatial distribution.
+    #[test]
+    fn ubr_soundness_on_random_clusters(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_clusters = rng.gen_range(1..4);
+        let centers: Vec<(f64, f64)> = (0..n_clusters)
+            .map(|_| (rng.gen_range(1000.0..9000.0), rng.gen_range(1000.0..9000.0)))
+            .collect();
+        let objects: Vec<UncertainObject> = (0..60u64)
+            .map(|id| {
+                let (cx, cy) = centers[rng.gen_range(0..centers.len())];
+                let lo = vec![
+                    (cx + rng.gen_range(-800.0..800.0)).clamp(0.0, 9_900.0),
+                    (cy + rng.gen_range(-800.0..800.0)).clamp(0.0, 9_900.0),
+                ];
+                let hi = vec![
+                    (lo[0] + rng.gen_range(1.0..80.0)).min(10_000.0),
+                    (lo[1] + rng.gen_range(1.0..80.0)).min(10_000.0),
+                ];
+                UncertainObject::uniform(id, HyperRect::new(lo, hi), 4)
+            })
+            .collect();
+        let db = UncertainDb::new(HyperRect::cube(2, 0.0, 10_000.0), objects);
+        let index = PvIndex::build(&db, PvParams::default());
+        for _ in 0..150 {
+            let p = Point::new(vec![
+                rng.gen_range(0.0..10_000.0),
+                rng.gen_range(0.0..10_000.0),
+            ]);
+            for o in &db.objects {
+                if can_be_nn(o, &db.objects, &p) {
+                    prop_assert!(index.ubr(o.id).unwrap().contains_point(&p));
+                }
+            }
+        }
+    }
+}

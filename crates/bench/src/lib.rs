@@ -6,6 +6,8 @@
 //! one figure) of the paper's evaluation; the mapping is documented in
 //! DESIGN.md §4 and the measured outcomes in EXPERIMENTS.md.
 
+#![deny(missing_docs)]
+
 pub mod figures;
 pub mod report;
 

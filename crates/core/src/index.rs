@@ -166,20 +166,17 @@ impl PvIndex {
         } else {
             let threads = params.build_threads;
             let chunk = db.len().div_ceil(threads).max(1);
-            let results: Vec<Vec<(u64, HyperRect, SeStats)>> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = db
-                        .objects
-                        .chunks(chunk)
-                        .map(|objs| {
-                            scope.spawn(move |_| {
-                                objs.iter().map(compute_one).collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker")).collect()
-                })
-                .expect("crossbeam scope");
+            let compute_one = &compute_one;
+            let results: Vec<Vec<(u64, HyperRect, SeStats)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = db
+                    .objects
+                    .chunks(chunk)
+                    .map(|objs| {
+                        scope.spawn(move || objs.iter().map(compute_one).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            });
             for batch in results {
                 for (id, ubr, st) in batch {
                     se_total.absorb(&st);

@@ -33,6 +33,8 @@
 //! assert!(!answers.is_empty()); // someone is always a possible NN
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod baseline;
 pub mod cset;
 pub mod index;

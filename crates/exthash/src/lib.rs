@@ -26,6 +26,8 @@
 //! assert!(table.is_empty());
 //! ```
 
+#![deny(missing_docs)]
+
 use pv_storage::{codec, IoStats, PageId, Pager};
 use std::collections::HashMap;
 

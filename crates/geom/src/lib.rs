@@ -21,6 +21,8 @@
 //! The crate is dependency-free (besides dev-dependencies for testing) and is
 //! shared by every other crate in the workspace.
 
+#![deny(missing_docs)]
+
 pub mod dist;
 pub mod domination;
 pub mod hyperplane;

@@ -25,6 +25,8 @@
 //! object id; the rest is up to the caller (the PV-index stores the
 //! uncertainty region `u(o)` there).
 
+#![deny(missing_docs)]
+
 use pv_geom::{HyperRect, Point};
 use pv_storage::{codec, PageList, Pager};
 

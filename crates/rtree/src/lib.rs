@@ -36,6 +36,8 @@
 //! assert_eq!(nn[0].id, 42);
 //! ```
 
+#![deny(missing_docs)]
+
 mod node;
 mod query;
 mod split;

@@ -4,26 +4,24 @@
 //! values, secondary-index payloads) are encoded with these helpers so that
 //! page space accounting is exact and platform-independent.
 
-use bytes::{Buf, BufMut};
-
 /// Serialises a `u64`.
 pub fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.put_u64_le(v);
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Serialises a `u32`.
 pub fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.put_u32_le(v);
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Serialises a `u16`.
 pub fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.put_u16_le(v);
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Serialises an `f64`.
 pub fn put_f64(out: &mut Vec<u8>, v: f64) {
-    out.put_f64_le(v);
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Serialises a length-prefixed byte string (u32 length).
@@ -56,33 +54,37 @@ impl<'a> Reader<'a> {
         self.buf.len()
     }
 
+    /// Consumes and returns the next `n` bytes.
+    fn split(&mut self, n: usize) -> &'a [u8] {
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        head
+    }
+
     /// Reads a `u64`.
     pub fn u64(&mut self) -> u64 {
-        self.buf.get_u64_le()
+        u64::from_le_bytes(self.split(8).try_into().unwrap())
     }
 
     /// Reads a `u32`.
     pub fn u32(&mut self) -> u32 {
-        self.buf.get_u32_le()
+        u32::from_le_bytes(self.split(4).try_into().unwrap())
     }
 
     /// Reads a `u16`.
     pub fn u16(&mut self) -> u16 {
-        self.buf.get_u16_le()
+        u16::from_le_bytes(self.split(2).try_into().unwrap())
     }
 
     /// Reads an `f64`.
     pub fn f64(&mut self) -> f64 {
-        self.buf.get_f64_le()
+        f64::from_le_bytes(self.split(8).try_into().unwrap())
     }
 
     /// Reads a length-prefixed byte string.
     pub fn bytes(&mut self) -> Vec<u8> {
         let n = self.u32() as usize;
-        let (head, rest) = self.buf.split_at(n);
-        let out = head.to_vec();
-        self.buf = rest;
-        out
+        self.split(n).to_vec()
     }
 
     /// Reads a u16-length-prefixed f64 slice.
@@ -97,10 +99,7 @@ impl<'a> Reader<'a> {
     /// If fewer than `n` bytes remain (check [`Reader::remaining`] first
     /// when parsing untrusted input).
     pub fn take(&mut self, n: usize) -> Vec<u8> {
-        let (head, rest) = self.buf.split_at(n);
-        let out = head.to_vec();
-        self.buf = rest;
-        out
+        self.split(n).to_vec()
     }
 }
 

@@ -20,6 +20,8 @@
 //! through this crate, so a unit of I/O means the same thing for the R-tree
 //! baseline, the PV-index and the UV-index.
 
+#![deny(missing_docs)]
+
 pub mod buffer;
 pub mod codec;
 pub mod pagelist;

@@ -41,9 +41,13 @@ pub struct IoStats {
 /// A point-in-time copy of [`IoStats`], supporting deltas.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IoSnapshot {
+    /// Page reads at snapshot time.
     pub reads: u64,
+    /// Page writes at snapshot time.
     pub writes: u64,
+    /// Pages allocated at snapshot time.
     pub allocs: u64,
+    /// Pages freed at snapshot time.
     pub frees: u64,
 }
 

@@ -14,6 +14,8 @@
 //! full control. Serialisation helpers encode objects for the PV-index's
 //! disk-resident secondary index.
 
+#![deny(missing_docs)]
+
 pub mod persist;
 
 use pv_geom::{HyperRect, Point};

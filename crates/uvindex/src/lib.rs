@@ -25,6 +25,8 @@
 //! approximation; `tests/uvindex_recall.rs` (workspace root) measures its
 //! Step-1 recall against ground truth — it is ≈ 1 with the default fan.
 
+#![deny(missing_docs)]
+
 use pv_core::params::PvParams;
 use pv_core::stats::{BuildStats, SeStats, Step1Stats};
 use pv_exthash::ExtHash;

@@ -18,6 +18,8 @@
 //!
 //! Everything is deterministic given a seed.
 
+#![deny(missing_docs)]
+
 use pv_geom::{HyperRect, Point};
 use pv_uncertain::{Pdf, UncertainDb, UncertainObject};
 use rand::{rngs::StdRng, Rng, SeedableRng};

@@ -40,6 +40,8 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! experiment harness reproducing every figure of the paper's evaluation.
 
+#![deny(missing_docs)]
+
 pub use pv_core as core;
 pub use pv_exthash as exthash;
 pub use pv_geom as geom;

@@ -1,0 +1,97 @@
+//! Offline drop-in subset of the [`parking_lot`](https://crates.io/crates/parking_lot)
+//! API.
+//!
+//! The build environment has no network access, so the one type the workspace
+//! uses — [`Mutex`] with a non-poisoning, `Result`-free `lock()` — is provided
+//! here as a thin wrapper over `std::sync::Mutex`. Poisoned locks are
+//! recovered transparently, which matches `parking_lot`'s no-poisoning
+//! semantics closely enough for this workspace (panicking while holding one of
+//! these locks never leaves it unusable).
+
+#![deny(missing_docs)]
+
+use std::sync::TryLockError;
+
+/// A mutual-exclusion primitive with `parking_lot`'s ergonomic, panic-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`]; the lock is released on drop.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// Unlike `std`, never returns a poison error: a lock whose holder
+    /// panicked is recovered and handed out normally.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking; `None` if contended.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(poison)) => Some(poison.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the protected value (no locking needed:
+    /// `&mut self` proves exclusive access).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn poison_is_recovered() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        // parking_lot semantics: the lock is still usable.
+        *m.lock() = 7;
+        assert_eq!(*m.lock(), 7);
+    }
+}

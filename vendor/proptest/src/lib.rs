@@ -1,0 +1,644 @@
+//! Offline drop-in subset of the [`proptest`](https://crates.io/crates/proptest)
+//! API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! slice of proptest the workspace's property tests use is reimplemented here:
+//!
+//! - the [`strategy::Strategy`] trait with [`prop_map`](strategy::Strategy::prop_map)
+//!   and [`boxed`](strategy::Strategy::boxed), implemented for numeric ranges,
+//!   tuples, and [`strategy::Just`];
+//! - [`collection::vec()`], [`sample::select()`], [`arbitrary::any()`];
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], and [`prop_assume!`] macros;
+//! - [`test_runner::ProptestConfig`] (only `cases` is honoured).
+//!
+//! **Semantic differences from upstream**, acceptable for this workspace:
+//! values are drawn uniformly (no size-biasing toward edge cases) and failing
+//! cases are reported with their `Debug` representation but **not shrunk** to
+//! a minimal counter-example. Runs are deterministic: the RNG seed is derived
+//! from the test name and case index, so a failure reproduces exactly on
+//! re-run.
+
+#![deny(missing_docs)]
+
+pub mod test_runner {
+    //! Test-case driver: configuration, error type, RNG, and the run loop.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    ///
+    /// Only [`cases`](Self::cases) is honoured by this offline subset.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config identical to the default but running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was violated; the test fails.
+        Fail(String),
+        /// The inputs were rejected by `prop_assume!`; the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Convenience constructor for [`TestCaseError::Fail`].
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// Convenience constructor for [`TestCaseError::Reject`].
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The deterministic RNG handed to strategies.
+    ///
+    /// Seeded per `(test name, case index)`, so every run of the suite
+    /// explores the same inputs and failures reproduce exactly.
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let seed = h ^ ((case as u64) << 32) ^ case as u64;
+            TestRng {
+                inner: <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            rand::RngCore::next_u64(&mut self.inner)
+        }
+
+        /// Uniform draw from `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw from `range`, delegating to the vendored `rand`
+        /// crate's sampling machinery (one implementation to maintain).
+        pub fn gen_range<T, R>(&mut self, range: R) -> T
+        where
+            R: rand::SampleRange<T>,
+        {
+            rand::Rng::gen_range(&mut self.inner, range)
+        }
+
+        /// Uniform draw from `0..n`. `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "TestRng::below(0)");
+            self.gen_range(0..n)
+        }
+    }
+
+    /// Executes `case` `config.cases` times; panics on the first failure.
+    ///
+    /// The error channel carries `(error, debug-repr-of-inputs)` so the panic
+    /// message can display the offending inputs (no shrinking is attempted).
+    pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,
+    {
+        let mut rejected = 0u32;
+        let mut executed = 0u32;
+        let mut i = 0u32;
+        // Mirror proptest's global reject cap loosely: give up after too many
+        // consecutive rejections rather than looping forever.
+        while executed < config.cases {
+            assert!(
+                rejected < config.cases.saturating_mul(16).max(1024),
+                "proptest: test '{name}' rejected too many inputs ({rejected}) via prop_assume!"
+            );
+            let mut rng = TestRng::for_case(name, i);
+            i = i.wrapping_add(1);
+            match case(&mut rng) {
+                Ok(()) => executed += 1,
+                Err((TestCaseError::Reject(_), _)) => rejected += 1,
+                Err((TestCaseError::Fail(msg), repr)) => panic!(
+                    "proptest: test '{name}' failed at case {executed}:\n  {msg}\n  inputs: {repr}"
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of type [`Strategy::Value`].
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy simply draws a fresh value from a [`TestRng`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream `Strategy::prop_map`).
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the concrete strategy type (upstream `Strategy::boxed`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// A type-erased, reference-counted strategy (output of [`Strategy::boxed`]).
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value (upstream `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between type-erased strategies (backs [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V: Debug> Union<V> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof!: all weights are zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.new_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    // Range strategies delegate to the vendored `rand` crate's uniform
+    // sampling (including its empty-range asserts and half-open-float
+    // boundary handling) so there is exactly one sampler to maintain.
+    impl<T: rand::SampleUniform + Debug> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform + Debug> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Strategies for collections (only `vec` is provided).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Bounds for a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Inclusive lower bound.
+        pub min: usize,
+        /// Exclusive upper bound.
+        pub max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose elements
+    /// come from `elem` (upstream `prop::collection::vec`).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec()`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.max_excl - self.size.min;
+            let len = self.size.min + if span == 0 { 0 } else { rng.below(span) };
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies that sample from explicit collections.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    /// Picks one element of `items` uniformly (upstream `prop::sample::select`).
+    ///
+    /// # Panics
+    /// Panics (at generation time) if `items` is empty.
+    pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select: empty choice set");
+        Select { items }
+    }
+
+    /// Output of [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len())].clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point and [`Arbitrary`] impls for primitives.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy (upstream `Arbitrary`).
+    pub trait Arbitrary: Sized + Debug {
+        /// Draws a value covering the type's whole domain.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy over the full domain of `A` (what [`any`] returns).
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn new_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_value(rng)
+        }
+    }
+
+    /// A strategy producing any value of type `A` (upstream `proptest::prelude::any`).
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Finite full-range doubles; avoids NaN/inf which upstream
+            // generates only with low probability anyway.
+            let u = rng.unit_f64();
+            (u - 0.5) * f64::MAX * 1e-3
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Fails the current property case unless `cond` holds.
+///
+/// Must be used inside a [`proptest!`] body; expands to an early `return` of a
+/// [`test_runner::TestCaseError::Fail`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n  {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current property case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Skips the current property case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over generated inputs.
+///
+/// Accepts an optional leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_proptest(&__config, stringify!($name), |__rng| {
+                let __vals = ($($crate::strategy::Strategy::new_value(&($strat), __rng),)+);
+                let __repr = format!("{:?}", __vals);
+                let ($($pat,)+) = __vals;
+                let __body = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                __body().map_err(|e| (e, __repr))
+            });
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, Vec<u8>)> {
+        (0u64..100, prop::collection::vec(any::<u8>(), 0..8))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            3 => (0u32..10).prop_map(|x| x as u64),
+            1 => Just(99u64),
+        ]) {
+            prop_assert!(v < 10 || v == 99, "unexpected value {v}");
+        }
+
+        #[test]
+        fn vec_and_select(
+            items in prop::collection::vec(arb_pair(), 1..20),
+            pick in prop::sample::select(vec![1usize, 2, 3]),
+        ) {
+            prop_assert!(!items.is_empty());
+            prop_assert_eq!(pick.min(3), pick);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::test_runner::run_proptest(
+            &ProptestConfig::with_cases(4),
+            "always_fails",
+            |rng| {
+                let x = Strategy::new_value(&(0u32..10), rng);
+                let repr = format!("{x:?}");
+                let body = || -> Result<(), TestCaseError> {
+                    prop_assert!(x > 100, "x is {x}");
+                    Ok(())
+                };
+                body().map_err(|e| (e, repr))
+            },
+        );
+    }
+}

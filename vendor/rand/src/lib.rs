@@ -1,0 +1,259 @@
+//! Offline drop-in subset of the [`rand`](https://crates.io/crates/rand) 0.8
+//! API.
+//!
+//! The build environment for this workspace has no network access and no
+//! crates.io mirror, so the handful of `rand` entry points the workspace
+//! actually uses (`StdRng::seed_from_u64`, `Rng::gen_range`, `Rng::gen_bool`)
+//! are reimplemented here on top of a small, well-known generator.
+//!
+//! The generator is **deterministic for a given seed** — exactly what the
+//! workload generators, tests, and benches rely on — but it is *not* the
+//! upstream ChaCha-based `StdRng`, so absolute sequences differ from real
+//! `rand`. Nothing in the workspace depends on the upstream bit streams, only
+//! on seed-determinism within a build.
+//!
+//! Internals: `seed_from_u64` expands the seed with SplitMix64 into the state
+//! of a xoshiro256++ generator, the same construction `rand`'s `SmallRng`
+//! family uses. Ranges are sampled with 53-bit floats / modulo reduction,
+//! which is plenty for synthetic-workload generation.
+
+#![deny(missing_docs)]
+
+/// Low-level generator interface: a source of uniformly distributed `u64`s.
+///
+/// Mirrors `rand_core::RngCore` far enough for this workspace: everything is
+/// derived from [`RngCore::next_u64`].
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a small integer seed.
+///
+/// Mirrors `rand::SeedableRng`, reduced to the single constructor the
+/// workspace calls.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, automatically available on every [`RngCore`].
+///
+/// Mirrors the `rand::Rng` extension trait: `use rand::Rng` brings
+/// [`Rng::gen_range`] and [`Rng::gen_bool`] into scope.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty, matching upstream `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        sample_unit_f64(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic pseudo-random generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// xoshiro256++ seeded via SplitMix64. Same seed → same stream, on every
+    /// platform and in every build; the stream differs from upstream `rand`'s
+    /// ChaCha-based `StdRng` (see the crate docs for why that is acceptable).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range that can be sampled uniformly; mirrors `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types usable with [`Rng::gen_range`]; mirrors
+/// `rand::distributions::uniform::SampleUniform`.
+///
+/// A single blanket `SampleRange` impl per range shape (rather than one impl
+/// per concrete type) is what lets inference resolve untyped literals like
+/// `gen_range(-800.0..800.0)` the way upstream `rand` does.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// Uniform draw from `[0, 1)` with 53 bits of precision.
+fn sample_unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! float_uniform_impl {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let u = sample_unit_f64(rng) as $t;
+                let v = lo + u * (hi - lo);
+                // Guard against FP rounding landing exactly on `hi` in the
+                // half-open case. `next_down` handles zero and negative `hi`
+                // correctly (a raw bit-decrement would not).
+                if !inclusive && v >= hi {
+                    hi.next_down()
+                } else {
+                    v
+                }
+            }
+        }
+    };
+}
+
+float_uniform_impl!(f64);
+float_uniform_impl!(f32);
+
+macro_rules! int_uniform_impl {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                // One 64-bit draw widened to u128: modulo bias < 2^-64.
+                let v = rng.next_u64() as u128 % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        // Distinct seeds must diverge quickly: fresh streams from seeds 42
+        // and 43 should disagree somewhere in their first 100 draws.
+        let mut c = StdRng::seed_from_u64(42);
+        let mut d = StdRng::seed_from_u64(43);
+        let same = (0..100).all(|_| {
+            c.gen_range(0u64..1_000_000) == d.gen_range(0u64..1_000_000)
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-3.0f64..5.0);
+            assert!((-3.0..5.0).contains(&f));
+            // Negative and zero upper bounds exercise the rounding guard,
+            // which must step *down* from `hi`, not decrement raw bits.
+            let n = rng.gen_range(-5.0f64..-3.0);
+            assert!((-5.0..-3.0).contains(&n));
+            let z = rng.gen_range(-1.0f64..0.0);
+            assert!((-1.0..0.0).contains(&z));
+            let i = rng.gen_range(-10i32..=10);
+            assert!((-10..=10).contains(&i));
+            let u = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+}

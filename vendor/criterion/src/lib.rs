@@ -1,0 +1,404 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark-harness API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! criterion surface the `pv-bench` benches use is reimplemented here:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! **Statistical differences from upstream**, acceptable for this workspace:
+//! there is no bootstrap analysis, outlier classification, HTML report, or
+//! regression comparison. Each benchmark is warmed up briefly and then timed
+//! over `sample_size` samples (auto-scaled iteration counts); the mean,
+//! fastest, and slowest per-iteration times are printed to stdout. The
+//! requested `measurement_time` caps each benchmark's wall-clock budget —
+//! the stub never runs longer than asked, usually much shorter.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque barrier preventing the optimiser from deleting a benchmark body.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] should amortise setup cost.
+///
+/// The stub runs one batch per sample regardless of variant; the variant only
+/// exists so call sites match upstream.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch upstream.
+    SmallInput,
+    /// Large inputs: few iterations per batch upstream.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+    /// Explicit number of batches.
+    NumBatches(u64),
+    /// Explicit number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id for `function_name` at parameter value `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Per-benchmark measurement settings (shared by [`Criterion`] and groups).
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            // Upstream defaults are 3 s / 5 s; the stub keeps smoke-run
+            // budgets small and treats these purely as upper bounds.
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+        }
+    }
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Caps the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Caps the wall-clock warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line overrides; a no-op in the stub, present so
+    /// [`criterion_main!`] expansions match upstream.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: std::marker::PhantomData,
+            name: name.into(),
+            settings: self.settings,
+        }
+    }
+
+    /// Times a single standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(None, &id.into().name, self.settings, f);
+    }
+
+    /// Times a single standalone benchmark with an auxiliary input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_benchmark(None, &id.name, self.settings, |b| f(b, input));
+    }
+
+    /// Prints the closing summary; a no-op in the stub.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Caps the wall-clock measurement budget for benches in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Caps the wall-clock warm-up budget for benches in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Times one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(Some(&self.name), &id.into().name, self.settings, f);
+    }
+
+    /// Times one benchmark in this group with an auxiliary input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_benchmark(Some(&self.name), &id.into().name, self.settings, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Closes the group (upstream renders the report here; the stub prints
+    /// results eagerly, so this only exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; records timing for the measured routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    warmed_up: bool,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop; the total is split per iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if !self.warmed_up {
+            let deadline = Instant::now() + self.warm_up_time;
+            while Instant::now() < deadline {
+                black_box(routine());
+            }
+            self.warmed_up = true;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if !self.warmed_up {
+            let deadline = Instant::now() + self.warm_up_time;
+            while Instant::now() < deadline {
+                black_box(routine(setup()));
+            }
+            self.warmed_up = true;
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total);
+    }
+}
+
+fn run_benchmark(
+    group: Option<&str>,
+    name: &str,
+    settings: Settings,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full_name = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_owned(),
+    };
+
+    // Calibration: one iteration per sample, to size the real run.
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        warmed_up: false,
+        warm_up_time: settings.warm_up_time,
+    };
+    f(&mut bencher);
+    let calibration = bencher
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::ZERO)
+        .max(Duration::from_nanos(1));
+
+    // Aim to fill the measurement budget across `sample_size` samples, but
+    // never fewer than 1 iteration per sample.
+    let budget_per_sample = settings.measurement_time / settings.sample_size as u32;
+    let iters = (budget_per_sample.as_nanos() / calibration.as_nanos())
+        .clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+        warmed_up: true,
+        warm_up_time: settings.warm_up_time,
+    };
+    let deadline = Instant::now() + settings.measurement_time;
+    for _ in 0..settings.sample_size {
+        f(&mut bencher);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|s| s.as_nanos() as f64 / iters as f64)
+        .collect();
+    if per_iter.is_empty() {
+        println!("{full_name:<50} (no samples)");
+        return;
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let fastest = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let slowest = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{full_name:<50} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(fastest),
+        fmt_ns(mean),
+        fmt_ns(slowest),
+        per_iter.len(),
+        iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+///
+/// Supports both the positional form `criterion_group!(benches, f1, f2)` and
+/// the named form `criterion_group!(name = benches; config = ...; targets = f1, f2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3).measurement_time(Duration::from_millis(5));
+        g.bench_function("iter", |b| b.iter(|| black_box(1u64 + 1)));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(5));
+        targets = trivial_bench
+    );
+
+    criterion_group!(simple, trivial_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn positional_group_form_runs() {
+        simple();
+    }
+}

@@ -7,7 +7,10 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn rand_rect(rng: &mut StdRng, dim: usize, max_side: f64) -> HyperRect {
     let lo: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..9_000.0)).collect();
-    let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(1.0..max_side)).collect();
+    let hi: Vec<f64> = lo
+        .iter()
+        .map(|l| l + rng.gen_range(1.0..max_side))
+        .collect();
     HyperRect::new(lo, hi)
 }
 

@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pv_bench::{Ctx, Preset};
 use pv_core::baseline::RTreeBaseline;
-use pv_core::PvIndex;
+use pv_core::{ProbNnEngine, PvIndex, QuerySpec};
 use pv_workload::{queries, realistic};
 
 fn bench_full_query(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn bench_full_query(c: &mut Criterion) {
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i = i.wrapping_add(1);
-                black_box(index.query(q))
+                black_box(index.execute(q, &QuerySpec::new()))
             })
         });
         g.bench_with_input(BenchmarkId::new("rtree_u", u as u64), &u, |b, _| {
@@ -31,7 +31,7 @@ fn bench_full_query(c: &mut Criterion) {
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i = i.wrapping_add(1);
-                black_box(baseline.query(q))
+                black_box(baseline.execute(q, &QuerySpec::new()))
             })
         });
     }
@@ -47,7 +47,7 @@ fn bench_full_query(c: &mut Criterion) {
         b.iter(|| {
             let q = &qs[i % qs.len()];
             i = i.wrapping_add(1);
-            black_box(index.query(q))
+            black_box(index.execute(q, &QuerySpec::new()))
         })
     });
     g.bench_function("rtree_airports", |b| {
@@ -55,7 +55,7 @@ fn bench_full_query(c: &mut Criterion) {
         b.iter(|| {
             let q = &qs[i % qs.len()];
             i = i.wrapping_add(1);
-            black_box(baseline.query(q))
+            black_box(baseline.execute(q, &QuerySpec::new()))
         })
     });
     g.finish();

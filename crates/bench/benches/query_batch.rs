@@ -1,0 +1,43 @@
+//! Criterion bench: batched PNNQ execution through the unified engine API —
+//! sequential vs parallel `query_batch` on the small preset, the scaling
+//! knob behind the roadmap's batched-serving goal.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_bench::{Ctx, Preset};
+use pv_core::baseline::RTreeBaseline;
+use pv_core::{ProbNnEngine, PvIndex, QuerySpec};
+use pv_workload::queries;
+
+fn bench_query_batch(c: &mut Criterion) {
+    let ctx = Ctx::new(Preset::Small);
+    let mut g = c.benchmark_group("query_batch");
+    let db = ctx.synthetic_db(4_000, 3, 60.0, 29);
+    let params = ctx.pv_params();
+    let index = PvIndex::build(&db, params);
+    let baseline = RTreeBaseline::build(&db, params.rtree_fanout, params.page_size);
+    let qs = queries::uniform(&db.domain, 128, 11);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    for (label, threads) in [("seq", 1usize), ("par", cores)] {
+        let spec = QuerySpec::new().top_k(5).batch_threads(threads);
+        g.bench_with_input(BenchmarkId::new("pv_index", label), &threads, |b, _| {
+            b.iter(|| black_box(index.query_batch(&qs, &spec)))
+        });
+        g.bench_with_input(BenchmarkId::new("rtree", label), &threads, |b, _| {
+            b.iter(|| black_box(baseline.query_batch(&qs, &spec)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_query_batch
+);
+criterion_main!(benches);

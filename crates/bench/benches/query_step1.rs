@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pv_bench::{Ctx, Preset};
 use pv_core::baseline::RTreeBaseline;
-use pv_core::PvIndex;
+use pv_core::{PvIndex, Step1Engine};
 use pv_workload::queries;
 
 fn bench_step1(c: &mut Criterion) {
@@ -21,7 +21,7 @@ fn bench_step1(c: &mut Criterion) {
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i = i.wrapping_add(1);
-                black_box(index.query_step1(q))
+                black_box(index.step1(q))
             })
         });
         g.bench_with_input(BenchmarkId::new("rtree", dim), &dim, |b, _| {
@@ -29,7 +29,7 @@ fn bench_step1(c: &mut Criterion) {
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i = i.wrapping_add(1);
-                black_box(baseline.query_step1(q))
+                black_box(baseline.step1(q))
             })
         });
     }

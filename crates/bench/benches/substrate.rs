@@ -53,7 +53,10 @@ fn bench_rtree(c: &mut Criterion) {
             i = i.wrapping_add(1);
             let range = HyperRect::new(
                 q.coords().iter().map(|x| (x - 200.0).max(0.0)).collect(),
-                q.coords().iter().map(|x| (x + 200.0).min(10_000.0)).collect(),
+                q.coords()
+                    .iter()
+                    .map(|x| (x + 200.0).min(10_000.0))
+                    .collect(),
             );
             black_box(tree.range_search(&range))
         })
@@ -66,9 +69,7 @@ fn bench_octree(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(37);
     let dim = 3;
     let domain = HyperRect::cube(dim, 0.0, 10_000.0);
-    let objs: Vec<(u64, HyperRect)> = (0..5_000)
-        .map(|i| (i, rand_rect(&mut rng, dim)))
-        .collect();
+    let objs: Vec<(u64, HyperRect)> = (0..5_000).map(|i| (i, rand_rect(&mut rng, dim))).collect();
     let lookup_map: HashMap<u64, HyperRect> = objs.iter().cloned().collect();
     g.bench_function("insert_5k", |b| {
         b.iter(|| {

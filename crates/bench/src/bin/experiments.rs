@@ -7,7 +7,7 @@
 //! commands:
 //!   table1   fig9a fig9b fig9c fig9d fig9efg fig9h
 //!   fig10a fig10b fig10c fig10d fig10e fig10f fig10g fig10hi
-//!   params updquality
+//!   params updquality engines
 //!   fig9     (all of figure 9)    fig10   (all of figure 10)
 //!   all      (everything)
 //! ```
@@ -82,6 +82,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "fig10hi" | "fig10h" | "fig10i" => figures::fig10hi(ctx),
         "params" => figures::params_sensitivity(ctx),
         "space" => figures::space(ctx),
+        "engines" => figures::engines(ctx),
         "updquality" => figures::update_quality(ctx),
         "fig9" => {
             figures::fig9a(ctx);
@@ -108,6 +109,7 @@ fn run(ctx: &Ctx, cmd: &str) {
             run(ctx, "params");
             run(ctx, "updquality");
             run(ctx, "space");
+            run(ctx, "engines");
         }
         other => {
             eprintln!("unknown command '{other}'");
@@ -125,6 +127,6 @@ fn print_help() {
          usage: experiments [--preset tiny|small|paper] [--threads N] <command>...\n\
          \n\
          commands: table1, fig9a..fig9h, fig9efg, fig10a..fig10i, fig10hi,\n\
-         params, updquality, space, fig9, fig10, all"
+         params, updquality, space, engines, fig9, fig10, all"
     );
 }

@@ -6,9 +6,10 @@ use crate::report::Table;
 use crate::Ctx;
 use pv_core::baseline::RTreeBaseline;
 use pv_core::params::{CSetStrategy, PvParams};
-use pv_core::{PvIndex, QueryStats};
+use pv_core::query::{ProbNnEngine, QuerySpec, Step1Engine};
+use pv_core::{LinearScan, PvIndex, QueryStats};
 use pv_geom::Point;
-use pv_uncertain::{UncertainDb, UncertainObject};
+use pv_uncertain::UncertainDb;
 use pv_uvindex::{UvIndex, UvParams};
 use pv_workload::queries;
 use std::time::{Duration, Instant};
@@ -65,8 +66,9 @@ fn measure_pair(
     let index = PvIndex::build(db, params);
     let baseline = RTreeBaseline::build(db, params.rtree_fanout, params.page_size);
     let qs = queries::uniform(&db.domain, ctx.preset.queries(), seed);
-    let pv = run_queries(|q| index.query(q).1, &qs);
-    let rt = run_queries(|q| baseline.query(q).1, &qs);
+    let spec = QuerySpec::new();
+    let pv = run_queries(|q| index.execute(q, &spec).stats, &qs);
+    let rt = run_queries(|q| baseline.execute(q, &spec).stats, &qs);
     (pv, rt, index, baseline)
 }
 
@@ -174,25 +176,13 @@ pub fn fig9efg(ctx: &Ctx) {
     for (i, d) in (2..=5).enumerate() {
         let db = ctx.synthetic_db(ctx.preset.s_default(), d, U_DEFAULT, 400 + i as u64);
         let (pv, rt, index, _) = measure_pair(ctx, &db, 9500 + i as u64);
-        // UV-index only exists at d = 2; reuse the PV step-2 for a full-query
-        // comparison by pairing UV Step 1 with the shared probability module.
+        // UV-index only exists at d = 2; it runs the same trait-level query
+        // pipeline (its own Step 1, shared Step 2), so Tq is comparable.
         let uv_tq = if d == 2 {
             let uv = UvIndex::build(&db, UvParams::matching(index.params()));
             let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9500 + i as u64);
-            let mut total = Duration::ZERO;
-            for q in &qs {
-                let t0 = Instant::now();
-                let (ids, _) = uv.query_step1(q);
-                // Step 2 identical to the PV path: probability computation
-                // over the candidate payloads.
-                let cands: Vec<&UncertainObject> = ids
-                    .iter()
-                    .filter_map(|id| db.objects.iter().find(|o| o.id == *id))
-                    .collect();
-                let _ = pv_core::prob::qualification_probabilities(q, &cands);
-                total += t0.elapsed();
-            }
-            Some(total / qs.len() as u32)
+            let avg = run_queries(|q| uv.execute(q, &QuerySpec::new()).stats, &qs);
+            Some(avg.tq)
         } else {
             None
         };
@@ -224,25 +214,22 @@ pub fn fig9h(ctx: &Ctx) {
     let mut t = Table::new(
         "fig9h",
         "Fig 9(h): Tq (ms) on real datasets",
-        &["dataset", "d", "Tq_rtree_ms", "Tq_pv_ms", "Tq_uv_ms", "pv_speedup_pct"],
+        &[
+            "dataset",
+            "d",
+            "Tq_rtree_ms",
+            "Tq_pv_ms",
+            "Tq_uv_ms",
+            "pv_speedup_pct",
+        ],
     );
     for (name, db) in ctx.real_dbs() {
         let (pv, rt, index, _) = measure_pair(ctx, &db, 9600);
         let uv_cell = if db.dim() == 2 {
             let uv = UvIndex::build(&db, UvParams::matching(index.params()));
             let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9600);
-            let mut total = Duration::ZERO;
-            for q in &qs {
-                let t0 = Instant::now();
-                let (ids, _) = uv.query_step1(q);
-                let cands: Vec<&UncertainObject> = ids
-                    .iter()
-                    .filter_map(|id| db.objects.iter().find(|o| o.id == *id))
-                    .collect();
-                let _ = pv_core::prob::qualification_probabilities(q, &cands);
-                total += t0.elapsed();
-            }
-            Table::ms(total / qs.len() as u32)
+            let avg = run_queries(|q| uv.execute(q, &QuerySpec::new()).stats, &qs);
+            Table::ms(avg.tq)
         } else {
             "-".into()
         };
@@ -300,7 +287,13 @@ pub fn fig10b(ctx: &Ctx) {
     let all_cap = 150usize;
     for (i, &n) in ctx.preset.s_sweep().iter().enumerate() {
         let db = ctx.synthetic_db(n, D_DEFAULT, U_DEFAULT, 510 + i as u64);
-        let fs = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k: 200 }, ..ctx.pv_params() });
+        let fs = PvIndex::build(
+            &db,
+            PvParams {
+                cset: CSetStrategy::Fixed { k: 200 },
+                ..ctx.pv_params()
+            },
+        );
         let is = PvIndex::build(&db, ctx.pv_params());
         // ALL: build UBRs for `all_cap` objects against the full database,
         // then scale by n / all_cap (cost per object is Θ(|S|) for ALL).
@@ -347,7 +340,13 @@ pub fn fig10c(ctx: &Ctx) {
     );
     for (i, &n) in ctx.preset.s_sweep().iter().enumerate() {
         let db = ctx.synthetic_db(n, D_DEFAULT, U_DEFAULT, 520 + i as u64);
-        let fs = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k: 200 }, ..ctx.pv_params() });
+        let fs = PvIndex::build(
+            &db,
+            PvParams {
+                cset: CSetStrategy::Fixed { k: 200 },
+                ..ctx.pv_params()
+            },
+        );
         let is = PvIndex::build(&db, ctx.pv_params());
         t.row(vec![
             n.to_string(),
@@ -369,7 +368,13 @@ pub fn fig10d(ctx: &Ctx) {
     );
     for (i, &u) in [20.0, 40.0, 60.0, 80.0, 100.0].iter().enumerate() {
         let db = ctx.synthetic_db(ctx.preset.s_default(), D_DEFAULT, u, 530 + i as u64);
-        let fs = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k: 200 }, ..ctx.pv_params() });
+        let fs = PvIndex::build(
+            &db,
+            PvParams {
+                cset: CSetStrategy::Fixed { k: 200 },
+                ..ctx.pv_params()
+            },
+        );
         let is = PvIndex::build(&db, ctx.pv_params());
         t.row(vec![
             format!("{u:.0}"),
@@ -388,12 +393,7 @@ pub fn fig10e(ctx: &Ctx) {
         "Fig 10(e): SE time split (s) — chooseCSet vs UBR computation",
         &["strategy", "t_cset_s", "t_ubr_s", "avg_cset_size"],
     );
-    let db = ctx.synthetic_db(
-        ctx.preset.s_default().min(4_000),
-        D_DEFAULT,
-        U_DEFAULT,
-        540,
-    );
+    let db = ctx.synthetic_db(ctx.preset.s_default().min(4_000), D_DEFAULT, U_DEFAULT, 540);
     for (name, strategy) in [
         ("FS", CSetStrategy::Fixed { k: 200 }),
         ("IS", CSetStrategy::default()),
@@ -423,7 +423,13 @@ pub fn fig10f(ctx: &Ctx) {
         &["dataset", "Tc_fs_s", "Tc_is_s"],
     );
     for (name, db) in ctx.real_dbs() {
-        let fs = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k: 200 }, ..ctx.pv_params() });
+        let fs = PvIndex::build(
+            &db,
+            PvParams {
+                cset: CSetStrategy::Fixed { k: 200 },
+                ..ctx.pv_params()
+            },
+        );
         let is = PvIndex::build(&db, ctx.pv_params());
         t.row(vec![
             name.to_string(),
@@ -469,12 +475,24 @@ pub fn fig10hi(ctx: &Ctx) {
     let mut th = Table::new(
         "fig10h",
         "Fig 10(h): insertion time per object (s) — Inc vs Rebuild",
-        &["|S|", "Tu_inc_s", "Tu_rebuild_serial_s", "Tu_rebuild_par_s", "speedup_x"],
+        &[
+            "|S|",
+            "Tu_inc_s",
+            "Tu_rebuild_serial_s",
+            "Tu_rebuild_par_s",
+            "speedup_x",
+        ],
     );
     let mut ti = Table::new(
         "fig10i",
         "Fig 10(i): deletion time per object (s) — Inc vs Rebuild",
-        &["|S|", "Tu_inc_s", "Tu_rebuild_serial_s", "Tu_rebuild_par_s", "speedup_x"],
+        &[
+            "|S|",
+            "Tu_inc_s",
+            "Tu_rebuild_serial_s",
+            "Tu_rebuild_par_s",
+            "speedup_x",
+        ],
     );
     let batch = ctx.preset.update_batch();
     for (i, &n) in ctx.preset.s_sweep().iter().enumerate() {
@@ -500,7 +518,9 @@ pub fn fig10hi(ctx: &Ctx) {
         let rebuild_s = t0.elapsed().as_secs_f64();
 
         // Deletion: remove `batch` random-ish objects incrementally.
-        let victims: Vec<u64> = (0..batch as u64).map(|k| k * (n as u64 / batch as u64)).collect();
+        let victims: Vec<u64> = (0..batch as u64)
+            .map(|k| k * (n as u64 / batch as u64))
+            .collect();
         let t0 = Instant::now();
         for &id in &victims {
             index.remove(id).expect("victim exists");
@@ -535,12 +555,7 @@ pub fn fig10hi(ctx: &Ctx) {
 
 /// §VII-C(a): parameter sensitivity of `Tq` and `Tc` (Δ, k, kpartition).
 pub fn params_sensitivity(ctx: &Ctx) {
-    let db = ctx.synthetic_db(
-        ctx.preset.s_default().min(6_000),
-        D_DEFAULT,
-        U_DEFAULT,
-        570,
-    );
+    let db = ctx.synthetic_db(ctx.preset.s_default().min(6_000), D_DEFAULT, U_DEFAULT, 570);
     let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9700);
 
     let mut t = Table::new(
@@ -549,8 +564,14 @@ pub fn params_sensitivity(ctx: &Ctx) {
         &["delta", "Tq_pv_ms"],
     );
     for &delta in &[0.1, 0.5, 1.0, 10.0, 100.0, 1000.0] {
-        let index = PvIndex::build(&db, PvParams { delta, ..ctx.pv_params() });
-        let avg = run_queries(|q| index.query(q).1, &qs);
+        let index = PvIndex::build(
+            &db,
+            PvParams {
+                delta,
+                ..ctx.pv_params()
+            },
+        );
+        let avg = run_queries(|q| index.execute(q, &QuerySpec::new()).stats, &qs);
         t.row(vec![format!("{delta}"), Table::ms(avg.tq)]);
     }
     t.finish();
@@ -561,8 +582,14 @@ pub fn params_sensitivity(ctx: &Ctx) {
         &["k", "Tq_pv_ms", "Tc_s"],
     );
     for &k in &[20usize, 40, 100, 200, 400] {
-        let index = PvIndex::build(&db, PvParams { cset: CSetStrategy::Fixed { k }, ..ctx.pv_params() });
-        let avg = run_queries(|q| index.query(q).1, &qs);
+        let index = PvIndex::build(
+            &db,
+            PvParams {
+                cset: CSetStrategy::Fixed { k },
+                ..ctx.pv_params()
+            },
+        );
+        let avg = run_queries(|q| index.execute(q, &QuerySpec::new()).stats, &qs);
         t.row(vec![
             k.to_string(),
             Table::ms(avg.tq),
@@ -587,7 +614,7 @@ pub fn params_sensitivity(ctx: &Ctx) {
                 ..ctx.pv_params()
             },
         );
-        let avg = run_queries(|q| index.query(q).1, &qs);
+        let avg = run_queries(|q| index.execute(q, &QuerySpec::new()).stats, &qs);
         t.row(vec![
             kp.to_string(),
             Table::ms(avg.tq),
@@ -603,7 +630,13 @@ pub fn params_sensitivity(ctx: &Ctx) {
         &["mmax", "Tc_s", "avg_ubr_volume"],
     );
     for &mmax in &[2usize, 5, 10, 20, 40] {
-        let index = PvIndex::build(&db, PvParams { mmax, ..ctx.pv_params() });
+        let index = PvIndex::build(
+            &db,
+            PvParams {
+                mmax,
+                ..ctx.pv_params()
+            },
+        );
         let vol: f64 = db
             .objects
             .iter()
@@ -625,7 +658,13 @@ pub fn update_quality(ctx: &Ctx) {
     let mut t = Table::new(
         "updquality",
         "§VII-C(c): Tq after Inc vs after Rebuild (parity check)",
-        &["operation", "Tq_inc_ms", "Tq_rebuild_ms", "diff_pct", "answers_equal"],
+        &[
+            "operation",
+            "Tq_inc_ms",
+            "Tq_rebuild_ms",
+            "diff_pct",
+            "answers_equal",
+        ],
     );
     let n = ctx.preset.s_default().min(6_000);
     let db = ctx.synthetic_db(n, D_DEFAULT, U_DEFAULT, 580);
@@ -648,16 +687,17 @@ pub fn update_quality(ctx: &Ctx) {
             .collect(),
     );
     let rebuilt = PvIndex::build(&remaining, params);
-    let a = run_queries(|q| inc.query(q).1, &qs);
-    let b = run_queries(|q| rebuilt.query(q).1, &qs);
-    let equal = qs
-        .iter()
-        .all(|q| inc.query_step1(q).0 == rebuilt.query_step1(q).0);
+    let a = run_queries(|q| inc.execute(q, &QuerySpec::new()).stats, &qs);
+    let b = run_queries(|q| rebuilt.execute(q, &QuerySpec::new()).stats, &qs);
+    let equal = qs.iter().all(|q| inc.step1(q).0 == rebuilt.step1(q).0);
     t.row(vec![
         "deletion".into(),
         Table::ms(a.tq),
         Table::ms(b.tq),
-        format!("{:.2}", 100.0 * (a.tq.as_secs_f64() - b.tq.as_secs_f64()) / b.tq.as_secs_f64()),
+        format!(
+            "{:.2}",
+            100.0 * (a.tq.as_secs_f64() - b.tq.as_secs_f64()) / b.tq.as_secs_f64()
+        ),
         equal.to_string(),
     ]);
 
@@ -666,16 +706,17 @@ pub fn update_quality(ctx: &Ctx) {
         inc.insert(db.objects[id as usize].clone());
     }
     let rebuilt = PvIndex::build(&db, params);
-    let a = run_queries(|q| inc.query(q).1, &qs);
-    let b = run_queries(|q| rebuilt.query(q).1, &qs);
-    let equal = qs
-        .iter()
-        .all(|q| inc.query_step1(q).0 == rebuilt.query_step1(q).0);
+    let a = run_queries(|q| inc.execute(q, &QuerySpec::new()).stats, &qs);
+    let b = run_queries(|q| rebuilt.execute(q, &QuerySpec::new()).stats, &qs);
+    let equal = qs.iter().all(|q| inc.step1(q).0 == rebuilt.step1(q).0);
     t.row(vec![
         "insertion".into(),
         Table::ms(a.tq),
         Table::ms(b.tq),
-        format!("{:.2}", 100.0 * (a.tq.as_secs_f64() - b.tq.as_secs_f64()) / b.tq.as_secs_f64()),
+        format!(
+            "{:.2}",
+            100.0 * (a.tq.as_secs_f64() - b.tq.as_secs_f64()) / b.tq.as_secs_f64()
+        ),
         equal.to_string(),
     ]);
     t.finish();
@@ -697,16 +738,46 @@ pub fn table1(ctx: &Ctx) {
             format!("{:?} → {:?}", ctx.preset, ctx.preset.s_sweep()),
         ),
         ("d", "2..5".into(), "3".into(), "3 (sweeps 2..5)".into()),
-        ("|u(o)|", "20..100".into(), "60".into(), "60 (sweeps 20..100)".into()),
-        ("delta", "0.1..1000".into(), "1".into(), format!("{}", p.delta)),
+        (
+            "|u(o)|",
+            "20..100".into(),
+            "60".into(),
+            "60 (sweeps 20..100)".into(),
+        ),
+        (
+            "delta",
+            "0.1..1000".into(),
+            "1".into(),
+            format!("{}", p.delta),
+        ),
         ("mmax", "2..40".into(), "10".into(), format!("{}", p.mmax)),
         ("k (FS)", "20..400".into(), "200".into(), "200".into()),
         ("kpartition", "2..50".into(), "10".into(), "10".into()),
         ("kglobal", "200".into(), "200".into(), "200".into()),
-        ("page size", "4 KiB".into(), "4 KiB".into(), format!("{} B", p.page_size)),
-        ("memory M", "5 MB".into(), "5 MB".into(), format!("{} B", p.mem_budget)),
-        ("samples/pdf", "500".into(), "500".into(), format!("{}", ctx.preset.samples())),
-        ("queries/point", "50".into(), "50".into(), format!("{}", ctx.preset.queries())),
+        (
+            "page size",
+            "4 KiB".into(),
+            "4 KiB".into(),
+            format!("{} B", p.page_size),
+        ),
+        (
+            "memory M",
+            "5 MB".into(),
+            "5 MB".into(),
+            format!("{} B", p.mem_budget),
+        ),
+        (
+            "samples/pdf",
+            "500".into(),
+            "500".into(),
+            format!("{}", ctx.preset.samples()),
+        ),
+        (
+            "queries/point",
+            "50".into(),
+            "50".into(),
+            format!("{}", ctx.preset.queries()),
+        ),
     ];
     for (name, paper, default, used) in rows {
         t.row(vec![name.to_string(), paper, default, used]);
@@ -738,7 +809,7 @@ pub fn space(ctx: &Ctx) {
         let mut t_total = Duration::ZERO;
         let mut io = 0u64;
         for q in &qs {
-            let (_, st) = index.query_step1(q);
+            let (_, st) = index.step1(q);
             t_total += st.time;
             io += st.io_reads;
         }
@@ -765,7 +836,7 @@ pub fn space(ctx: &Ctx) {
     let mut t_total = Duration::ZERO;
     let mut io = 0u64;
     for q in &qs {
-        let (_, st) = uv.query_step1(q);
+        let (_, st) = uv.step1(q);
         t_total += st.time;
         io += st.io_reads;
     }
@@ -777,5 +848,83 @@ pub fn space(ctx: &Ctx) {
         Table::ms(t_total / qs.len() as u32),
         format!("{:.2}", io as f64 / qs.len() as f64),
     ]);
+    t.finish();
+}
+
+/// Unified-API engine comparison: all four engines (PV-index, R-tree,
+/// UV-index, linear scan) answer the same top-5 workload through the shared
+/// [`Step1Engine`]/[`ProbNnEngine`] traits, are verified against the
+/// linear-scan ground truth, and run the same workload through
+/// `query_batch` sequentially and in parallel.
+pub fn engines(ctx: &Ctx) {
+    let mut t = Table::new(
+        "engines",
+        "Unified query API: top-5 PNNQ through ProbNnEngine, all engines (2-D)",
+        &[
+            "engine",
+            "Tq_ms",
+            "io_q",
+            "answers",
+            "top5_vs_linear_pct",
+            "batch_seq_qps",
+            "batch_par_qps",
+            "par_speedup_x",
+        ],
+    );
+    let db = ctx.synthetic_db(ctx.preset.s_default().min(4_000), 2, U_DEFAULT, 600);
+    let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9950);
+    let params = ctx.pv_params();
+    let pv = PvIndex::build(&db, params);
+    let rt = RTreeBaseline::build(&db, params.rtree_fanout, params.page_size);
+    let uv = UvIndex::build(&db, UvParams::matching(&params));
+    let scan = LinearScan::with_page_size(&db, params.page_size);
+    let spec = QuerySpec::new().top_k(5);
+    let truth: Vec<Vec<(u64, f64)>> = qs.iter().map(|q| scan.execute(q, &spec).answers).collect();
+
+    fn row<E: ProbNnEngine + Sync>(
+        e: &E,
+        qs: &[Point],
+        truth: &[Vec<(u64, f64)>],
+        spec: &QuerySpec,
+        t: &mut Table,
+    ) {
+        let mut matches = 0usize;
+        let mut tq = Duration::ZERO;
+        let mut io = 0u64;
+        let mut answers = 0usize;
+        for (q, want) in qs.iter().zip(truth) {
+            let out = e.execute(q, spec);
+            let close = out.answers.len() == want.len()
+                && out
+                    .answers
+                    .iter()
+                    .zip(want)
+                    .all(|(a, b)| a.0 == b.0 && (a.1 - b.1).abs() < 1e-9);
+            matches += close as usize;
+            tq += out.stats.total_time();
+            io += out.stats.total_io();
+            answers += out.answers.len();
+        }
+        let seq = e.query_batch(qs, &spec.clone().batch_threads(1));
+        let par = e.query_batch(qs, spec);
+        let m = qs.len();
+        t.row(vec![
+            e.engine_name().to_string(),
+            Table::ms(tq / m as u32),
+            format!("{:.2}", io as f64 / m as f64),
+            format!("{:.1}", answers as f64 / m as f64),
+            format!("{:.0}", 100.0 * matches as f64 / m as f64),
+            format!("{:.0}", seq.stats.queries_per_sec()),
+            format!("{:.0}", par.stats.queries_per_sec()),
+            format!(
+                "{:.2}",
+                par.stats.queries_per_sec() / seq.stats.queries_per_sec().max(1e-9)
+            ),
+        ]);
+    }
+    row(&pv, &qs, &truth, &spec, &mut t);
+    row(&rt, &qs, &truth, &spec, &mut t);
+    row(&uv, &qs, &truth, &spec, &mut t);
+    row(&scan, &qs, &truth, &spec, &mut t);
     t.finish();
 }

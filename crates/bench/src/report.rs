@@ -58,7 +58,10 @@ impl Table {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             println!("{}", fmt_row(row));
         }

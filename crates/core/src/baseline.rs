@@ -7,7 +7,8 @@
 //! charged as disk I/O, matching the paper's storage model (non-leaf nodes
 //! live in a main-memory budget, leaves on disk).
 
-use crate::prob::{pdf_payload_pages, qualification_probabilities};
+use crate::prob::pdf_payload_pages;
+use crate::query::{ProbNnEngine, QuerySpec, Step1Engine};
 use crate::stats::{QueryStats, Step1Stats};
 use pv_geom::{max_dist_sq, HyperRect, Point};
 use pv_rtree::{Entry, RTree, RTreeParams};
@@ -67,8 +68,47 @@ impl RTreeBaseline {
         self.tree.remove(&o.region, id)
     }
 
-    /// PNNQ Step 1: all objects with non-zero qualification probability.
+    /// PNNQ Step 1 (deprecated inherent form).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `pv_core::query::Step1Engine` trait: `baseline.step1(q)`"
+    )]
     pub fn query_step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+        Step1Engine::step1(self, q)
+    }
+
+    /// Full PNNQ (deprecated inherent form). Answers are returned in
+    /// ascending id order, as the pre-trait API did.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `pv_core::query::{QuerySpec, ProbNnEngine}`: `baseline.execute(q, &spec)`"
+    )]
+    pub fn query(&self, q: &Point) -> (Vec<(u64, f64)>, QueryStats) {
+        let out = ProbNnEngine::execute(self, q, &QuerySpec::new());
+        let mut answers = out.answers;
+        answers.sort_unstable_by_key(|&(id, _)| id);
+        (answers, out.stats)
+    }
+
+    /// Access to the underlying tree (statistics, invariants).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// The uncertainty region of an indexed object.
+    pub fn region_of(&self, id: u64) -> Option<&HyperRect> {
+        self.objects.get(&id).map(|o| &o.region)
+    }
+}
+
+impl Step1Engine for RTreeBaseline {
+    fn engine_name(&self) -> &'static str {
+        "rtree"
+    }
+
+    /// Best-first branch-and-prune over the R*-tree: all objects with
+    /// non-zero qualification probability.
+    fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
         let t0 = Instant::now();
         let leaf0 = self.tree.stats.leaf_visits.load(Ordering::Relaxed);
         let mut tau_sq = f64::INFINITY;
@@ -98,34 +138,19 @@ impl RTreeBaseline {
         };
         (ids, stats)
     }
+}
 
-    /// Full PNNQ: Step 1 + Step 2 with the same probability module and the
-    /// same pdf-payload I/O accounting as the PV-index.
-    pub fn query(&self, q: &Point) -> (Vec<(u64, f64)>, QueryStats) {
-        let (ids, step1) = self.query_step1(q);
-        let t1 = Instant::now();
-        let cands: Vec<&UncertainObject> = ids.iter().map(|id| &self.objects[id]).collect();
-        let pc_io_reads: u64 = cands
-            .iter()
-            .map(|o| pdf_payload_pages(o, self.page_size))
-            .sum();
-        let probs = qualification_probabilities(q, &cands);
-        let stats = QueryStats {
-            step1,
-            pc_time: t1.elapsed(),
-            pc_io_reads,
-        };
-        (probs, stats)
+impl ProbNnEngine for RTreeBaseline {
+    fn candidate_region(&self, id: u64) -> &HyperRect {
+        &self.objects[&id].region
     }
 
-    /// Access to the underlying tree (statistics, invariants).
-    pub fn tree(&self) -> &RTree {
-        &self.tree
-    }
-
-    /// The uncertainty region of an indexed object.
-    pub fn region_of(&self, id: u64) -> Option<&HyperRect> {
-        self.objects.get(&id).map(|o| &o.region)
+    /// Serves the payload from the in-memory catalog, charging the same
+    /// pdf-payload pages as the PV-index's storage model.
+    fn fetch_candidate(&self, id: u64) -> (UncertainObject, u64) {
+        let o = self.objects[&id].clone();
+        let io = pdf_payload_pages(&o, self.page_size);
+        (o, io)
     }
 }
 
@@ -152,7 +177,7 @@ mod tests {
             let db = small_db(400, dim, 9);
             let baseline = RTreeBaseline::build(&db, 16, 4096);
             for q in queries::uniform(&db.domain, 30, 5) {
-                let (got, _) = baseline.query_step1(&q);
+                let (got, _) = baseline.step1(&q);
                 let want = verify::possible_nn(db.objects.iter(), &q);
                 assert_eq!(got, want, "dim {dim} q {q:?}");
             }
@@ -164,7 +189,7 @@ mod tests {
         let db = small_db(2000, 2, 11);
         let baseline = RTreeBaseline::build(&db, 32, 4096);
         let q = queries::uniform(&db.domain, 1, 3)[0].clone();
-        let (ids, stats) = baseline.query_step1(&q);
+        let (ids, stats) = baseline.step1(&q);
         assert!(!ids.is_empty());
         assert!(
             stats.candidates < db.len() / 4,
@@ -179,11 +204,11 @@ mod tests {
         let db = small_db(300, 2, 13);
         let baseline = RTreeBaseline::build(&db, 16, 4096);
         let q = queries::uniform(&db.domain, 1, 7)[0].clone();
-        let (probs, stats) = baseline.query(&q);
-        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        let out = baseline.execute(&q, &QuerySpec::new());
+        let total: f64 = out.answers.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-6, "sum {total}");
-        assert!(stats.pc_io_reads >= probs.len() as u64);
-        assert!(stats.step1.io_reads > 0);
+        assert!(out.stats.pc_io_reads >= out.answers.len() as u64);
+        assert!(out.stats.step1.io_reads > 0);
     }
 
     #[test]
@@ -203,7 +228,7 @@ mod tests {
             baseline.insert(o);
         }
         for q in queries::uniform(&db.domain, 20, 23) {
-            let (got, _) = baseline.query_step1(&q);
+            let (got, _) = baseline.step1(&q);
             let want = verify::possible_nn(db.objects.iter(), &q);
             assert_eq!(got, want);
         }
@@ -214,7 +239,7 @@ mod tests {
         let db = small_db(500, 3, 29);
         let baseline = RTreeBaseline::build(&db, 16, 4096);
         for q in queries::uniform(&db.domain, 10, 31) {
-            let (ids, _) = baseline.query_step1(&q);
+            let (ids, _) = baseline.step1(&q);
             // the object minimising distmax must be in the answer
             let best = db
                 .objects

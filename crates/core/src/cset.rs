@@ -190,11 +190,7 @@ mod tests {
         }
         // far object (id 100) in the upper-right
         regions.insert(100, mk([90.0, 90.0], [92.0, 92.0]));
-        let tree = build_mean_tree(
-            regions.iter().map(|(&id, r)| (id, r.clone())),
-            2,
-            16,
-        );
+        let tree = build_mean_tree(regions.iter().map(|(&id, r)| (id, r.clone())), 2, 16);
         (center, regions, tree)
     }
 

@@ -23,7 +23,8 @@
 
 use crate::cset::{build_mean_tree, choose_cset};
 use crate::params::PvParams;
-use crate::prob::{pdf_payload_pages, qualification_probabilities};
+use crate::prob::pdf_payload_pages;
+use crate::query::{ProbNnEngine, QuerySpec, Step1Engine};
 use crate::se::{compute_ubr, compute_ubr_with_bounds, SeBounds};
 use crate::stats::{BuildStats, QueryStats, SeStats, Step1Stats, UpdateStats};
 use pv_exthash::ExtHash;
@@ -60,11 +61,11 @@ pub struct PvIndex {
     build_stats: BuildStats,
 }
 
-/// Secondary-index record: a tag selecting the UBR representation —
-/// `0`: raw `2d × f64` corners; `1`: grid-quantized corners (`steps: u16`
-/// then `2d × u16` cell indices, the §VIII "compression" extension) —
-/// followed by the object payload.
-fn encode_secondary(
+/// Encodes a secondary-index record: a tag selecting the UBR
+/// representation — `0`: raw `2d × f64` corners; `1`: grid-quantized
+/// corners (`steps: u16` then `2d × u16` cell indices, the §VIII
+/// "compression" extension) — followed by the object payload.
+pub fn encode_secondary(
     ubr: &HyperRect,
     o: &UncertainObject,
     domain: &HyperRect,
@@ -97,26 +98,38 @@ fn encode_secondary(
     out
 }
 
-fn decode_secondary(buf: &[u8], dim: usize, domain: &HyperRect) -> (HyperRect, UncertainObject) {
+/// Decodes a record written by [`encode_secondary`].
+///
+/// Corruption — a truncated buffer or a tag no known version writes — is
+/// reported through the codec layer as a [`codec::DecodeError`] instead of
+/// panicking, so callers holding untrusted pages can recover.
+pub fn decode_secondary(
+    buf: &[u8],
+    dim: usize,
+    domain: &HyperRect,
+) -> Result<(HyperRect, UncertainObject), codec::DecodeError> {
     let mut r = codec::Reader::new(buf);
-    match r.u16() {
+    match r.try_u16()? {
         0 => {
-            let lo: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
-            let hi: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+            let lo: Vec<f64> = (0..dim).map(|_| r.try_f64()).collect::<Result<_, _>>()?;
+            let hi: Vec<f64> = (0..dim).map(|_| r.try_f64()).collect::<Result<_, _>>()?;
             let ubr = HyperRect::new(lo, hi);
-            let obj = UncertainObject::decode(&buf[2 + dim * 16..]);
-            (ubr, obj)
+            let obj = UncertainObject::try_decode(&buf[2 + dim * 16..])?;
+            Ok((ubr, obj))
         }
         1 => {
-            let steps = r.u16();
-            let lo: Vec<u16> = (0..dim).map(|_| r.u16()).collect();
-            let hi: Vec<u16> = (0..dim).map(|_| r.u16()).collect();
+            let steps = r.try_u16()?;
+            let lo: Vec<u16> = (0..dim).map(|_| r.try_u16()).collect::<Result<_, _>>()?;
+            let hi: Vec<u16> = (0..dim).map(|_| r.try_u16()).collect::<Result<_, _>>()?;
             let q = pv_geom::QuantizedRect { lo, hi, steps };
             let ubr = q.decode(domain);
-            let obj = UncertainObject::decode(&buf[2 + 2 + dim * 4..]);
-            (ubr, obj)
+            let obj = UncertainObject::try_decode(&buf[2 + 2 + dim * 4..])?;
+            Ok((ubr, obj))
         }
-        t => panic!("unknown secondary record tag {t}"),
+        t => Err(codec::DecodeError::UnknownTag {
+            context: "secondary record",
+            tag: t,
+        }),
     }
 }
 
@@ -175,7 +188,10 @@ impl PvIndex {
                         scope.spawn(move || objs.iter().map(compute_one).collect::<Vec<_>>())
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .collect()
             });
             for batch in results {
                 for (id, ubr, st) in batch {
@@ -292,68 +308,26 @@ impl PvIndex {
         self.secondary.stats()
     }
 
-    /// PNNQ Step 1: descend to the leaf containing `q`, then prune with the
-    /// min/max-distance filter (§VI-A "Query Evaluation").
+    /// PNNQ Step 1 (deprecated inherent form).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `pv_core::query::Step1Engine` trait: `index.step1(q)`"
+    )]
     pub fn query_step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
-        let t0 = Instant::now();
-        let io0 = self.pager.stats().snapshot();
-        let records = self.octree.point_query(q);
-        let mut candidates: Vec<(u64, f64, f64)> = Vec::with_capacity(records.len());
-        for rec in &records {
-            let (id, region) = decode_leaf_record(rec, self.dim);
-            candidates.push((
-                id,
-                min_dist_sq(&region, q),
-                max_dist_sq(&region, q),
-            ));
-        }
-        let tau_sq = candidates
-            .iter()
-            .map(|&(_, _, maxd)| maxd)
-            .fold(f64::INFINITY, f64::min);
-        let mut ids: Vec<u64> = candidates
-            .iter()
-            .filter(|&&(_, mind, _)| mind <= tau_sq)
-            .map(|&(id, _, _)| id)
-            .collect();
-        ids.sort_unstable();
-        let io1 = self.pager.stats().snapshot();
-        let stats = Step1Stats {
-            time: t0.elapsed(),
-            io_reads: io1.since(&io0).reads,
-            candidates: candidates.len(),
-            answers: ids.len(),
-        };
-        (ids, stats)
+        Step1Engine::step1(self, q)
     }
 
-    /// Full PNNQ: Step 1, then Step 2 over the secondary index.
+    /// Full PNNQ (deprecated inherent form). Answers are returned in
+    /// ascending id order, as the pre-trait API did.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `pv_core::query::{QuerySpec, ProbNnEngine}`: `index.execute(q, &spec)`"
+    )]
     pub fn query(&self, q: &Point) -> (Vec<(u64, f64)>, QueryStats) {
-        let (ids, step1) = self.query_step1(q);
-        let t1 = Instant::now();
-        let io0 = self.pager.stats().snapshot();
-        // Fetch uncertainty info from the secondary index (charges I/O),
-        // then charge the pdf payload pages the instances would occupy.
-        let mut fetched: Vec<UncertainObject> = Vec::with_capacity(ids.len());
-        let mut payload_pages = 0u64;
-        for id in &ids {
-            let buf = self
-                .secondary
-                .get(*id)
-                .expect("step-1 answer must exist in the secondary index");
-            let (_, obj) = decode_secondary(&buf, self.dim, &self.domain);
-            payload_pages += pdf_payload_pages(&obj, self.params.page_size);
-            fetched.push(obj);
-        }
-        let refs: Vec<&UncertainObject> = fetched.iter().collect();
-        let probs = qualification_probabilities(q, &refs);
-        let io1 = self.pager.stats().snapshot();
-        let stats = QueryStats {
-            step1,
-            pc_time: t1.elapsed(),
-            pc_io_reads: io1.since(&io0).reads + payload_pages,
-        };
-        (probs, stats)
+        let out = ProbNnEngine::execute(self, q, &QuerySpec::new());
+        let mut answers = out.answers;
+        answers.sort_unstable_by_key(|&(id, _)| id);
+        (answers, out.stats)
     }
 
     /// Recomputes and stores the UBR of `id` with the given SE bounds.
@@ -530,6 +504,65 @@ impl PvIndex {
     }
 }
 
+impl Step1Engine for PvIndex {
+    fn engine_name(&self) -> &'static str {
+        "pv-index"
+    }
+
+    /// PNNQ Step 1: descend to the leaf containing `q`, then prune with the
+    /// min/max-distance filter (§VI-A "Query Evaluation").
+    fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+        let t0 = Instant::now();
+        let io0 = self.pager.stats().snapshot();
+        let records = self.octree.point_query(q);
+        let mut candidates: Vec<(u64, f64, f64)> = Vec::with_capacity(records.len());
+        for rec in &records {
+            let (id, region) = decode_leaf_record(rec, self.dim);
+            candidates.push((id, min_dist_sq(&region, q), max_dist_sq(&region, q)));
+        }
+        let tau_sq = candidates
+            .iter()
+            .map(|&(_, _, maxd)| maxd)
+            .fold(f64::INFINITY, f64::min);
+        let mut ids: Vec<u64> = candidates
+            .iter()
+            .filter(|&&(_, mind, _)| mind <= tau_sq)
+            .map(|&(id, _, _)| id)
+            .collect();
+        ids.sort_unstable();
+        let io1 = self.pager.stats().snapshot();
+        let stats = Step1Stats {
+            time: t0.elapsed(),
+            io_reads: io1.since(&io0).reads,
+            candidates: candidates.len(),
+            answers: ids.len(),
+        };
+        (ids, stats)
+    }
+}
+
+impl ProbNnEngine for PvIndex {
+    fn candidate_region(&self, id: u64) -> &HyperRect {
+        &self.objects[&id].region
+    }
+
+    /// Fetches the uncertainty info from the secondary index (charges real
+    /// page reads), then charges the pdf payload pages the instances would
+    /// occupy on disk.
+    fn fetch_candidate(&self, id: u64) -> (UncertainObject, u64) {
+        let io0 = self.pager.stats().snapshot();
+        let buf = self
+            .secondary
+            .get(id)
+            .expect("step-1 answer must exist in the secondary index");
+        let (_, obj) =
+            decode_secondary(&buf, self.dim, &self.domain).expect("secondary record corrupted");
+        let io = self.pager.stats().snapshot().since(&io0).reads;
+        let total = io + pdf_payload_pages(&obj, self.params.page_size);
+        (obj, total)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,7 +582,7 @@ mod tests {
     fn check_queries(index: &PvIndex, db_objects: &[UncertainObject], seeds: u64) {
         let qs = queries::uniform(index.domain(), 25, seeds);
         for q in qs {
-            let (got, _) = index.query_step1(&q);
+            let (got, _) = index.step1(&q);
             let want = verify::possible_nn(db_objects.iter(), &q);
             assert_eq!(got, want, "q = {q:?}");
         }
@@ -581,10 +614,24 @@ mod tests {
         let db = small_db(200, 2, 4);
         let index = PvIndex::build(&db, PvParams::default());
         for q in queries::uniform(&db.domain, 10, 19) {
-            let (probs, stats) = index.query(&q);
-            let total: f64 = probs.iter().map(|(_, p)| p).sum();
+            let out = index.execute(&q, &QuerySpec::new());
+            let total: f64 = out.answers.iter().map(|(_, p)| p).sum();
             assert!((total - 1.0).abs() < 1e-6, "sum {total}");
-            assert!(stats.pc_io_reads > 0);
+            assert!(out.stats.pc_io_reads > 0);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_trait_api() {
+        let db = small_db(150, 2, 40);
+        let index = PvIndex::build(&db, PvParams::default());
+        for q in queries::uniform(&db.domain, 10, 53) {
+            assert_eq!(index.query_step1(&q).0, index.step1(&q).0);
+            let (probs, _) = index.query(&q);
+            let mut answers = index.execute(&q, &QuerySpec::new()).answers;
+            answers.sort_unstable_by_key(|&(id, _)| id);
+            assert_eq!(probs, answers);
         }
     }
 
@@ -651,8 +698,8 @@ mod tests {
         // compare against a fresh build
         let fresh = PvIndex::build(&db, PvParams::default());
         for q in queries::uniform(&db.domain, 25, 31) {
-            let (a, _) = index.query_step1(&q);
-            let (b, _) = fresh.query_step1(&q);
+            let (a, _) = index.step1(&q);
+            let (b, _) = fresh.step1(&q);
             assert_eq!(a, b, "incremental index diverged from rebuild");
         }
         check_queries(&index, &db.objects, 37);
@@ -689,7 +736,7 @@ mod tests {
         let db = small_db(400, 2, 12);
         let index = PvIndex::build(&db, PvParams::default());
         let q = queries::uniform(&db.domain, 1, 41)[0].clone();
-        let (_, st) = index.query_step1(&q);
+        let (_, st) = index.step1(&q);
         assert!(st.io_reads >= 1, "leaf pages must be charged");
     }
 
@@ -710,9 +757,24 @@ mod tests {
         let index = PvIndex::build(&db, PvParams::default());
         let o = &db.objects[5];
         let buf = index.secondary.get(o.id).unwrap();
-        let (ubr, obj) = decode_secondary(&buf, 2, index.domain());
+        let (ubr, obj) = decode_secondary(&buf, 2, index.domain()).unwrap();
         assert_eq!(&ubr, index.ubr(o.id).unwrap());
         assert_eq!(&obj, o);
+        // corruption is reported, not panicked on
+        let mut bad = buf.clone();
+        bad[0] = 0x7F;
+        bad[1] = 0x7F;
+        assert!(matches!(
+            decode_secondary(&bad, 2, index.domain()),
+            Err(codec::DecodeError::UnknownTag {
+                context: "secondary record",
+                ..
+            })
+        ));
+        assert!(matches!(
+            decode_secondary(&buf[..buf.len() - 4], 2, index.domain()),
+            Err(codec::DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -747,7 +809,7 @@ mod tests {
         );
         let o = &db.objects[7];
         let buf = packed.secondary.get(o.id).unwrap();
-        let (ubr, obj) = decode_secondary(&buf, 3, packed.domain());
+        let (ubr, obj) = decode_secondary(&buf, 3, packed.domain()).unwrap();
         assert_eq!(&ubr, packed.ubr(o.id).unwrap());
         assert_eq!(&obj, o);
         // the quantized record is strictly smaller (48-byte corners → 14)

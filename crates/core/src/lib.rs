@@ -15,22 +15,30 @@
 //!   incremental insertion/deletion;
 //! * [`prob`] — PNNQ **Step 2**: qualification probabilities from discrete
 //!   instances (the method of Cheng et al., the paper's reference \[8\]);
+//! * [`query`] — the **unified query API**: [`query::QuerySpec`] (point /
+//!   threshold / top-k / Step-1-only / I/O budget), [`query::QueryOutcome`],
+//!   and the [`query::Step1Engine`] / [`query::ProbNnEngine`] traits every
+//!   engine implements, with batched parallel execution;
 //! * [`baseline`] — the R-tree branch-and-prune Step-1 baseline \[8\] the
 //!   experiments compare against;
-//! * [`verify`] — a naive linear-scan ground truth used by tests and the
-//!   recall measurements.
+//! * [`verify`] — a naive linear-scan ground truth ([`verify::possible_nn`]
+//!   and the [`verify::LinearScan`] engine) used by tests and the recall
+//!   measurements.
 //!
 //! ## Example
 //!
 //! ```
-//! use pv_core::{index::PvIndex, params::PvParams};
+//! use pv_core::{PvIndex, PvParams, ProbNnEngine, QuerySpec};
 //! use pv_workload::{synthetic, SyntheticConfig, queries};
 //!
 //! let db = synthetic(&SyntheticConfig { n: 200, dim: 2, samples: 50, ..Default::default() });
 //! let index = PvIndex::build(&db, PvParams::default());
-//! let q = &queries::uniform(&db.domain, 1, 7)[0];
-//! let (answers, _stats) = index.query_step1(q);
-//! assert!(!answers.is_empty()); // someone is always a possible NN
+//! let q = queries::uniform(&db.domain, 1, 7)[0].clone();
+//!
+//! // The three most likely nearest neighbors, best first.
+//! let outcome = index.run(&QuerySpec::point(q).top_k(3));
+//! assert!(!outcome.answers.is_empty()); // someone is always a possible NN
+//! assert!(outcome.best().unwrap().1 > 0.0);
 //! ```
 
 #![deny(missing_docs)]
@@ -40,10 +48,13 @@ pub mod cset;
 pub mod index;
 pub mod params;
 pub mod prob;
+pub mod query;
 pub mod se;
 pub mod stats;
 pub mod verify;
 
 pub use index::PvIndex;
 pub use params::{CSetStrategy, PvParams};
+pub use query::{BatchOutcome, BatchStats, ProbNnEngine, QueryOutcome, QuerySpec, Step1Engine};
 pub use stats::{BuildStats, QueryStats, Step1Stats, UpdateStats};
+pub use verify::LinearScan;

@@ -18,52 +18,55 @@
 use pv_geom::Point;
 use pv_uncertain::UncertainObject;
 
-/// Pre-processed candidate: sorted distances of all instances to `q`.
-struct Sorted {
-    id: u64,
-    dists: Vec<f64>,
-}
-
 /// Computes the qualification probability of every candidate.
 ///
 /// Returns `(id, probability)` pairs in the input order. Candidates with
 /// zero probability (possible when UBR-based Step 1 over-approximates) are
 /// retained with `0.0` so callers can observe the filter effectiveness.
-pub fn qualification_probabilities(
-    q: &Point,
-    candidates: &[&UncertainObject],
-) -> Vec<(u64, f64)> {
-    let sorted: Vec<Sorted> = candidates
+pub fn qualification_probabilities(q: &Point, candidates: &[&UncertainObject]) -> Vec<(u64, f64)> {
+    let sorted: Vec<(u64, Vec<f64>)> = candidates
         .iter()
         .map(|o| {
             let mut dists: Vec<f64> = o.samples().iter().map(|s| s.dist(q)).collect();
             dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
-            Sorted { id: o.id, dists }
+            (o.id, dists)
         })
         .collect();
-    sorted
+    qualification_from_sorted(&sorted)
+}
+
+/// Qualification probabilities from pre-sorted per-candidate instance
+/// distances — the core of Step 2, factored out so callers that already
+/// computed the distance lists (e.g. the trait-level query driver, which
+/// needs each candidate's farthest instance for early termination) do not
+/// pay the sampling twice.
+///
+/// `candidates[i].1` must be the ascending distances of candidate `i`'s
+/// instances to the query point. Returns `(id, probability)` in input order.
+pub fn qualification_from_sorted(candidates: &[(u64, Vec<f64>)]) -> Vec<(u64, f64)> {
+    candidates
         .iter()
         .enumerate()
-        .map(|(i, me)| {
-            let n = me.dists.len();
+        .map(|(i, (id, dists))| {
+            let n = dists.len();
             if n == 0 {
-                return (me.id, 0.0);
+                return (*id, 0.0);
             }
             let mut p = 0.0;
-            for &d in &me.dists {
+            for &d in dists {
                 let mut world = 1.0 / n as f64;
-                for (j, other) in sorted.iter().enumerate() {
+                for (j, (_, other)) in candidates.iter().enumerate() {
                     if i == j {
                         continue;
                     }
-                    world *= frac_farther(&other.dists, d);
+                    world *= frac_farther(other, d);
                     if world == 0.0 {
                         break;
                     }
                 }
                 p += world;
             }
-            (me.id, p)
+            (*id, p)
         })
         .collect()
 }
@@ -149,10 +152,16 @@ mod tests {
         // With strict comparison, tied worlds award the win to no one; the
         // remaining mass is exactly the probability of a strict winner.
         let q = Point::new(vec![0.0]);
-        let a = explicit(1, mk(&[1.0], &[3.0]),
-            vec![Point::new(vec![1.0]), Point::new(vec![3.0])]);
-        let b = explicit(2, mk(&[1.0], &[3.0]),
-            vec![Point::new(vec![1.0]), Point::new(vec![3.0])]);
+        let a = explicit(
+            1,
+            mk(&[1.0], &[3.0]),
+            vec![Point::new(vec![1.0]), Point::new(vec![3.0])],
+        );
+        let b = explicit(
+            2,
+            mk(&[1.0], &[3.0]),
+            vec![Point::new(vec![1.0]), Point::new(vec![3.0])],
+        );
         let probs = qualification_probabilities(&q, &[&a, &b]);
         // each: ½·P(other>1)=½·½ + ½·P(other>3)=0 → ¼
         assert!((probs[0].1 - 0.25).abs() < 1e-12);
@@ -165,11 +174,7 @@ mod tests {
         let objs: Vec<UncertainObject> = (0..6)
             .map(|i| {
                 let base = 1.0 + i as f64;
-                UncertainObject::uniform(
-                    i as u64,
-                    mk(&[base, base], &[base + 2.0, base + 2.0]),
-                    64,
-                )
+                UncertainObject::uniform(i as u64, mk(&[base, base], &[base + 2.0, base + 2.0]), 64)
             })
             .collect();
         let refs: Vec<&UncertainObject> = objs.iter().collect();

@@ -1,0 +1,595 @@
+//! The unified query-engine API: request/response types and engine traits.
+//!
+//! The paper evaluates one query shape — a point PNNQ returning every object
+//! with non-zero qualification probability — but the surrounding literature
+//! (probability-threshold PNN, top-k PNN) and this repo's roadmap (batched,
+//! multi-backend serving) need a single engine-agnostic surface. This module
+//! provides it:
+//!
+//! * [`QuerySpec`] — a builder describing *what to answer*: plain PNNQ,
+//!   probability threshold, top-k, Step-1-only retrieval, an optional I/O
+//!   budget, and batch parallelism;
+//! * [`QueryOutcome`] / [`BatchOutcome`] — rich results: answers sorted by
+//!   qualification probability, the raw Step-1 candidate set, per-phase
+//!   [`Step1Stats`]/[`QueryStats`], and a truncation flag;
+//! * [`Step1Engine`] — candidate retrieval (PNNQ Step 1), implemented by
+//!   every index in the workspace;
+//! * [`ProbNnEngine`] — full PNNQ. Engines implement two small hooks
+//!   ([`ProbNnEngine::candidate_region`], [`ProbNnEngine::fetch_candidate`])
+//!   and inherit the entire Step-2 pipeline, including answer semantics,
+//!   early termination and parallel [`ProbNnEngine::query_batch`].
+//!
+//! # Answer semantics
+//!
+//! * default — every Step-1 candidate with its exact probability, zeros
+//!   retained (the paper's semantics, plus filter observability);
+//! * [`QuerySpec::threshold`]`(τ)` — answers with `p ≥ τ` and `p > 0`;
+//! * [`QuerySpec::top_k`]`(k)` — the `k` highest-probability answers among
+//!   those with `p > 0`.
+//!
+//! Raising `τ` yields a subset; `top_k(k)` is a prefix of `top_k(k + 1)`;
+//! both agree with the [`LinearScan`](crate::verify::LinearScan) ground
+//! truth (`tests/answer_semantics.rs` at the workspace root checks the laws
+//! across all four engines).
+//!
+//! # Early termination
+//!
+//! When a threshold or top-k is requested, Step 2 visits candidates in
+//! ascending `distmin` order and maintains `cutoff`, the smallest *farthest
+//! instance distance* seen so far. A candidate `x` with
+//! `distmin(x, q) > cutoff` is provably irrelevant: some fetched object `o`
+//! has **all** instances strictly closer than all of `x`'s, so `P(x) = 0`;
+//! and in every possible world that contributes probability mass to another
+//! candidate the winning distance `d` satisfies `d < cutoff < distmin(x)`,
+//! making `x`'s factor `P(dist(x, q) > d)` exactly `1`. Skipping `x`'s pdf
+//! payload therefore changes no reported probability — the first
+//! semantics-level optimization the old per-engine inherent methods could
+//! not express. Because candidates are sorted by `distmin`, the first skip
+//! ends the scan.
+
+use crate::prob::qualification_from_sorted;
+use crate::stats::{QueryStats, Step1Stats};
+use pv_geom::{min_dist, HyperRect, Point};
+use pv_uncertain::UncertainObject;
+use std::time::{Duration, Instant};
+
+/// A declarative description of one probabilistic-NN request.
+///
+/// Build with [`QuerySpec::point`] (single query) or [`QuerySpec::new`]
+/// (a template for [`ProbNnEngine::query_batch`] /
+/// [`ProbNnEngine::execute`]), then chain the builder methods:
+///
+/// ```
+/// use pv_core::query::QuerySpec;
+/// use pv_geom::Point;
+///
+/// let spec = QuerySpec::point(Point::new(vec![1.0, 2.0]))
+///     .threshold(0.1)
+///     .top_k(5)
+///     .io_budget(64);
+/// assert_eq!(spec.get_top_k(), Some(5));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuerySpec {
+    target: Option<Point>,
+    threshold: Option<f64>,
+    top_k: Option<usize>,
+    step1_only: bool,
+    io_budget: Option<u64>,
+    batch_threads: Option<usize>,
+}
+
+impl QuerySpec {
+    /// A spec with no target point — a template for
+    /// [`ProbNnEngine::execute`] and [`ProbNnEngine::query_batch`], which
+    /// supply the point(s) themselves.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A spec for a single PNNQ at `q`, runnable via
+    /// [`ProbNnEngine::run`].
+    pub fn point(q: Point) -> Self {
+        Self {
+            target: Some(q),
+            ..Self::default()
+        }
+    }
+
+    /// Keep only answers whose qualification probability is at least `tau`
+    /// (and strictly positive). Enables Step-2 early termination.
+    ///
+    /// # Panics
+    /// If `tau` is negative or not finite.
+    pub fn threshold(mut self, tau: f64) -> Self {
+        assert!(tau.is_finite() && tau >= 0.0, "threshold must be ≥ 0");
+        self.threshold = Some(tau);
+        self
+    }
+
+    /// Keep only the `k` highest-probability answers (positive probability
+    /// only). Enables Step-2 early termination.
+    ///
+    /// # Panics
+    /// If `k` is zero.
+    pub fn top_k(mut self, k: usize) -> Self {
+        assert!(k > 0, "top_k must be ≥ 1");
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Stop after Step 1: [`QueryOutcome::candidates`] is populated,
+    /// [`QueryOutcome::answers`] stays empty and no pdf payload is read.
+    pub fn step1_only(mut self) -> Self {
+        self.step1_only = true;
+        self
+    }
+
+    /// Best-effort cap on total pages read per query (Step 1 + Step 2).
+    /// Once the running count reaches the budget no further candidate
+    /// payload is fetched and the outcome is flagged
+    /// [`truncated`](QueryOutcome::truncated); probabilities computed from a
+    /// truncated candidate set are upper bounds, not exact values.
+    ///
+    /// Engines that meter I/O through a shared pager (PV-index, UV-index)
+    /// count concurrent queries' page reads against each other's budgets, so
+    /// under a parallel [`ProbNnEngine::query_batch`] the truncation point —
+    /// and therefore the answer set — can vary run to run. Combine a budget
+    /// with [`QuerySpec::batch_threads`]`(1)` when reproducible budgeted
+    /// results matter.
+    pub fn io_budget(mut self, pages: u64) -> Self {
+        self.io_budget = Some(pages);
+        self
+    }
+
+    /// Worker threads for [`ProbNnEngine::query_batch`] (default: one per
+    /// available core, capped at the batch size). `1` forces sequential
+    /// execution.
+    pub fn batch_threads(mut self, threads: usize) -> Self {
+        self.batch_threads = Some(threads.max(1));
+        self
+    }
+
+    /// The target point, if one was set via [`QuerySpec::point`].
+    pub fn target(&self) -> Option<&Point> {
+        self.target.as_ref()
+    }
+
+    /// The probability threshold, if any.
+    pub fn get_threshold(&self) -> Option<f64> {
+        self.threshold
+    }
+
+    /// The top-k cap, if any.
+    pub fn get_top_k(&self) -> Option<usize> {
+        self.top_k
+    }
+
+    /// True when the spec stops after Step 1.
+    pub fn is_step1_only(&self) -> bool {
+        self.step1_only
+    }
+
+    /// The per-query I/O budget, if any.
+    pub fn get_io_budget(&self) -> Option<u64> {
+        self.io_budget
+    }
+
+    /// The requested batch parallelism, if any.
+    pub fn get_batch_threads(&self) -> Option<usize> {
+        self.batch_threads
+    }
+
+    /// True when the answer semantics allow dropping zero-probability
+    /// candidates — the precondition for Step-2 early termination.
+    fn prunes(&self) -> bool {
+        self.threshold.is_some() || self.top_k.is_some()
+    }
+}
+
+/// The result of one query executed through [`ProbNnEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutcome {
+    /// The Step-1 candidate set (ids ascending) — populated for every spec,
+    /// including [`QuerySpec::step1_only`].
+    pub candidates: Vec<u64>,
+    /// Final answers `(id, qualification probability)`, sorted by
+    /// probability descending (ties: id ascending). Empty for
+    /// Step-1-only specs.
+    pub answers: Vec<(u64, f64)>,
+    /// Per-phase cost breakdown.
+    pub stats: QueryStats,
+    /// True when an [`QuerySpec::io_budget`] stopped Step 2 before every
+    /// relevant candidate was processed (answers are then approximate).
+    pub truncated: bool,
+    /// Candidates whose pdf payload was never fetched: proven-zero
+    /// candidates removed by early termination, plus any cut by the I/O
+    /// budget.
+    pub skipped_payloads: usize,
+}
+
+impl QueryOutcome {
+    /// The most likely nearest neighbor, if any answer qualified.
+    pub fn best(&self) -> Option<(u64, f64)> {
+        self.answers.first().copied()
+    }
+
+    /// The qualification probability of `id`, if it is among the answers.
+    pub fn probability_of(&self, id: u64) -> Option<f64> {
+        self.answers
+            .iter()
+            .find(|&&(aid, _)| aid == id)
+            .map(|&(_, p)| p)
+    }
+
+    /// Answer ids in reported (probability-descending) order.
+    pub fn answer_ids(&self) -> Vec<u64> {
+        self.answers.iter().map(|&(id, _)| id).collect()
+    }
+}
+
+/// Aggregated cost of a [`ProbNnEngine::query_batch`] run.
+///
+/// `io_reads` sums the per-outcome totals; engines meter I/O through shared
+/// atomic counters, so under parallel execution a page read can be
+/// attributed to more than one concurrent query — `wall_time` is the
+/// authoritative throughput figure, per-query I/O is exact only at
+/// `threads == 1`.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time of the whole batch.
+    pub wall_time: Duration,
+    /// Summed per-query total I/O (see the type-level note).
+    pub io_reads: u64,
+    /// Total answers across the batch.
+    pub answers: usize,
+    /// Queries flagged [`QueryOutcome::truncated`].
+    pub truncated: usize,
+}
+
+impl BatchStats {
+    /// Batch throughput in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        let s = self.wall_time.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / s
+        }
+    }
+}
+
+/// The result of a batch execution: one [`QueryOutcome`] per input point (in
+/// input order) plus aggregated statistics.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Per-query outcomes, in input order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Aggregated cost.
+    pub stats: BatchStats,
+}
+
+impl BatchOutcome {
+    fn collect(outcomes: Vec<QueryOutcome>, wall_time: Duration, threads: usize) -> Self {
+        let stats = BatchStats {
+            queries: outcomes.len(),
+            threads,
+            wall_time,
+            io_reads: outcomes.iter().map(|o| o.stats.total_io()).sum(),
+            answers: outcomes.iter().map(|o| o.answers.len()).sum(),
+            truncated: outcomes.iter().filter(|o| o.truncated).count(),
+        };
+        Self { outcomes, stats }
+    }
+}
+
+/// PNNQ Step 1: retrieval of every object with a non-zero chance of being
+/// the query point's nearest neighbor (possibly over-approximated by engines
+/// with approximate cells, e.g. the UV-index).
+pub trait Step1Engine {
+    /// Short engine identifier for reports (`"pv-index"`, `"rtree"`, …).
+    fn engine_name(&self) -> &'static str;
+
+    /// Retrieves the candidate ids (ascending) with retrieval statistics.
+    fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats);
+}
+
+/// Full probabilistic-NN query evaluation over a [`Step1Engine`].
+///
+/// Implementors provide the two data-access hooks; the whole Step-2
+/// pipeline — candidate ordering, early termination, probability
+/// computation, answer semantics and batching — is inherited.
+pub trait ProbNnEngine: Step1Engine {
+    /// The uncertainty region of a Step-1 candidate, served by reference
+    /// from the engine's in-memory catalog (no I/O is charged; used for
+    /// candidate ordering and pruning).
+    fn candidate_region(&self, id: u64) -> &HyperRect;
+
+    /// Fetches a candidate's full payload, returning the object and the
+    /// number of pages the fetch charged (index pages actually read plus
+    /// the pdf-payload pages of the storage model).
+    fn fetch_candidate(&self, id: u64) -> (UncertainObject, u64);
+
+    /// Executes `spec` at point `q`.
+    fn execute(&self, q: &Point, spec: &QuerySpec) -> QueryOutcome {
+        let (ids, step1) = self.step1(q);
+        let mut stats = QueryStats {
+            step1,
+            pc_time: Duration::ZERO,
+            pc_io_reads: 0,
+        };
+        if spec.is_step1_only() {
+            return QueryOutcome {
+                candidates: ids,
+                stats,
+                ..QueryOutcome::default()
+            };
+        }
+
+        let t1 = Instant::now();
+        // Visit candidates in ascending distmin order so that (a) early
+        // termination can stop at the first provably-irrelevant candidate
+        // and (b) an I/O budget keeps the most promising ones.
+        let mut order: Vec<(u64, f64)> = ids
+            .iter()
+            .map(|&id| (id, min_dist(self.candidate_region(id), q)))
+            .collect();
+        order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+        let prune = spec.prunes();
+        let mut cutoff = f64::INFINITY; // min over fetched of max instance dist
+        let mut pc_io = 0u64;
+        let mut truncated = false;
+        let mut skipped = 0usize;
+        let mut fetched: Vec<(u64, Vec<f64>)> = Vec::with_capacity(order.len());
+        for (i, &(id, mind)) in order.iter().enumerate() {
+            if prune && mind > cutoff {
+                // Sorted ascending: every remaining candidate is proven
+                // irrelevant too (see the module-level soundness argument).
+                skipped = order.len() - i;
+                break;
+            }
+            if let Some(budget) = spec.get_io_budget() {
+                if stats.step1.io_reads + pc_io >= budget {
+                    truncated = true;
+                    skipped = order.len() - i;
+                    break;
+                }
+            }
+            let (obj, io) = self.fetch_candidate(id);
+            pc_io += io;
+            let mut dists: Vec<f64> = obj.samples().iter().map(|s| s.dist(q)).collect();
+            dists.sort_unstable_by(f64::total_cmp);
+            if let Some(&dmax) = dists.last() {
+                cutoff = cutoff.min(dmax);
+            }
+            fetched.push((id, dists));
+        }
+
+        let mut answers = qualification_from_sorted(&fetched);
+        answers.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        if let Some(tau) = spec.get_threshold() {
+            answers.retain(|&(_, p)| p >= tau && p > 0.0);
+        }
+        if let Some(k) = spec.get_top_k() {
+            answers.retain(|&(_, p)| p > 0.0);
+            answers.truncate(k);
+        }
+        stats.pc_time = t1.elapsed();
+        stats.pc_io_reads = pc_io;
+        QueryOutcome {
+            candidates: ids,
+            answers,
+            stats,
+            truncated,
+            skipped_payloads: skipped,
+        }
+    }
+
+    /// Executes a spec built with [`QuerySpec::point`].
+    ///
+    /// (Named `run` rather than `query` so it never collides with the
+    /// deprecated inherent `query` methods still present on the engines.)
+    ///
+    /// # Panics
+    /// If the spec has no target point.
+    fn run(&self, spec: &QuerySpec) -> QueryOutcome {
+        let q = spec
+            .target()
+            .expect("QuerySpec has no target point; build it with QuerySpec::point, or pass the point explicitly via execute/query_batch");
+        self.execute(q, spec)
+    }
+
+    /// Executes `spec` at every point of `points`, in parallel by default
+    /// (`std::thread::scope` over chunks, like the parallel index build);
+    /// `&self` queries are already shareable across threads. Control the
+    /// worker count with [`QuerySpec::batch_threads`].
+    fn query_batch(&self, points: &[Point], spec: &QuerySpec) -> BatchOutcome
+    where
+        Self: Sync,
+    {
+        let t0 = Instant::now();
+        let threads = spec
+            .get_batch_threads()
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, points.len().max(1));
+        let (outcomes, workers): (Vec<QueryOutcome>, usize) = if threads <= 1 {
+            (points.iter().map(|q| self.execute(q, spec)).collect(), 1)
+        } else {
+            // Chunk rounding can need fewer workers than requested
+            // (e.g. 10 points over 8 threads → 5 chunks of 2); report the
+            // count actually spawned.
+            let chunk = points.len().div_ceil(threads);
+            let workers = points.len().div_ceil(chunk);
+            let chunk_results: Vec<Vec<QueryOutcome>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = points
+                    .chunks(chunk)
+                    .map(|ps| {
+                        scope.spawn(move || {
+                            ps.iter().map(|q| self.execute(q, spec)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch query worker panicked"))
+                    .collect()
+            });
+            (chunk_results.into_iter().flatten().collect(), workers)
+        };
+        BatchOutcome::collect(outcomes, t0.elapsed(), workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::LinearScan;
+    use pv_uncertain::{Pdf, UncertainDb};
+    use std::sync::Arc;
+
+    fn explicit(id: u64, lo: &[f64], hi: &[f64], pts: &[&[f64]]) -> UncertainObject {
+        UncertainObject {
+            id,
+            region: HyperRect::new(lo.to_vec(), hi.to_vec()),
+            pdf: Pdf::Explicit(Arc::new(
+                pts.iter().map(|p| Point::new(p.to_vec())).collect(),
+            )),
+        }
+    }
+
+    /// near: huge region [0,10] but instances at 1 and 2; far: region [5,6]
+    /// with instances at 5 and 6. Step 1 keeps both (distmax(near) = 10),
+    /// yet far's distmin (5) exceeds near's farthest instance (2), so a
+    /// pruning spec must skip far's payload and still be exact.
+    fn skip_db() -> UncertainDb {
+        let domain = HyperRect::new(vec![0.0], vec![20.0]);
+        let near = explicit(1, &[0.0], &[10.0], &[&[1.0], &[2.0]]);
+        let far = explicit(2, &[5.0], &[6.0], &[&[5.0], &[6.0]]);
+        UncertainDb::new(domain, vec![near, far])
+    }
+
+    #[test]
+    fn step1_only_skips_step2() {
+        let db = skip_db();
+        let scan = LinearScan::new(&db);
+        let q = Point::new(vec![0.0]);
+        let out = scan.execute(&q, &QuerySpec::new().step1_only());
+        assert_eq!(out.candidates, vec![1, 2]);
+        assert!(out.answers.is_empty());
+        assert_eq!(out.stats.pc_io_reads, 0);
+    }
+
+    #[test]
+    fn default_spec_retains_zero_probability_candidates() {
+        let db = skip_db();
+        let scan = LinearScan::new(&db);
+        let q = Point::new(vec![0.0]);
+        let out = scan.execute(&q, &QuerySpec::new());
+        assert_eq!(out.answers, vec![(1, 1.0), (2, 0.0)]);
+        assert_eq!(out.skipped_payloads, 0);
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn early_termination_skips_irrelevant_payloads_exactly() {
+        let db = skip_db();
+        let scan = LinearScan::new(&db);
+        let q = Point::new(vec![0.0]);
+        let full = scan.execute(&q, &QuerySpec::new());
+        let pruned = scan.execute(&q, &QuerySpec::new().threshold(1e-9));
+        assert_eq!(pruned.answers, vec![(1, 1.0)]);
+        assert_eq!(pruned.skipped_payloads, 1);
+        assert!(pruned.stats.pc_io_reads < full.stats.pc_io_reads);
+        // the retained probability is untouched by the skip
+        assert_eq!(pruned.probability_of(1), full.probability_of(1));
+    }
+
+    #[test]
+    fn threshold_is_monotone_and_top_k_is_a_prefix() {
+        let domain = HyperRect::new(vec![0.0], vec![100.0]);
+        // interleaved instances give a spread of probabilities
+        let objs = vec![
+            explicit(1, &[1.0], &[7.0], &[&[1.0], &[4.0], &[7.0]]),
+            explicit(2, &[2.0], &[8.0], &[&[2.0], &[5.0], &[8.0]]),
+            explicit(3, &[3.0], &[9.0], &[&[3.0], &[6.0], &[9.0]]),
+        ];
+        let db = UncertainDb::new(domain, objs);
+        let scan = LinearScan::new(&db);
+        let q = Point::new(vec![0.0]);
+        let mut prev = scan.execute(&q, &QuerySpec::new().threshold(0.0)).answers;
+        for tau in [0.1, 0.3, 0.6, 0.9] {
+            let cur = scan.execute(&q, &QuerySpec::new().threshold(tau)).answers;
+            assert!(
+                cur.iter().all(|a| prev.contains(a)),
+                "threshold {tau} not a subset"
+            );
+            prev = cur;
+        }
+        let mut prefix: Vec<(u64, f64)> = Vec::new();
+        for k in 1..=4 {
+            let cur = scan.execute(&q, &QuerySpec::new().top_k(k)).answers;
+            assert!(cur.len() <= k);
+            assert_eq!(&cur[..prefix.len()], &prefix[..], "top_k({k}) prefix");
+            prefix = cur;
+        }
+    }
+
+    #[test]
+    fn io_budget_truncates_and_flags() {
+        let db = skip_db();
+        let scan = LinearScan::new(&db);
+        let q = Point::new(vec![0.0]);
+        let out = scan.execute(&q, &QuerySpec::new().io_budget(1));
+        assert!(out.truncated);
+        assert!(out.answers.len() <= out.candidates.len());
+        let roomy = scan.execute(&q, &QuerySpec::new().io_budget(1_000));
+        assert!(!roomy.truncated);
+        assert_eq!(roomy.answers.len(), 2);
+    }
+
+    #[test]
+    fn batch_matches_sequential_execution() {
+        let db = skip_db();
+        let scan = LinearScan::new(&db);
+        let points: Vec<Point> = (0..16).map(|i| Point::new(vec![i as f64])).collect();
+        let spec = QuerySpec::new().top_k(2);
+        let seq = scan.query_batch(&points, &spec.clone().batch_threads(1));
+        let par = scan.query_batch(&points, &spec.clone().batch_threads(4));
+        assert_eq!(seq.stats.threads, 1);
+        assert_eq!(par.stats.threads, 4);
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        for (a, b) in seq.outcomes.iter().zip(par.outcomes.iter()) {
+            assert_eq!(a.answers, b.answers);
+            assert_eq!(a.candidates, b.candidates);
+        }
+        assert_eq!(seq.stats.queries, 16);
+        assert_eq!(seq.stats.answers, par.stats.answers);
+    }
+
+    #[test]
+    fn run_uses_the_spec_target() {
+        let db = skip_db();
+        let scan = LinearScan::new(&db);
+        let spec = QuerySpec::point(Point::new(vec![0.0])).top_k(1);
+        let out = scan.run(&spec);
+        assert_eq!(out.best(), Some((1, 1.0)));
+        assert_eq!(out.answer_ids(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no target point")]
+    fn run_without_target_panics() {
+        let db = skip_db();
+        let scan = LinearScan::new(&db);
+        let _ = scan.run(&QuerySpec::new());
+    }
+}

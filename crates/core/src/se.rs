@@ -311,10 +311,7 @@ mod tests {
             let cset = full_cset(o, &objects);
             let (ubr, _) = compute_ubr(o, &domain, &cset, 0.5, 10);
             for _ in 0..400 {
-                let p = Point::new(vec![
-                    rng.gen_range(0.0..100.0),
-                    rng.gen_range(0.0..100.0),
-                ]);
+                let p = Point::new(vec![rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
                 if can_be_nn(o, &objects, &p) {
                     assert!(
                         ubr.contains_point(&p),
@@ -377,11 +374,8 @@ mod tests {
         let (domain, objects) = random_db(40, 6);
         let o = &objects[5];
         // database without object 11 ≈ post-deletion state
-        let remaining: Vec<UncertainObject> = objects
-            .iter()
-            .filter(|x| x.id != 11)
-            .cloned()
-            .collect();
+        let remaining: Vec<UncertainObject> =
+            objects.iter().filter(|x| x.id != 11).cloned().collect();
         let cset_before = full_cset(o, &objects);
         let (old_ubr, _) = compute_ubr(o, &domain, &cset_before, 0.5, 10);
         let cset_after = full_cset(o, &remaining);
@@ -417,10 +411,10 @@ mod tests {
         // insert a new object near o: the cell can only shrink
         let newbie = UncertainObject::uniform(
             999,
-            mk(&[o.region.lo()[0] + 6.0, o.region.lo()[1]], &[
-                o.region.lo()[0] + 8.0,
-                o.region.lo()[1] + 2.0,
-            ]),
+            mk(
+                &[o.region.lo()[0] + 6.0, o.region.lo()[1]],
+                &[o.region.lo()[0] + 8.0, o.region.lo()[1] + 2.0],
+            ),
             8,
         );
         objects.push(newbie);

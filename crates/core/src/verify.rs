@@ -13,9 +13,12 @@
 //! and serves as the reference implementation the indexes are validated
 //! against, as well as the recall oracle for the UV-index baseline.
 
+use crate::prob::pdf_payload_pages;
+use crate::query::{ProbNnEngine, Step1Engine};
 use crate::stats::Step1Stats;
-use pv_geom::{max_dist_sq, min_dist_sq, Point};
-use pv_uncertain::UncertainObject;
+use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
+use pv_uncertain::{UncertainDb, UncertainObject};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// All objects with a non-zero probability of being `q`'s nearest neighbor.
@@ -54,10 +57,77 @@ pub fn possible_nn_timed<'a>(
     (ids, stats)
 }
 
+/// The naive linear scan packaged as a query engine: the ground-truth
+/// implementation of the [`Step1Engine`]/[`ProbNnEngine`] traits.
+///
+/// Step 1 is [`possible_nn`] (exact, zero index I/O); Step 2 runs through
+/// the shared trait pipeline with the same pdf-payload I/O accounting as the
+/// R-tree baseline, so every engine's answers — and the answer-semantics
+/// laws (threshold subsets, top-k prefixes) — can be validated against it.
+pub struct LinearScan {
+    objects: Vec<UncertainObject>,
+    by_id: HashMap<u64, usize>,
+    page_size: usize,
+}
+
+impl LinearScan {
+    /// Wraps a database with the default 4 KiB page size.
+    pub fn new(db: &UncertainDb) -> Self {
+        Self::with_page_size(db, 4096)
+    }
+
+    /// Wraps a database, charging pdf payloads at the given page size.
+    pub fn with_page_size(db: &UncertainDb, page_size: usize) -> Self {
+        let objects = db.objects.clone();
+        let by_id = objects.iter().enumerate().map(|(i, o)| (o.id, i)).collect();
+        Self {
+            objects,
+            by_id,
+            page_size,
+        }
+    }
+
+    /// Number of objects scanned per query.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    fn object(&self, id: u64) -> &UncertainObject {
+        &self.objects[self.by_id[&id]]
+    }
+}
+
+impl Step1Engine for LinearScan {
+    fn engine_name(&self) -> &'static str {
+        "linear-scan"
+    }
+
+    fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+        possible_nn_timed(self.objects.iter(), q)
+    }
+}
+
+impl ProbNnEngine for LinearScan {
+    fn candidate_region(&self, id: u64) -> &HyperRect {
+        &self.object(id).region
+    }
+
+    fn fetch_candidate(&self, id: u64) -> (UncertainObject, u64) {
+        let o = self.object(id).clone();
+        let io = pdf_payload_pages(&o, self.page_size);
+        (o, io)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pv_geom::HyperRect;
+    use crate::query::QuerySpec;
 
     fn mk(id: u64, lo: &[f64], hi: &[f64]) -> UncertainObject {
         UncertainObject::uniform(id, HyperRect::new(lo.to_vec(), hi.to_vec()), 4)
@@ -65,16 +135,20 @@ mod tests {
 
     #[test]
     fn obvious_nearest_wins_alone() {
-        let objs = [mk(1, &[1.0, 1.0], &[2.0, 2.0]),
-            mk(2, &[50.0, 50.0], &[51.0, 51.0])];
+        let objs = [
+            mk(1, &[1.0, 1.0], &[2.0, 2.0]),
+            mk(2, &[50.0, 50.0], &[51.0, 51.0]),
+        ];
         let q = Point::new(vec![0.0, 0.0]);
         assert_eq!(possible_nn(objs.iter(), &q), vec![1]);
     }
 
     #[test]
     fn overlapping_regions_are_both_possible() {
-        let objs = [mk(1, &[1.0, 0.0], &[4.0, 1.0]),
-            mk(2, &[2.0, 0.0], &[5.0, 1.0])];
+        let objs = [
+            mk(1, &[1.0, 0.0], &[4.0, 1.0]),
+            mk(2, &[2.0, 0.0], &[5.0, 1.0]),
+        ];
         let q = Point::new(vec![0.0, 0.5]);
         assert_eq!(possible_nn(objs.iter(), &q), vec![1, 2]);
     }
@@ -83,8 +157,8 @@ mod tests {
     fn the_minmax_object_is_always_possible() {
         // Whoever minimises distmax can always be the NN.
         let objs = [
-            mk(1, &[1.0], &[9.0]),  // wide region
-            mk(2, &[4.0], &[5.0]),  // small region with smallest maxdist
+            mk(1, &[1.0], &[9.0]), // wide region
+            mk(2, &[4.0], &[5.0]), // small region with smallest maxdist
             mk(3, &[20.0], &[21.0]),
         ];
         let q = Point::new(vec![4.5]);
@@ -95,8 +169,10 @@ mod tests {
 
     #[test]
     fn query_inside_a_region_keeps_that_object() {
-        let objs = [mk(1, &[0.0, 0.0], &[10.0, 10.0]),
-            mk(2, &[4.0, 4.0], &[5.0, 5.0])];
+        let objs = [
+            mk(1, &[0.0, 0.0], &[10.0, 10.0]),
+            mk(2, &[4.0, 4.0], &[5.0, 5.0]),
+        ];
         let q = Point::new(vec![4.5, 4.5]); // inside both
         let ids = possible_nn(objs.iter(), &q);
         assert_eq!(ids, vec![1, 2]);
@@ -109,5 +185,29 @@ mod tests {
         let (ids, stats) = possible_nn_timed(objs.iter(), &q);
         assert_eq!(ids, possible_nn(objs.iter(), &q));
         assert_eq!(stats.answers, ids.len());
+    }
+
+    #[test]
+    fn linear_scan_engine_matches_the_free_function() {
+        let domain = HyperRect::new(vec![0.0, 0.0], vec![100.0, 100.0]);
+        let objs = vec![
+            mk(1, &[1.0, 1.0], &[2.0, 2.0]),
+            mk(2, &[3.0, 0.0], &[5.0, 2.0]),
+            mk(3, &[50.0, 50.0], &[51.0, 51.0]),
+        ];
+        let db = UncertainDb::new(domain, objs.clone());
+        let scan = LinearScan::new(&db);
+        assert_eq!(scan.engine_name(), "linear-scan");
+        assert_eq!(scan.len(), 3);
+        let q = Point::new(vec![0.0, 0.0]);
+        let (ids, stats) = scan.step1(&q);
+        assert_eq!(ids, possible_nn(objs.iter(), &q));
+        assert_eq!(stats.io_reads, 0, "the scan charges no index I/O");
+        let out = scan.execute(&q, &QuerySpec::new());
+        assert_eq!(out.candidates, ids);
+        let total: f64 = out.answers.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // step 2 charges pdf payload pages like the R-tree baseline
+        assert!(out.stats.pc_io_reads >= out.answers.len() as u64);
     }
 }

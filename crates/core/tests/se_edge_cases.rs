@@ -106,7 +106,10 @@ fn empty_cset_with_bounds_returns_upper() {
         10,
         SeBounds::after_insertion(upper.clone()),
     );
-    assert_eq!(ubr, upper, "nothing can shrink below the seeded upper bound");
+    assert_eq!(
+        ubr, upper,
+        "nothing can shrink below the seeded upper bound"
+    );
 }
 
 #[test]

@@ -233,7 +233,11 @@ impl<P: Pager> ExtHash<P> {
             let page = self.pager.read(bucket);
             let (local_depth, mut records) = Self::parse_bucket(&page);
             let (inline, overflow) = self.store_value(value);
-            records.push(Record { key, inline, overflow });
+            records.push(Record {
+                key,
+                inline,
+                overflow,
+            });
             if Self::bucket_bytes(&records) <= self.pager.page_size() - BUCKET_HDR {
                 self.write_bucket(bucket, local_depth, &records);
                 self.len_cache.insert(bucket, records.len());
@@ -267,8 +271,9 @@ impl<P: Pager> ExtHash<P> {
         let sibling = Self::alloc_bucket(&self.pager, new_depth);
         // Partition records by the newly significant hash bit.
         let bit = 1u64 << local_depth;
-        let (stay, move_out): (Vec<Record>, Vec<Record>) =
-            records.into_iter().partition(|r| hash_key(r.key) & bit == 0);
+        let (stay, move_out): (Vec<Record>, Vec<Record>) = records
+            .into_iter()
+            .partition(|r| hash_key(r.key) & bit == 0);
         self.write_bucket(bucket, new_depth, &stay);
         self.write_bucket(sibling, new_depth, &move_out);
         self.len_cache.insert(bucket, stay.len());

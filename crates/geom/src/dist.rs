@@ -79,7 +79,9 @@ pub fn max_dist_sq_rr(a: &HyperRect, b: &HyperRect) -> f64 {
     debug_assert_eq!(a.dim(), b.dim());
     let mut acc = 0.0;
     for j in 0..a.dim() {
-        let w = (b.hi()[j] - a.lo()[j]).abs().max((a.hi()[j] - b.lo()[j]).abs());
+        let w = (b.hi()[j] - a.lo()[j])
+            .abs()
+            .max((a.hi()[j] - b.lo()[j]).abs());
         acc += sq(w);
     }
     acc

@@ -30,9 +30,7 @@ pub mod point;
 pub mod quantize;
 pub mod rect;
 
-pub use dist::{
-    max_dist, max_dist_sq, max_dist_sq_rr, min_dist, min_dist_sq, min_dist_sq_rr, sq,
-};
+pub use dist::{max_dist, max_dist_sq, max_dist_sq_rr, min_dist, min_dist_sq, min_dist_sq_rr, sq};
 pub use domination::{dominates, point_dominated, region_fully_dominated, DominationStats};
 pub use hyperplane::{bisector_side, BisectorSide};
 pub use point::Point;

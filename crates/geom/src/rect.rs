@@ -142,8 +142,12 @@ impl HyperRect {
     pub fn union(&self, other: &HyperRect) -> HyperRect {
         debug_assert_eq!(self.dim(), other.dim());
         HyperRect::new(
-            (0..self.dim()).map(|j| self.lo[j].min(other.lo[j])).collect(),
-            (0..self.dim()).map(|j| self.hi[j].max(other.hi[j])).collect(),
+            (0..self.dim())
+                .map(|j| self.lo[j].min(other.lo[j]))
+                .collect(),
+            (0..self.dim())
+                .map(|j| self.hi[j].max(other.hi[j]))
+                .collect(),
         )
     }
 
@@ -162,8 +166,12 @@ impl HyperRect {
             return None;
         }
         Some(HyperRect::new(
-            (0..self.dim()).map(|j| self.lo[j].max(other.lo[j])).collect(),
-            (0..self.dim()).map(|j| self.hi[j].min(other.hi[j])).collect(),
+            (0..self.dim())
+                .map(|j| self.lo[j].max(other.lo[j]))
+                .collect(),
+            (0..self.dim())
+                .map(|j| self.hi[j].min(other.hi[j]))
+                .collect(),
         ))
     }
 
@@ -222,7 +230,13 @@ impl HyperRect {
         (0..(1usize << d)).map(move |mask| {
             Point::new(
                 (0..d)
-                    .map(|j| if mask >> j & 1 == 1 { self.hi[j] } else { self.lo[j] })
+                    .map(|j| {
+                        if mask >> j & 1 == 1 {
+                            self.hi[j]
+                        } else {
+                            self.lo[j]
+                        }
+                    })
                     .collect(),
             )
         })
@@ -346,9 +360,11 @@ mod tests {
 
     #[test]
     fn bounding_points_mbr() {
-        let pts = [Point::new(vec![1.0, 5.0]),
+        let pts = [
+            Point::new(vec![1.0, 5.0]),
             Point::new(vec![-2.0, 3.0]),
-            Point::new(vec![0.0, 9.0])];
+            Point::new(vec![0.0, 9.0]),
+        ];
         let mbr = HyperRect::bounding_points(pts.iter()).unwrap();
         assert_eq!(mbr, r(&[-2.0, 3.0], &[1.0, 9.0]));
         assert!(HyperRect::bounding_points(std::iter::empty()).is_none());

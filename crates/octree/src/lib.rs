@@ -46,7 +46,10 @@ fn leaf_node_cost() -> usize {
 enum ONode {
     /// Child arena indices, one per octant (always exactly `2^d`).
     Internal(Vec<u32>),
-    Leaf { list: PageList, entries: u32 },
+    Leaf {
+        list: PageList,
+        entries: u32,
+    },
 }
 
 /// Aggregate shape / occupancy statistics.
@@ -132,8 +135,8 @@ impl<P: Pager> Octree<P> {
     /// True when the budget still allows converting a leaf into an internal
     /// node with `2^d` fresh leaves.
     fn can_split(&self) -> bool {
-        let extra = internal_node_cost(self.dim) - leaf_node_cost()
-            + (1 << self.dim) * leaf_node_cost();
+        let extra =
+            internal_node_cost(self.dim) - leaf_node_cost() + (1 << self.dim) * leaf_node_cost();
         self.mem_used + extra <= self.mem_budget
     }
 
@@ -230,7 +233,13 @@ impl<P: Pager> Octree<P> {
             let obj_ubr = ubr_lookup(id);
             for (i, child_region) in child_regions.iter().enumerate() {
                 if child_region.intersects(&obj_ubr) {
-                    self.leaf_insert(children[i], child_region.clone(), rec, ubr_lookup, depth + 1);
+                    self.leaf_insert(
+                        children[i],
+                        child_region.clone(),
+                        rec,
+                        ubr_lookup,
+                        depth + 1,
+                    );
                 }
             }
         }
@@ -511,8 +520,7 @@ mod tests {
     }
 
     fn insert_all(tree: &mut Octree<MemPager>, objs: &[(u64, HyperRect)]) {
-        let lookup_src: std::collections::HashMap<u64, HyperRect> =
-            objs.iter().cloned().collect();
+        let lookup_src: std::collections::HashMap<u64, HyperRect> = objs.iter().cloned().collect();
         let lookup = move |id: u64| lookup_src[&id].clone();
         for (id, ubr) in objs {
             tree.insert(ubr, &encode_leaf_record(*id, ubr), &lookup);
@@ -629,8 +637,7 @@ mod tests {
         let mut tree = mk_tree(1 << 20);
         let objs = random_objects(400, 23);
         insert_all(&mut tree, &objs);
-        let lookup_src: std::collections::HashMap<u64, HyperRect> =
-            objs.iter().cloned().collect();
+        let lookup_src: std::collections::HashMap<u64, HyperRect> = objs.iter().cloned().collect();
         let old = HyperRect::new(vec![10.0, 10.0], vec![20.0, 20.0]);
         let new = HyperRect::new(vec![10.0, 10.0], vec![40.0, 40.0]);
         let id = 9999u64;
@@ -664,8 +671,7 @@ mod tests {
         let mut tree = mk_tree(1 << 20);
         let objs = random_objects(400, 29);
         insert_all(&mut tree, &objs);
-        let lookup_src: std::collections::HashMap<u64, HyperRect> =
-            objs.iter().cloned().collect();
+        let lookup_src: std::collections::HashMap<u64, HyperRect> = objs.iter().cloned().collect();
         let old = HyperRect::new(vec![10.0, 10.0], vec![60.0, 60.0]);
         let new = HyperRect::new(vec![10.0, 10.0], vec![25.0, 25.0]);
         let id = 8888u64;
@@ -718,8 +724,7 @@ mod tests {
                 (i as u64, HyperRect::new(lo, hi))
             })
             .collect();
-        let lookup_src: std::collections::HashMap<u64, HyperRect> =
-            objs.iter().cloned().collect();
+        let lookup_src: std::collections::HashMap<u64, HyperRect> = objs.iter().cloned().collect();
         let lookup = move |id: u64| lookup_src[&id].clone();
         for (id, ubr) in &objs {
             tree.insert(ubr, &encode_leaf_record(*id, ubr), &lookup);

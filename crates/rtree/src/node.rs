@@ -325,9 +325,8 @@ impl RTree {
     fn handle_overflow(&mut self, node_id: NodeId) {
         let level = self.node(node_id).level as usize;
         let is_root = node_id == self.root;
-        let do_reinsert = !is_root
-            && level < self.reinserted_levels.len()
-            && !self.reinserted_levels[level];
+        let do_reinsert =
+            !is_root && level < self.reinserted_levels.len() && !self.reinserted_levels[level];
         if do_reinsert {
             self.reinserted_levels[level] = true;
             self.forced_reinsert(node_id);
@@ -339,7 +338,9 @@ impl RTree {
     /// Removes the `reinsert_fraction` entries farthest from the node centre
     /// and re-inserts them.
     fn forced_reinsert(&mut self, node_id: NodeId) {
-        self.stats.reinserts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .reinserts
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let count =
             ((self.node(node_id).len() as f64) * self.params.reinsert_fraction).ceil() as usize;
         let count = count.max(1);
@@ -378,7 +379,9 @@ impl RTree {
     /// Splits an overflowing node with the R* topological split, growing the
     /// tree when the root splits.
     pub(crate) fn split_node(&mut self, node_id: NodeId) {
-        self.stats.splits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .splits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let min = self.params.min_entries;
         let new_kind = match &mut self.nodes[node_id as usize].kind {
             NodeKind::Leaf(entries) => {

@@ -91,7 +91,9 @@ impl RTree {
             let node = self.node(n);
             match &node.kind {
                 NodeKind::Leaf(entries) => {
-                    self.stats.leaf_visits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.stats
+                        .leaf_visits
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     out.extend(entries.iter().filter(|e| e.rect.intersects(range)).cloned());
                 }
                 NodeKind::Internal(children) => {

@@ -37,8 +37,8 @@ where
             sort_items(items, axis, sort_by_upper);
             for k in 0..k_max {
                 let split_at = min_entries + k;
-                margin_sum += mbr_of(&items[..split_at]).margin()
-                    + mbr_of(&items[split_at..]).margin();
+                margin_sum +=
+                    mbr_of(&items[..split_at]).margin() + mbr_of(&items[split_at..]).margin();
             }
         }
         if margin_sum < best_margin {
@@ -61,9 +61,7 @@ where
             let cand = (overlap, area, sort_by_upper, split_at);
             let better = match &best {
                 None => true,
-                Some((bo, ba, _, _)) => {
-                    overlap < *bo || (overlap == *bo && area < *ba)
-                }
+                Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
             };
             if better {
                 best = Some(cand);
@@ -117,7 +115,11 @@ mod tests {
         // Two well-separated clusters along x must be split apart.
         let mut items: Vec<Entry> = Vec::new();
         for i in 0..5 {
-            items.push(entry(&[i as f64 * 0.1, 0.0], &[i as f64 * 0.1 + 0.05, 1.0], i));
+            items.push(entry(
+                &[i as f64 * 0.1, 0.0],
+                &[i as f64 * 0.1 + 0.05, 1.0],
+                i,
+            ));
         }
         for i in 0..6 {
             let x = 100.0 + i as f64 * 0.1;
@@ -132,7 +134,13 @@ mod tests {
     #[test]
     fn split_ids_are_preserved() {
         let mut items: Vec<Entry> = (0..9)
-            .map(|i| entry(&[(i % 3) as f64, (i / 3) as f64], &[(i % 3) as f64 + 0.9, (i / 3) as f64 + 0.9], i))
+            .map(|i| {
+                entry(
+                    &[(i % 3) as f64, (i / 3) as f64],
+                    &[(i % 3) as f64 + 0.9, (i / 3) as f64 + 0.9],
+                    i,
+                )
+            })
             .collect();
         let second = rstar_split(&mut items, 3, |e| &e.rect);
         let mut ids: Vec<u64> = items.iter().chain(second.iter()).map(|e| e.id).collect();

@@ -38,7 +38,10 @@ fn empty_tree_behaviour() {
     let tree = RTree::with_default_params(2);
     assert!(tree.is_empty());
     assert!(tree.mbr().is_none());
-    assert_eq!(tree.range_search(&rect(&[0.0, 0.0], &[10.0, 10.0])).len(), 0);
+    assert_eq!(
+        tree.range_search(&rect(&[0.0, 0.0], &[10.0, 10.0])).len(),
+        0
+    );
     assert_eq!(tree.nn_iter(&Point::new(vec![0.0, 0.0])).count(), 0);
 }
 
@@ -134,10 +137,16 @@ fn lazy_browsing_visits_fewer_leaves() {
     let q = Point::new(vec![500.0, 500.0]);
     tree.stats.reset_visits();
     let _ = tree.knn(&q, 5);
-    let partial = tree.stats.leaf_visits.load(std::sync::atomic::Ordering::Relaxed);
+    let partial = tree
+        .stats
+        .leaf_visits
+        .load(std::sync::atomic::Ordering::Relaxed);
     tree.stats.reset_visits();
     let _: Vec<_> = tree.nn_iter(&q).collect();
-    let full = tree.stats.leaf_visits.load(std::sync::atomic::Ordering::Relaxed);
+    let full = tree
+        .stats
+        .leaf_visits
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert!(
         partial < full / 4,
         "5-NN visited {partial} leaves vs {full} for a full scan"

@@ -4,6 +4,45 @@
 //! values, secondary-index payloads) are encoded with these helpers so that
 //! page space accounting is exact and platform-independent.
 
+/// Error produced when decoding an on-page record fails.
+///
+/// Records written by this workspace always decode cleanly; these errors
+/// surface page corruption (or version skew) to the caller instead of
+/// panicking inside the codec layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the record was complete.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A discriminant field held a value no known record version writes.
+    UnknownTag {
+        /// What was being decoded (e.g. `"secondary record"`).
+        context: &'static str,
+        /// The offending tag value.
+        tag: u16,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, remaining } => write!(
+                f,
+                "record truncated: needed {needed} more bytes, {remaining} remaining"
+            ),
+            DecodeError::UnknownTag { context, tag } => {
+                write!(f, "unknown {context} tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// Serialises a `u64`.
 pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -59,6 +98,42 @@ impl<'a> Reader<'a> {
         let (head, rest) = self.buf.split_at(n);
         self.buf = rest;
         head
+    }
+
+    /// Checked variant of [`Reader::split`].
+    fn try_split(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                remaining: self.buf.len(),
+            });
+        }
+        Ok(self.split(n))
+    }
+
+    /// Reads a `u64`, or reports truncation.
+    pub fn try_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.try_split(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`, or reports truncation.
+    pub fn try_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.try_split(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u16`, or reports truncation.
+    pub fn try_u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.try_split(2)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64`, or reports truncation.
+    pub fn try_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.try_split(8)?.try_into().unwrap()))
+    }
+
+    /// Takes exactly `n` raw bytes, or reports truncation.
+    pub fn try_take(&mut self, n: usize) -> Result<Vec<u8>, DecodeError> {
+        Ok(self.try_split(n)?.to_vec())
     }
 
     /// Reads a `u64`.
@@ -130,6 +205,46 @@ mod tests {
         let mut r = Reader::new(&out);
         assert_eq!(r.bytes(), b"hello pages");
         assert_eq!(r.f64_slice(), vec![1.0, 2.5, -3.0]);
+    }
+
+    #[test]
+    fn try_readers_report_truncation() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 7);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.try_u32(), Ok(7));
+        assert_eq!(
+            r.try_u64(),
+            Err(DecodeError::Truncated {
+                needed: 8,
+                remaining: 0
+            })
+        );
+        let mut r = Reader::new(&out[..2]);
+        assert_eq!(
+            r.try_u32(),
+            Err(DecodeError::Truncated {
+                needed: 4,
+                remaining: 2
+            })
+        );
+        // a failed try leaves the cursor untouched
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.try_u16(), Ok(7));
+    }
+
+    #[test]
+    fn decode_error_displays() {
+        let e = DecodeError::UnknownTag {
+            context: "secondary record",
+            tag: 9,
+        };
+        assert_eq!(e.to_string(), "unknown secondary record tag 9");
+        let t = DecodeError::Truncated {
+            needed: 8,
+            remaining: 3,
+        };
+        assert!(t.to_string().contains("8"));
     }
 
     #[test]

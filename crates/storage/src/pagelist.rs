@@ -192,7 +192,10 @@ mod tests {
         assert!(list.is_empty());
         assert!(list.append(&pager, b"alpha")); // first append allocates
         assert!(!list.append(&pager, b"beta")); // fits in the same page
-        assert_eq!(list.read_all(&pager), vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert_eq!(
+            list.read_all(&pager),
+            vec![b"alpha".to_vec(), b"beta".to_vec()]
+        );
         assert_eq!(list.stats(&pager).pages, 1);
         assert_eq!(list.stats(&pager).records, 2);
     }

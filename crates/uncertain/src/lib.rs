@@ -199,33 +199,51 @@ impl UncertainObject {
     }
 
     /// Decodes an object serialised with [`UncertainObject::encode`].
+    ///
+    /// # Panics
+    /// On a corrupted buffer; use [`UncertainObject::try_decode`] to handle
+    /// corruption as an error instead.
     pub fn decode(buf: &[u8]) -> Self {
+        Self::try_decode(buf).expect("corrupted uncertain-object record")
+    }
+
+    /// Checked variant of [`UncertainObject::decode`]: reports truncation and
+    /// unknown pdf tags through the codec layer instead of panicking.
+    pub fn try_decode(buf: &[u8]) -> Result<Self, codec::DecodeError> {
         let mut r = codec::Reader::new(buf);
-        let id = r.u64();
-        let dim = r.u16() as usize;
-        let lo: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
-        let hi: Vec<f64> = (0..dim).map(|_| r.f64()).collect();
+        let id = r.try_u64()?;
+        let dim = r.try_u16()? as usize;
+        let read_coords = |r: &mut codec::Reader| -> Result<Vec<f64>, codec::DecodeError> {
+            (0..dim).map(|_| r.try_f64()).collect()
+        };
+        let lo = read_coords(&mut r)?;
+        let hi = read_coords(&mut r)?;
         let region = HyperRect::new(lo, hi);
-        let pdf = match r.u16() {
+        let pdf = match r.try_u16()? {
             0 => Pdf::Uniform {
-                n: r.u32(),
-                seed: r.u64(),
+                n: r.try_u32()?,
+                seed: r.try_u64()?,
             },
             1 => Pdf::Gaussian {
-                sigma: r.f64(),
-                n: r.u32(),
-                seed: r.u64(),
+                sigma: r.try_f64()?,
+                n: r.try_u32()?,
+                seed: r.try_u64()?,
             },
             2 => {
-                let n = r.u32() as usize;
+                let n = r.try_u32()? as usize;
                 let pts = (0..n)
-                    .map(|_| Point::new((0..dim).map(|_| r.f64()).collect()))
-                    .collect();
+                    .map(|_| Ok(Point::new(read_coords(&mut r)?)))
+                    .collect::<Result<Vec<_>, codec::DecodeError>>()?;
                 Pdf::Explicit(Arc::new(pts))
             }
-            t => panic!("unknown pdf tag {t}"),
+            t => {
+                return Err(codec::DecodeError::UnknownTag {
+                    context: "pdf descriptor",
+                    tag: t,
+                })
+            }
         };
-        UncertainObject { id, region, pdf }
+        Ok(UncertainObject { id, region, pdf })
     }
 }
 
@@ -320,8 +338,7 @@ mod tests {
         let samples = o.samples();
         assert!(samples.iter().all(|p| r.contains_point(p)));
         let c = r.center();
-        let mean_dist: f64 =
-            samples.iter().map(|p| p.dist(&c)).sum::<f64>() / samples.len() as f64;
+        let mean_dist: f64 = samples.iter().map(|p| p.dist(&c)).sum::<f64>() / samples.len() as f64;
         // sigma=0.5 ⇒ expected 2-D distance ≈ sigma·sqrt(π/2) ≈ 0.63
         assert!(mean_dist < 1.5, "mean distance {mean_dist}");
     }
@@ -382,6 +399,29 @@ mod tests {
             let back = UncertainObject::decode(&buf);
             assert_eq!(back, o);
         }
+    }
+
+    #[test]
+    fn try_decode_surfaces_corruption() {
+        use pv_storage::codec::DecodeError;
+        let o = UncertainObject::uniform(9, region(&[0.0, 0.0], &[1.0, 1.0]), 8);
+        let mut buf = o.encode();
+        // id(8) + dim(2) + 4 corners(32) puts the pdf tag at offset 42.
+        buf[42] = 0xEE;
+        buf[43] = 0xEE;
+        assert_eq!(
+            UncertainObject::try_decode(&buf),
+            Err(DecodeError::UnknownTag {
+                context: "pdf descriptor",
+                tag: 0xEEEE,
+            })
+        );
+        let good = o.encode();
+        assert!(matches!(
+            UncertainObject::try_decode(&good[..good.len() - 1]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert_eq!(UncertainObject::try_decode(&good), Ok(o));
     }
 
     #[test]

@@ -146,10 +146,7 @@ mod tests {
         let db = sample_db();
         let bytes = to_bytes(&db);
         for cut in [MAGIC.len() + 1, bytes.len() / 2, bytes.len() - 3] {
-            assert!(
-                from_bytes(&bytes[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 

@@ -28,6 +28,8 @@
 #![deny(missing_docs)]
 
 use pv_core::params::PvParams;
+use pv_core::prob::pdf_payload_pages;
+use pv_core::query::{ProbNnEngine, Step1Engine};
 use pv_core::stats::{BuildStats, SeStats, Step1Stats};
 use pv_exthash::ExtHash;
 use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
@@ -126,9 +128,9 @@ impl UvParams {
 pub struct UvIndex {
     domain: HyperRect,
     octree: Octree<MemPager>,
-    #[allow(dead_code)]
     secondary: ExtHash<MemPager>,
     pager: MemPager,
+    page_size: usize,
     objects: HashMap<u64, UncertainObject>,
     circles: HashMap<u64, Circle>,
     cell_mbrs: HashMap<u64, HyperRect>,
@@ -176,6 +178,7 @@ impl UvIndex {
             octree,
             secondary,
             pager,
+            page_size: params.page_size,
             objects: db.objects.iter().map(|o| (o.id, o.clone())).collect(),
             circles,
             cell_mbrs: HashMap::with_capacity(db.len()),
@@ -344,9 +347,24 @@ impl UvIndex {
         &self.pager
     }
 
+    /// PNNQ Step 1 (deprecated inherent form).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `pv_core::query::Step1Engine` trait: `uv.step1(q)`"
+    )]
+    pub fn query_step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+        Step1Engine::step1(self, q)
+    }
+}
+
+impl Step1Engine for UvIndex {
+    fn engine_name(&self) -> &'static str {
+        "uv-index"
+    }
+
     /// PNNQ Step 1 via the UV-index: leaf lookup + min/max pruning
     /// (identical query path to the PV-index, different cells).
-    pub fn query_step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+    fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
         let t0 = Instant::now();
         let io0 = self.pager.stats().snapshot();
         let records = self.octree.point_query(q);
@@ -376,6 +394,28 @@ impl UvIndex {
                 answers,
             },
         )
+    }
+}
+
+impl ProbNnEngine for UvIndex {
+    fn candidate_region(&self, id: u64) -> &HyperRect {
+        &self.objects[&id].region
+    }
+
+    /// Fetches the payload from the UV-index's own extendible-hash secondary
+    /// index (charging real page reads) plus the pdf-payload pages — the
+    /// same Step-2 cost model as the PV-index, so full-query comparisons are
+    /// apples-to-apples.
+    fn fetch_candidate(&self, id: u64) -> (UncertainObject, u64) {
+        let io0 = self.pager.stats().snapshot();
+        let buf = self
+            .secondary
+            .get(id)
+            .expect("step-1 answer must exist in the secondary index");
+        let obj = UncertainObject::try_decode(&buf).expect("secondary record corrupted");
+        let io = self.pager.stats().snapshot().since(&io0).reads;
+        let total = io + pdf_payload_pages(&obj, self.page_size);
+        (obj, total)
     }
 }
 
@@ -424,12 +464,10 @@ mod tests {
             // the circle's bounding box (clipped) must be inside the cell MBR
             for j in 0..2 {
                 assert!(
-                    mbr.lo()[j]
-                        <= (circle.center[j] - circle.radius).max(db.domain.lo()[j]) + 1e-9
+                    mbr.lo()[j] <= (circle.center[j] - circle.radius).max(db.domain.lo()[j]) + 1e-9
                 );
                 assert!(
-                    mbr.hi()[j]
-                        >= (circle.center[j] + circle.radius).min(db.domain.hi()[j]) - 1e-9
+                    mbr.hi()[j] >= (circle.center[j] + circle.radius).min(db.domain.hi()[j]) - 1e-9
                 );
             }
         }
@@ -439,21 +477,19 @@ mod tests {
     fn two_object_cells_split_space() {
         // Two circles far apart: each cell MBR must stop near the bisector.
         let domain = HyperRect::cube(2, 0.0, 1000.0);
-        let a = UncertainObject::uniform(
-            1,
-            HyperRect::new(vec![100.0, 490.0], vec![120.0, 510.0]),
-            4,
-        );
-        let b = UncertainObject::uniform(
-            2,
-            HyperRect::new(vec![880.0, 490.0], vec![900.0, 510.0]),
-            4,
-        );
+        let a =
+            UncertainObject::uniform(1, HyperRect::new(vec![100.0, 490.0], vec![120.0, 510.0]), 4);
+        let b =
+            UncertainObject::uniform(2, HyperRect::new(vec![880.0, 490.0], vec![900.0, 510.0]), 4);
         let db = UncertainDb::new(domain, vec![a, b]);
         let uv = UvIndex::build(&db, UvParams::default());
         let ma = uv.cell_mbr(1).unwrap();
         assert!(ma.hi()[0] < 700.0, "cell of a reaches {}", ma.hi()[0]);
-        assert!(ma.hi()[0] > 480.0, "cell of a stops early at {}", ma.hi()[0]);
+        assert!(
+            ma.hi()[0] > 480.0,
+            "cell of a stops early at {}",
+            ma.hi()[0]
+        );
     }
 
     #[test]
@@ -463,13 +499,28 @@ mod tests {
         let mut found = 0usize;
         let mut expected = 0usize;
         for q in queries::uniform(&db.domain, 40, 7) {
-            let (got, _) = uv.query_step1(&q);
+            let (got, _) = uv.step1(&q);
             let want = pv_core::verify::possible_nn(db.objects.iter(), &q);
             expected += want.len();
             found += want.iter().filter(|id| got.contains(id)).count();
         }
         let recall = found as f64 / expected as f64;
         assert!(recall > 0.98, "recall {recall}");
+    }
+
+    #[test]
+    fn full_query_through_the_engine_trait() {
+        use pv_core::query::QuerySpec;
+        let db = db2d(150, 13);
+        let uv = UvIndex::build(&db, UvParams::default());
+        assert_eq!(uv.engine_name(), "uv-index");
+        for q in queries::uniform(&db.domain, 10, 17) {
+            let out = uv.execute(&q, &QuerySpec::new());
+            let total: f64 = out.answers.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+            // payloads come off the secondary index: real page reads
+            assert!(out.stats.pc_io_reads > out.answers.len() as u64 / 2);
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! ```
 
 use pv_suite::core::baseline::RTreeBaseline;
-use pv_suite::core::{verify, PvIndex, PvParams};
+use pv_suite::core::{verify, PvIndex, PvParams, Step1Engine};
 use pv_suite::workload::{queries, realistic};
 use std::time::Duration;
 
@@ -35,8 +35,8 @@ fn main() {
     let mut rt_io = 0u64;
     let mut answers = 0usize;
     for q in &qs {
-        let (pv_ids, pv_st) = index.query_step1(q);
-        let (rt_ids, rt_st) = baseline.query_step1(q);
+        let (pv_ids, pv_st) = index.step1(q);
+        let (rt_ids, rt_st) = baseline.step1(q);
         let want = verify::possible_nn(db.objects.iter(), q);
         assert_eq!(pv_ids, want);
         assert_eq!(rt_ids, want);

@@ -14,7 +14,7 @@
 //! # → target/cell_atlas.svg
 //! ```
 
-use pv_suite::core::{PvIndex, PvParams};
+use pv_suite::core::{LinearScan, ProbNnEngine, PvIndex, PvParams, QuerySpec};
 use pv_suite::geom::{max_dist, min_dist, HyperRect, Point};
 use pv_suite::uncertain::{UncertainDb, UncertainObject};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -148,4 +148,21 @@ fn main() {
         "conservativeness violated: {outside_ubr} sampled cell points escaped their UBR"
     );
     println!("conservativeness check passed: every sampled cell point lies inside its UBR");
+
+    // Spot-check the rendered picture through the unified query API: at each
+    // highlighted object's centre, the index's answers must match the
+    // linear-scan ground truth.
+    let scan = LinearScan::new(&db);
+    for &hid in &highlight {
+        let q = db.get(hid).unwrap().region.center();
+        let spec = QuerySpec::point(q);
+        let got = index.run(&spec);
+        let want = scan.run(&spec);
+        assert_eq!(got.answers, want.answers, "object {hid}");
+        assert!(
+            got.answer_ids().contains(&hid),
+            "object {hid} must be a possible NN at its own centre"
+        );
+    }
+    println!("query spot-check passed: PV answers match the linear scan at all highlights");
 }

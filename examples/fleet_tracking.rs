@@ -11,7 +11,7 @@
 //! cargo run --release --example fleet_tracking
 //! ```
 
-use pv_suite::core::{verify, PvIndex, PvParams};
+use pv_suite::core::{verify, ProbNnEngine, PvIndex, PvParams, QuerySpec, Step1Engine};
 use pv_suite::geom::HyperRect;
 use pv_suite::uncertain::{UncertainDb, UncertainObject};
 use pv_suite::workload::queries;
@@ -74,7 +74,8 @@ fn main() {
             _ => {
                 // dispatch query at a random incident location
                 let q = &queries::uniform(index.domain(), 1, 1000 + tick)[0];
-                let (ids, stats) = index.query_step1(q);
+                let out = index.execute(q, &QuerySpec::new().step1_only());
+                let (ids, stats) = (out.candidates, out.stats.step1);
                 let want = verify::possible_nn(shadow.iter(), q);
                 assert_eq!(ids, want, "index drifted from ground truth");
                 if tick % 15 == 2 {
@@ -91,7 +92,10 @@ fn main() {
         }
     }
 
-    println!("\nchurn summary over {} inserts / {} deletes:", n_insert, n_delete);
+    println!(
+        "\nchurn summary over {} inserts / {} deletes:",
+        n_insert, n_delete
+    );
     println!(
         "  avg insert {:?}, avg delete {:?}, avg affected UBRs per update {:.1}",
         t_insert / n_insert.max(1),
@@ -117,9 +121,9 @@ fn main() {
 
     // Final consistency check.
     let q = &queries::uniform(index.domain(), 1, 77)[0];
-    assert_eq!(
-        index.query_step1(q).0,
-        verify::possible_nn(shadow.iter(), q)
+    assert_eq!(index.step1(q).0, verify::possible_nn(shadow.iter(), q));
+    println!(
+        "final ground-truth check passed ({} vehicles indexed)",
+        index.len()
     );
-    println!("final ground-truth check passed ({} vehicles indexed)", index.len());
 }

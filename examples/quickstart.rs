@@ -1,6 +1,7 @@
-//! Quickstart: build a PV-index over a synthetic uncertain database, run a
-//! probabilistic nearest-neighbor query, and compare against the R-tree
-//! baseline and the naive scan.
+//! Quickstart: build a PV-index over a synthetic uncertain database, run
+//! probabilistic nearest-neighbor queries through the unified engine API
+//! (`QuerySpec` + `ProbNnEngine`), and compare against the R-tree baseline
+//! and the linear-scan ground truth.
 //!
 //! Run with:
 //! ```text
@@ -8,7 +9,7 @@
 //! ```
 
 use pv_suite::core::baseline::RTreeBaseline;
-use pv_suite::core::{verify, PvIndex, PvParams};
+use pv_suite::core::{LinearScan, ProbNnEngine, PvIndex, PvParams, QuerySpec};
 use pv_suite::workload::{queries, synthetic, SyntheticConfig};
 
 fn main() {
@@ -21,7 +22,10 @@ fn main() {
         samples: 500,
         seed: 42,
     };
-    println!("generating {} uncertain objects (d = {})...", cfg.n, cfg.dim);
+    println!(
+        "generating {} uncertain objects (d = {})...",
+        cfg.n, cfg.dim
+    );
     let db = synthetic(&cfg);
 
     println!("building the PV-index (SE + octree + hash table)...");
@@ -44,53 +48,71 @@ fn main() {
         ot.mem_used / 1024
     );
 
-    println!("building the R-tree baseline...");
+    println!("building the R-tree baseline and the linear-scan ground truth...");
     let baseline = RTreeBaseline::build(&db, params.rtree_fanout, params.page_size);
+    let scan = LinearScan::with_page_size(&db, params.page_size);
 
-    // One PNNQ.
-    let q = &queries::uniform(&db.domain, 1, 7)[0];
+    // One PNNQ through the engine-agnostic API: every engine answers the
+    // same QuerySpec.
+    let q = queries::uniform(&db.domain, 1, 7)[0].clone();
     println!("\nPNNQ at q = {:?}", q.coords());
-
-    let (pv_probs, pv_stats) = index.query(q);
+    let spec = QuerySpec::point(q);
+    let pv_out = index.run(&spec);
     println!(
         "  PV-index : {} answers, OR {:?} ({} I/O), PC {:?} ({} I/O)",
-        pv_probs.len(),
-        pv_stats.step1.time,
-        pv_stats.step1.io_reads,
-        pv_stats.pc_time,
-        pv_stats.pc_io_reads
+        pv_out.answers.len(),
+        pv_out.stats.step1.time,
+        pv_out.stats.step1.io_reads,
+        pv_out.stats.pc_time,
+        pv_out.stats.pc_io_reads
     );
-
-    let (rt_probs, rt_stats) = baseline.query(q);
+    let rt_out = baseline.run(&spec);
     println!(
         "  R-tree   : {} answers, OR {:?} ({} I/O), PC {:?} ({} I/O)",
-        rt_probs.len(),
-        rt_stats.step1.time,
-        rt_stats.step1.io_reads,
-        rt_stats.pc_time,
-        rt_stats.pc_io_reads
+        rt_out.answers.len(),
+        rt_out.stats.step1.time,
+        rt_out.stats.step1.io_reads,
+        rt_out.stats.pc_time,
+        rt_out.stats.pc_io_reads
+    );
+    let truth = scan.run(&spec);
+    println!(
+        "  naive    : {} answers (ground truth)",
+        truth.answers.len()
     );
 
-    let naive = verify::possible_nn(db.objects.iter(), q);
-    println!("  naive    : {} answers (ground truth)", naive.len());
+    // All engines see the same candidate set and the same probabilities.
+    assert_eq!(pv_out.candidates, truth.candidates);
+    assert_eq!(rt_out.candidates, truth.candidates);
+    assert_eq!(pv_out.answers, truth.answers);
 
-    // The three Step-1 answer sets must agree.
-    let pv_ids: Vec<u64> = pv_probs.iter().map(|&(id, _)| id).collect();
-    let rt_ids: Vec<u64> = rt_probs.iter().map(|&(id, _)| id).collect();
-    assert_eq!(sorted(pv_ids), naive);
-    assert_eq!(sorted(rt_ids), naive);
-
-    println!("\nqualification probabilities (PV-index):");
-    let mut ranked = pv_probs;
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    for (id, p) in ranked.iter().take(5) {
+    // Answer semantics beyond the paper: top-k and probability thresholds,
+    // with Step-2 early termination skipping unfetchable candidates.
+    let top3 = index.run(&spec.clone().top_k(3));
+    println!("\ntop-3 most likely nearest neighbors (PV-index):");
+    for (id, p) in &top3.answers {
         println!("  object {:>6}  P(nearest) = {:.4}", id, p);
     }
-    let total: f64 = ranked.iter().map(|(_, p)| p).sum();
-    println!("  Σ = {total:.6} (≈ 1)");
-}
+    if top3.skipped_payloads > 0 {
+        println!(
+            "  (early termination skipped {} pdf payloads)",
+            top3.skipped_payloads
+        );
+    }
+    let confident = index.run(&spec.clone().threshold(0.2));
+    println!("answers with P >= 0.2: {:?}", confident.answer_ids());
+    let total: f64 = pv_out.answers.iter().map(|(_, p)| p).sum();
+    println!("Σ over all answers = {total:.6} (≈ 1)");
 
-fn sorted(mut v: Vec<u64>) -> Vec<u64> {
-    v.sort_unstable();
-    v
+    // Batched execution: the whole workload in one call, in parallel.
+    let batch_qs = queries::uniform(&db.domain, 64, 11);
+    let batch = index.query_batch(&batch_qs, &QuerySpec::new().top_k(3));
+    println!(
+        "\nbatch: {} queries on {} threads in {:?} ({:.0} queries/s, {} answers)",
+        batch.stats.queries,
+        batch.stats.threads,
+        batch.stats.wall_time,
+        batch.stats.queries_per_sec(),
+        batch.stats.answers
+    );
 }

@@ -13,7 +13,7 @@
 //! ```
 
 use pv_suite::core::baseline::RTreeBaseline;
-use pv_suite::core::{PvIndex, PvParams};
+use pv_suite::core::{ProbNnEngine, PvIndex, PvParams, QuerySpec};
 use pv_suite::geom::{HyperRect, Point};
 use pv_suite::uncertain::{Pdf, UncertainDb, UncertainObject};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -84,20 +84,24 @@ fn main() {
     ];
     for (label, t_c, h_pct, w_ms) in probes {
         let q = Point::new(reading_to_domain(t_c, h_pct, w_ms));
-        let (probs, stats) = index.query(&q);
-        let (_, rt_stats) = baseline.query(&q);
-        let mut ranked = probs;
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // The engine-agnostic spec asks both engines the same question; the
+        // outcome already arrives ranked by qualification probability.
+        let spec = QuerySpec::point(q);
+        let out = index.run(&spec);
+        let rt_out = baseline.run(&spec);
         println!(
             "\nprobe '{label}' ({t_c} °C, {h_pct} %RH, {w_ms} m/s): {} possible nearest sensors",
-            ranked.len()
+            out.answers.len()
         );
-        for (id, p) in ranked.iter().take(3) {
+        for (id, p) in index.run(&spec.clone().top_k(3)).answers {
             println!("  sensor {:>5}  P(closest reading) = {:.4}", id, p);
         }
         println!(
             "  PV Step-1: {:?} / {} I/O   vs  R-tree Step-1: {:?} / {} I/O",
-            stats.step1.time, stats.step1.io_reads, rt_stats.step1.time, rt_stats.step1.io_reads
+            out.stats.step1.time,
+            out.stats.step1.io_reads,
+            rt_out.stats.step1.time,
+            rt_out.stats.step1.io_reads
         );
     }
 }

@@ -21,20 +21,31 @@
 //!
 //! ## Quickstart
 //!
+//! Every engine (PV-index, R-tree baseline, UV-index, linear scan) answers
+//! queries through the same [`core::QuerySpec`] / [`core::ProbNnEngine`]
+//! API:
+//!
 //! ```
-//! use pv_suite::core::{PvIndex, PvParams};
+//! use pv_suite::core::{ProbNnEngine, PvIndex, PvParams, QuerySpec};
 //! use pv_suite::workload::{synthetic, queries, SyntheticConfig};
 //!
 //! // A small 3-D uncertain database, paper-style.
 //! let db = synthetic(&SyntheticConfig { n: 300, dim: 3, samples: 50, ..Default::default() });
 //! let index = PvIndex::build(&db, PvParams::default());
 //!
-//! // A probabilistic nearest-neighbor query.
-//! let q = &queries::uniform(&db.domain, 1, 1)[0];
-//! let (answers, stats) = index.query(q);
-//! let total: f64 = answers.iter().map(|(_, p)| p).sum();
+//! // A probabilistic nearest-neighbor query: answers arrive sorted by
+//! // qualification probability, with per-phase statistics.
+//! let q = queries::uniform(&db.domain, 1, 1)[0].clone();
+//! let outcome = index.run(&QuerySpec::point(q));
+//! let total: f64 = outcome.answers.iter().map(|(_, p)| p).sum();
 //! assert!((total - 1.0).abs() < 1e-6);
-//! assert!(stats.total_io() > 0);
+//! assert!(outcome.stats.total_io() > 0);
+//!
+//! // Richer answer semantics and batching ride on the same spec:
+//! let qs = queries::uniform(&db.domain, 16, 2);
+//! let batch = index.query_batch(&qs, &QuerySpec::new().top_k(3).threshold(0.05));
+//! assert_eq!(batch.outcomes.len(), 16);
+//! assert!(batch.outcomes.iter().all(|o| o.answers.len() <= 3));
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the

@@ -2,7 +2,7 @@
 //! produce identical indexes, answers and probabilities — across builds,
 //! build parallelism, and rebuilds.
 
-use pv_suite::core::{PvIndex, PvParams};
+use pv_suite::core::{ProbNnEngine, PvIndex, PvParams, QuerySpec, Step1Engine};
 use pv_suite::workload::{queries, realistic, synthetic, SyntheticConfig};
 
 #[test]
@@ -22,8 +22,8 @@ fn identical_builds_identical_answers() {
         assert_eq!(a.ubr(o.id), b.ubr(o.id));
     }
     for q in queries::uniform(&db1.domain, 20, 7) {
-        let (pa, _) = a.query(&q);
-        let (pb, _) = b.query(&q);
+        let pa = a.execute(&q, &QuerySpec::new()).answers;
+        let pb = b.execute(&q, &QuerySpec::new()).answers;
         assert_eq!(pa, pb, "probabilities must be bit-identical");
     }
 }
@@ -80,8 +80,8 @@ fn rebuild_preserves_answers() {
     });
     let mut index = PvIndex::build(&db, PvParams::default());
     let qs = queries::uniform(&db.domain, 20, 9);
-    let before: Vec<_> = qs.iter().map(|q| index.query_step1(q).0).collect();
+    let before: Vec<_> = qs.iter().map(|q| index.step1(q).0).collect();
     index.rebuild();
-    let after: Vec<_> = qs.iter().map(|q| index.query_step1(q).0).collect();
+    let after: Vec<_> = qs.iter().map(|q| index.step1(q).0).collect();
     assert_eq!(before, after);
 }

@@ -3,7 +3,7 @@
 //! probabilities, and the pipeline's I/O accounting is consistent.
 
 use pv_suite::core::baseline::RTreeBaseline;
-use pv_suite::core::{prob, PvIndex, PvParams};
+use pv_suite::core::{prob, ProbNnEngine, PvIndex, PvParams, QuerySpec, Step1Engine};
 use pv_suite::uncertain::UncertainObject;
 use pv_suite::workload::{queries, synthetic, SyntheticConfig};
 
@@ -22,8 +22,8 @@ fn probabilities_sum_to_one_across_queries() {
     let db = db(250, 2, 41);
     let index = PvIndex::build(&db, PvParams::default());
     for q in queries::uniform(&db.domain, 15, 1) {
-        let (probs, _) = index.query(&q);
-        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        let out = index.execute(&q, &QuerySpec::new());
+        let total: f64 = out.answers.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-6, "sum {total} at {q:?}");
     }
 }
@@ -34,8 +34,8 @@ fn pv_and_rtree_probabilities_agree() {
     let index = PvIndex::build(&db, PvParams::default());
     let baseline = RTreeBaseline::build(&db, 100, 4096);
     for q in queries::uniform(&db.domain, 10, 2) {
-        let (mut a, _) = index.query(&q);
-        let (mut b, _) = baseline.query(&q);
+        let mut a = index.execute(&q, &QuerySpec::new()).answers;
+        let mut b = baseline.execute(&q, &QuerySpec::new()).answers;
         a.sort_by_key(|&(id, _)| id);
         b.sort_by_key(|&(id, _)| id);
         assert_eq!(a.len(), b.len());
@@ -53,7 +53,7 @@ fn excluded_objects_have_zero_probability() {
     let db = db(120, 2, 43);
     let index = PvIndex::build(&db, PvParams::default());
     for q in queries::uniform(&db.domain, 8, 3) {
-        let (answer_ids, _) = index.query_step1(&q);
+        let (answer_ids, _) = index.step1(&q);
         let all: Vec<&UncertainObject> = db.objects.iter().collect();
         let probs = prob::qualification_probabilities(&q, &all);
         for (id, p) in probs {
@@ -69,9 +69,9 @@ fn step2_io_scales_with_answer_count() {
     let db = db(300, 2, 44);
     let index = PvIndex::build(&db, PvParams::default());
     for q in queries::uniform(&db.domain, 10, 4) {
-        let (probs, stats) = index.query(&q);
+        let out = index.execute(&q, &QuerySpec::new());
         // every answer costs at least one secondary read + payload pages
-        assert!(stats.pc_io_reads >= probs.len() as u64);
+        assert!(out.stats.pc_io_reads >= out.answers.len() as u64);
     }
 }
 
@@ -80,8 +80,10 @@ fn query_stats_accumulate_sanely() {
     let db = db(300, 2, 45);
     let index = PvIndex::build(&db, PvParams::default());
     let q = &queries::uniform(&db.domain, 1, 5)[0];
-    let (_, stats) = index.query(q);
+    let out = index.execute(q, &QuerySpec::new());
+    let stats = &out.stats;
     assert!(stats.total_time() >= stats.step1.time);
     assert!(stats.total_io() >= stats.step1.io_reads);
     assert!(stats.step1.candidates >= stats.step1.answers);
+    assert_eq!(out.answers.len(), out.candidates.len());
 }

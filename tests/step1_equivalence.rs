@@ -2,7 +2,7 @@
 //! naive scan, across dimensionalities, cset strategies and dataset shapes.
 
 use pv_suite::core::baseline::RTreeBaseline;
-use pv_suite::core::{verify, PvIndex, PvParams};
+use pv_suite::core::{verify, PvIndex, PvParams, Step1Engine};
 use pv_suite::workload::{queries, realistic, synthetic, SyntheticConfig};
 
 fn assert_equivalent(db: &pv_suite::uncertain::UncertainDb, params: PvParams, n_queries: usize) {
@@ -10,8 +10,8 @@ fn assert_equivalent(db: &pv_suite::uncertain::UncertainDb, params: PvParams, n_
     let baseline = RTreeBaseline::build(db, params.rtree_fanout, params.page_size);
     for q in queries::uniform(&db.domain, n_queries, 0xBEEF) {
         let want = verify::possible_nn(db.objects.iter(), &q);
-        let (pv, _) = index.query_step1(&q);
-        let (rt, _) = baseline.query_step1(&q);
+        let (pv, _) = index.step1(&q);
+        let (rt, _) = baseline.step1(&q);
         assert_eq!(pv, want, "PV-index differs from naive at {q:?}");
         assert_eq!(rt, want, "R-tree differs from naive at {q:?}");
     }

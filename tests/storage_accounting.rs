@@ -2,7 +2,7 @@
 //! structures share one simulated disk; query I/O, page lifecycles and the
 //! main-memory budget must behave like the paper's storage model.
 
-use pv_suite::core::{PvIndex, PvParams};
+use pv_suite::core::{ProbNnEngine, PvIndex, PvParams, QuerySpec, Step1Engine};
 use pv_suite::storage::Pager;
 use pv_suite::workload::{queries, synthetic, SyntheticConfig};
 
@@ -22,7 +22,7 @@ fn queries_read_but_never_write() {
     let index = PvIndex::build(&db, PvParams::default());
     let s0 = index.pager().stats().snapshot();
     for q in queries::uniform(&db.domain, 20, 1) {
-        let _ = index.query(&q);
+        let _ = index.execute(&q, &QuerySpec::new());
     }
     let s1 = index.pager().stats().snapshot();
     let delta = s1.since(&s0);
@@ -39,7 +39,7 @@ fn step1_io_is_small_per_query() {
     let mut total_io = 0u64;
     let m = 30;
     for q in queries::uniform(&db.domain, m, 2) {
-        let (_, st) = index.query_step1(&q);
+        let (_, st) = index.step1(&q);
         total_io += st.io_reads;
     }
     // a point query touches exactly one leaf (its page chain); with the
@@ -63,7 +63,7 @@ fn memory_budget_bounds_octree_nodes() {
     let index = PvIndex::build(&db, params);
     assert!(index.octree_stats().mem_used <= 8 * 1024);
     for q in queries::uniform(&db.domain, 15, 3) {
-        let (got, _) = index.query_step1(&q);
+        let (got, _) = index.step1(&q);
         let want = pv_suite::core::verify::possible_nn(db.objects.iter(), &q);
         assert_eq!(got, want);
     }
@@ -85,8 +85,8 @@ fn small_budget_costs_more_query_io() {
     let mut io_roomy = 0u64;
     let mut io_tight = 0u64;
     for q in queries::uniform(&db.domain, 25, 4) {
-        io_roomy += roomy.query_step1(&q).1.io_reads;
-        io_tight += tight.query_step1(&q).1.io_reads;
+        io_roomy += roomy.step1(&q).1.io_reads;
+        io_tight += tight.step1(&q).1.io_reads;
     }
     assert!(
         io_tight > io_roomy,

@@ -3,7 +3,7 @@
 //! answer Step 1 exactly like a naive scan and like a freshly rebuilt index.
 //! This also regression-tests the Lemma-8 erratum fix (see DESIGN.md §1).
 
-use pv_suite::core::{verify, PvIndex, PvParams};
+use pv_suite::core::{verify, PvIndex, PvParams, Step1Engine};
 use pv_suite::geom::HyperRect;
 use pv_suite::uncertain::{UncertainDb, UncertainObject};
 use pv_suite::workload::{queries, synthetic, SyntheticConfig};
@@ -11,7 +11,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn check(index: &PvIndex, shadow: &[UncertainObject], seed: u64, n_queries: usize) {
     for q in queries::uniform(index.domain(), n_queries, seed) {
-        let (got, _) = index.query_step1(&q);
+        let (got, _) = index.step1(&q);
         let want = verify::possible_nn(shadow.iter(), &q);
         assert_eq!(got, want, "q = {q:?}");
     }
@@ -133,8 +133,8 @@ fn incremental_matches_rebuild_after_churn() {
     let fresh_db = UncertainDb::new(index.domain().clone(), shadow.clone());
     let fresh = PvIndex::build(&fresh_db, PvParams::default());
     for q in queries::uniform(index.domain(), 40, 99) {
-        let (a, _) = index.query_step1(&q);
-        let (b, _) = fresh.query_step1(&q);
+        let (a, _) = index.step1(&q);
+        let (b, _) = fresh.step1(&q);
         assert_eq!(a, b, "incremental index diverged from a rebuild");
     }
 }
@@ -197,8 +197,16 @@ fn overlapping_neighbors_are_unaffected_by_update() {
     // c, in contrast, may legitimately be recomputed — with only three
     // objects, removing a really can grow c's PV-cell.
     let st = index.remove(1).unwrap();
-    assert_eq!(index.ubr(2).unwrap(), &ubr_b_before, "b's UBR must not change");
-    assert!(st.affected <= 1, "only c may be recomputed, got {}", st.affected);
+    assert_eq!(
+        index.ubr(2).unwrap(),
+        &ubr_b_before,
+        "b's UBR must not change"
+    );
+    assert!(
+        st.affected <= 1,
+        "only c may be recomputed, got {}",
+        st.affected
+    );
     // queries remain exact
     let shadow = vec![b, db.objects[2].clone()];
     check(&index, &shadow, 777, 15);

@@ -3,7 +3,7 @@
 //! §3 — this test quantifies the residual approximation risk of the
 //! substitution), while the PV-index stays exact on the same data.
 
-use pv_suite::core::{verify, PvIndex, PvParams};
+use pv_suite::core::{verify, PvIndex, PvParams, Step1Engine};
 use pv_suite::uvindex::{UvIndex, UvParams};
 use pv_suite::workload::{queries, realistic, synthetic, SyntheticConfig};
 
@@ -13,7 +13,7 @@ fn recall_on(db: &pv_suite::uncertain::UncertainDb, n_queries: usize, seed: u64)
     let mut expected = 0usize;
     for q in queries::uniform(&db.domain, n_queries, seed) {
         let want = verify::possible_nn(db.objects.iter(), &q);
-        let (got, _) = uv.query_step1(&q);
+        let (got, _) = uv.step1(&q);
         expected += want.len();
         found += want.iter().filter(|id| got.contains(id)).count();
     }
@@ -59,7 +59,7 @@ fn pv_remains_exact_where_uv_approximates() {
     let pv = PvIndex::build(&db, PvParams::default());
     for q in queries::uniform(&db.domain, 30, 4) {
         let want = verify::possible_nn(db.objects.iter(), &q);
-        let (got, _) = pv.query_step1(&q);
+        let (got, _) = pv.step1(&q);
         assert_eq!(got, want);
     }
 }

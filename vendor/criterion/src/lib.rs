@@ -285,8 +285,7 @@ fn run_benchmark(
     // Aim to fill the measurement budget across `sample_size` samples, but
     // never fewer than 1 iteration per sample.
     let budget_per_sample = settings.measurement_time / settings.sample_size as u32;
-    let iters = (budget_per_sample.as_nanos() / calibration.as_nanos())
-        .clamp(1, 1_000_000) as u64;
+    let iters = (budget_per_sample.as_nanos() / calibration.as_nanos()).clamp(1, 1_000_000) as u64;
 
     let mut bencher = Bencher {
         iters_per_sample: iters,

@@ -456,7 +456,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Namespace alias mirroring `proptest::prelude::prop`.
     pub mod prop {
@@ -627,18 +629,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failing_property_panics() {
-        crate::test_runner::run_proptest(
-            &ProptestConfig::with_cases(4),
-            "always_fails",
-            |rng| {
-                let x = Strategy::new_value(&(0u32..10), rng);
-                let repr = format!("{x:?}");
-                let body = || -> Result<(), TestCaseError> {
-                    prop_assert!(x > 100, "x is {x}");
-                    Ok(())
-                };
-                body().map_err(|e| (e, repr))
-            },
-        );
+        crate::test_runner::run_proptest(&ProptestConfig::with_cases(4), "always_fails", |rng| {
+            let x = Strategy::new_value(&(0u32..10), rng);
+            let repr = format!("{x:?}");
+            let body = || -> Result<(), TestCaseError> {
+                prop_assert!(x > 100, "x is {x}");
+                Ok(())
+            };
+            body().map_err(|e| (e, repr))
+        });
     }
 }

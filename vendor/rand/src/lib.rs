@@ -138,8 +138,12 @@ pub trait SampleRange<T> {
 /// `gen_range(-800.0..800.0)` the way upstream `rand` does.
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draws uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
@@ -225,9 +229,7 @@ mod tests {
         // and 43 should disagree somewhere in their first 100 draws.
         let mut c = StdRng::seed_from_u64(42);
         let mut d = StdRng::seed_from_u64(43);
-        let same = (0..100).all(|_| {
-            c.gen_range(0u64..1_000_000) == d.gen_range(0u64..1_000_000)
-        });
+        let same = (0..100).all(|_| c.gen_range(0u64..1_000_000) == d.gen_range(0u64..1_000_000));
         assert!(!same);
     }
 

@@ -1,0 +1,39 @@
+//! Criterion bench: cold `PvIndex::build` vs snapshot decode (`load`) at the
+//! default workload size, plus snapshot encode (`save`) for completeness.
+//! The roadmap's warm-restart story rests on load being far cheaper than
+//! build — the acceptance bar is at least 5×; in practice it is orders of
+//! magnitude.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pv_bench::{Ctx, Preset};
+use pv_core::snapshot::{pv_index_from_bytes, pv_index_to_bytes};
+use pv_core::PvIndex;
+
+fn bench_load_vs_build(c: &mut Criterion) {
+    let ctx = Ctx::new(Preset::Small);
+    let mut g = c.benchmark_group("load_vs_build");
+    let db = ctx.synthetic_db(ctx.preset.s_default(), 2, 60.0, 37);
+    let params = ctx.pv_params();
+    let index = PvIndex::build(&db, params);
+    let bytes = pv_index_to_bytes(&index);
+
+    g.sample_size(10);
+    g.bench_function("build", |b| {
+        b.iter(|| black_box(PvIndex::build(&db, params)))
+    });
+    g.bench_function("save", |b| b.iter(|| black_box(pv_index_to_bytes(&index))));
+    g.bench_function("load", |b| {
+        b.iter(|| black_box(pv_index_from_bytes(&bytes).expect("valid snapshot")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_load_vs_build
+);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! commands:
 //!   table1   fig9a fig9b fig9c fig9d fig9efg fig9h
 //!   fig10a fig10b fig10c fig10d fig10e fig10f fig10g fig10hi
-//!   params updquality engines
+//!   params updquality engines snapshot
 //!   fig9     (all of figure 9)    fig10   (all of figure 10)
 //!   all      (everything)
 //! ```
@@ -83,6 +83,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "params" => figures::params_sensitivity(ctx),
         "space" => figures::space(ctx),
         "engines" => figures::engines(ctx),
+        "snapshot" => figures::snapshot(ctx),
         "updquality" => figures::update_quality(ctx),
         "fig9" => {
             figures::fig9a(ctx);
@@ -110,6 +111,7 @@ fn run(ctx: &Ctx, cmd: &str) {
             run(ctx, "updquality");
             run(ctx, "space");
             run(ctx, "engines");
+            run(ctx, "snapshot");
         }
         other => {
             eprintln!("unknown command '{other}'");
@@ -127,6 +129,6 @@ fn print_help() {
          usage: experiments [--preset tiny|small|paper] [--threads N] <command>...\n\
          \n\
          commands: table1, fig9a..fig9h, fig9efg, fig10a..fig10i, fig10hi,\n\
-         params, updquality, space, engines, fig9, fig10, all"
+         params, updquality, space, engines, snapshot, fig9, fig10, all"
     );
 }

@@ -928,3 +928,104 @@ pub fn engines(ctx: &Ctx) {
     row(&scan, &qs, &truth, &spec, &mut t);
     t.finish();
 }
+
+/// Persistent index snapshots: cold-build vs save / load cost and file size
+/// for every engine that persists, verifying the loaded index answers
+/// identically. This is the "build once, serve many" experiment behind the
+/// roadmap's warm-restart requirement (see ARCHITECTURE.md §5).
+pub fn snapshot(ctx: &Ctx) {
+    let mut t = Table::new(
+        "snapshot",
+        "Persistent snapshots: build vs load, with answer verification",
+        &[
+            "engine",
+            "build_ms",
+            "save_ms",
+            "file_KiB",
+            "load_ms",
+            "build/load_x",
+            "answers_identical",
+        ],
+    );
+    let db = ctx.synthetic_db(ctx.preset.s_default().min(4_000), 2, U_DEFAULT, 610);
+    let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9960);
+    let params = ctx.pv_params();
+    let spec = QuerySpec::new();
+
+    /// One measurement protocol for every engine: time build, save, load;
+    /// record the file size; verify the loaded copy answers identically.
+    #[allow(clippy::too_many_arguments)]
+    fn case<E: ProbNnEngine>(
+        t: &mut Table,
+        name: &str,
+        ext: &str,
+        qs: &[Point],
+        spec: &QuerySpec,
+        build: impl FnOnce() -> E,
+        save: impl FnOnce(&E, &std::path::Path),
+        load: impl FnOnce(&std::path::Path) -> E,
+    ) {
+        let path =
+            std::env::temp_dir().join(format!("pv_bench_snapshot_{}.{ext}", std::process::id()));
+        let t0 = Instant::now();
+        let built = build();
+        let build_time = t0.elapsed();
+        let t0 = Instant::now();
+        save(&built, &path);
+        let save_time = t0.elapsed();
+        let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let t0 = Instant::now();
+        let loaded = load(&path);
+        let load_time = t0.elapsed();
+        let identical = qs
+            .iter()
+            .all(|q| built.execute(q, spec).answers == loaded.execute(q, spec).answers);
+        t.row(vec![
+            name.to_string(),
+            Table::ms(build_time),
+            Table::ms(save_time),
+            format!("{:.1}", file_bytes as f64 / 1024.0),
+            Table::ms(load_time),
+            format!(
+                "{:.1}",
+                build_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9)
+            ),
+            identical.to_string(),
+        ]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    case(
+        &mut t,
+        "pv-index",
+        "pvix",
+        &qs,
+        &spec,
+        || PvIndex::build(&db, params),
+        |e, p| e.save(p).expect("save snapshot"),
+        |p| PvIndex::load(p).expect("load snapshot"),
+    );
+    case(
+        &mut t,
+        "rtree",
+        "pvrt",
+        &qs,
+        &spec,
+        || RTreeBaseline::build(&db, params.rtree_fanout, params.page_size),
+        |e, p| e.save(p).expect("save snapshot"),
+        |p| RTreeBaseline::load(p).expect("load snapshot"),
+    );
+    // UV-index: 2-D only; the most expensive build, so the biggest win.
+    case(
+        &mut t,
+        "uv-index",
+        "pvuv",
+        &qs,
+        &spec,
+        || UvIndex::build(&db, UvParams::matching(&params)),
+        |e, p| e.save(p).expect("save snapshot"),
+        |p| UvIndex::load(p).expect("load snapshot"),
+    );
+
+    t.finish();
+}

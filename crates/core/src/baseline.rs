@@ -8,8 +8,8 @@
 //! live in a main-memory budget, leaves on disk).
 
 use crate::prob::pdf_payload_pages;
-use crate::query::{ProbNnEngine, QuerySpec, Step1Engine};
-use crate::stats::{QueryStats, Step1Stats};
+use crate::query::{ProbNnEngine, Step1Engine};
+use crate::stats::Step1Stats;
 use pv_geom::{max_dist_sq, HyperRect, Point};
 use pv_rtree::{Entry, RTree, RTreeParams};
 use pv_uncertain::{UncertainDb, UncertainObject};
@@ -19,9 +19,10 @@ use std::time::Instant;
 
 /// R-tree based PNNQ evaluator (the paper's "R-tree" competitor).
 pub struct RTreeBaseline {
-    tree: RTree,
-    objects: HashMap<u64, UncertainObject>,
-    page_size: usize,
+    pub(crate) tree: RTree,
+    pub(crate) objects: HashMap<u64, UncertainObject>,
+    pub(crate) page_size: usize,
+    pub(crate) fanout: usize,
 }
 
 impl RTreeBaseline {
@@ -41,7 +42,27 @@ impl RTreeBaseline {
             tree,
             objects,
             page_size,
+            fanout,
         }
+    }
+
+    /// Serialises the baseline into a snapshot file at `path`; the object
+    /// catalog is stored and the (cheap, deterministic) bulk load re-runs on
+    /// [`RTreeBaseline::load`]. See [`crate::snapshot`] for the format.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, crate::snapshot::rtree_baseline_to_bytes(self))
+    }
+
+    /// Loads a baseline saved with [`RTreeBaseline::save`].
+    ///
+    /// # Errors
+    /// I/O errors pass through; corruption and version skew yield an
+    /// [`std::io::ErrorKind::InvalidData`] error wrapping the precise
+    /// [`pv_storage::codec::DecodeError`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        crate::snapshot::rtree_baseline_from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Number of indexed objects.
@@ -66,28 +87,6 @@ impl RTreeBaseline {
             return false;
         };
         self.tree.remove(&o.region, id)
-    }
-
-    /// PNNQ Step 1 (deprecated inherent form).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `pv_core::query::Step1Engine` trait: `baseline.step1(q)`"
-    )]
-    pub fn query_step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
-        Step1Engine::step1(self, q)
-    }
-
-    /// Full PNNQ (deprecated inherent form). Answers are returned in
-    /// ascending id order, as the pre-trait API did.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `pv_core::query::{QuerySpec, ProbNnEngine}`: `baseline.execute(q, &spec)`"
-    )]
-    pub fn query(&self, q: &Point) -> (Vec<(u64, f64)>, QueryStats) {
-        let out = ProbNnEngine::execute(self, q, &QuerySpec::new());
-        let mut answers = out.answers;
-        answers.sort_unstable_by_key(|&(id, _)| id);
-        (answers, out.stats)
     }
 
     /// Access to the underlying tree (statistics, invariants).
@@ -157,6 +156,7 @@ impl ProbNnEngine for RTreeBaseline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::QuerySpec;
     use crate::verify;
     use pv_geom::min_dist_sq;
     use pv_workload::{queries, synthetic, SyntheticConfig};

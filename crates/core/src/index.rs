@@ -24,9 +24,9 @@
 use crate::cset::{build_mean_tree, choose_cset};
 use crate::params::PvParams;
 use crate::prob::pdf_payload_pages;
-use crate::query::{ProbNnEngine, QuerySpec, Step1Engine};
+use crate::query::{ProbNnEngine, Step1Engine};
 use crate::se::{compute_ubr, compute_ubr_with_bounds, SeBounds};
-use crate::stats::{BuildStats, QueryStats, SeStats, Step1Stats, UpdateStats};
+use crate::stats::{BuildStats, SeStats, Step1Stats, UpdateStats};
 use pv_exthash::ExtHash;
 use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
 use pv_octree::{decode_leaf_record, encode_leaf_record, Octree};
@@ -38,27 +38,30 @@ use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 /// The PV-index.
+///
+/// Field visibility is `pub(crate)` so the [`crate::snapshot`] codec can
+/// serialise and reconstruct the exact state without a parallel builder API.
 pub struct PvIndex {
-    params: PvParams,
-    domain: HyperRect,
-    dim: usize,
+    pub(crate) params: PvParams,
+    pub(crate) domain: HyperRect,
+    pub(crate) dim: usize,
     /// Primary index (octree with disk-resident leaves).
-    octree: Octree<MemPager>,
+    pub(crate) octree: Octree<MemPager>,
     /// Secondary index: id → (UBR, object payload).
-    secondary: ExtHash<MemPager>,
+    pub(crate) secondary: ExtHash<MemPager>,
     /// Shared simulated disk.
-    pager: MemPager,
+    pub(crate) pager: MemPager,
     /// In-memory object catalog (regions + pdf descriptors).
-    objects: HashMap<u64, UncertainObject>,
+    pub(crate) objects: HashMap<u64, UncertainObject>,
     /// Uncertainty-region catalog kept in lock-step with `objects`; feeds
     /// `chooseCSet` without per-update rebuilding.
-    regions: HashMap<u64, HyperRect>,
+    pub(crate) regions: HashMap<u64, HyperRect>,
     /// In-memory UBR catalog mirroring the secondary index.
-    ubrs: HashMap<u64, HyperRect>,
+    pub(crate) ubrs: HashMap<u64, HyperRect>,
     /// R*-tree over object mean positions, kept live for `chooseCSet`.
-    mean_tree: RTree,
+    pub(crate) mean_tree: RTree,
     /// Construction statistics.
-    build_stats: BuildStats,
+    pub(crate) build_stats: BuildStats,
 }
 
 /// Encodes a secondary-index record: a tag selecting the UBR
@@ -308,26 +311,23 @@ impl PvIndex {
         self.secondary.stats()
     }
 
-    /// PNNQ Step 1 (deprecated inherent form).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `pv_core::query::Step1Engine` trait: `index.step1(q)`"
-    )]
-    pub fn query_step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
-        Step1Engine::step1(self, q)
+    /// Serialises the index into a single snapshot file at `path`; see
+    /// [`crate::snapshot`] for the format. [`PvIndex::load`] restores it in
+    /// O(file read) — no SE recomputation.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, crate::snapshot::pv_index_to_bytes(self))
     }
 
-    /// Full PNNQ (deprecated inherent form). Answers are returned in
-    /// ascending id order, as the pre-trait API did.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `pv_core::query::{QuerySpec, ProbNnEngine}`: `index.execute(q, &spec)`"
-    )]
-    pub fn query(&self, q: &Point) -> (Vec<(u64, f64)>, QueryStats) {
-        let out = ProbNnEngine::execute(self, q, &QuerySpec::new());
-        let mut answers = out.answers;
-        answers.sort_unstable_by_key(|&(id, _)| id);
-        (answers, out.stats)
+    /// Loads an index saved with [`PvIndex::save`].
+    ///
+    /// # Errors
+    /// I/O errors pass through; a corrupt, truncated or newer-versioned
+    /// snapshot yields an [`std::io::ErrorKind::InvalidData`] error wrapping
+    /// the precise [`codec::DecodeError`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        crate::snapshot::pv_index_from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Recomputes and stores the UBR of `id` with the given SE bounds.
@@ -566,6 +566,7 @@ impl ProbNnEngine for PvIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::QuerySpec;
     use crate::verify;
     use pv_workload::{queries, synthetic, SyntheticConfig};
 
@@ -618,20 +619,6 @@ mod tests {
             let total: f64 = out.answers.iter().map(|(_, p)| p).sum();
             assert!((total - 1.0).abs() < 1e-6, "sum {total}");
             assert!(out.stats.pc_io_reads > 0);
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_trait_api() {
-        let db = small_db(150, 2, 40);
-        let index = PvIndex::build(&db, PvParams::default());
-        for q in queries::uniform(&db.domain, 10, 53) {
-            assert_eq!(index.query_step1(&q).0, index.step1(&q).0);
-            let (probs, _) = index.query(&q);
-            let mut answers = index.execute(&q, &QuerySpec::new()).answers;
-            answers.sort_unstable_by_key(|&(id, _)| id);
-            assert_eq!(probs, answers);
         }
     }
 

@@ -21,6 +21,10 @@
 //!   engine implements, with batched parallel execution;
 //! * [`baseline`] — the R-tree branch-and-prune Step-1 baseline \[8\] the
 //!   experiments compare against;
+//! * [`snapshot`] — persistent index snapshots: a built [`PvIndex`] (or
+//!   [`baseline::RTreeBaseline`]) saves to one versioned, checksummed file
+//!   and loads back in O(file read) with byte-identical answers — see
+//!   [`PvIndex::save`] / [`PvIndex::load`];
 //! * [`verify`] — a naive linear-scan ground truth ([`verify::possible_nn`]
 //!   and the [`verify::LinearScan`] engine) used by tests and the recall
 //!   measurements.
@@ -50,6 +54,7 @@ pub mod params;
 pub mod prob;
 pub mod query;
 pub mod se;
+pub mod snapshot;
 pub mod stats;
 pub mod verify;
 

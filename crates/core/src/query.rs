@@ -32,6 +32,31 @@
 //! truth (`tests/answer_semantics.rs` at the workspace root checks the laws
 //! across all four engines).
 //!
+//! The same spec runs unchanged on every engine — here against the
+//! linear-scan ground truth:
+//!
+//! ```
+//! use pv_core::query::{ProbNnEngine, QuerySpec};
+//! use pv_core::verify::LinearScan;
+//! use pv_geom::{HyperRect, Point};
+//! use pv_uncertain::{UncertainDb, UncertainObject};
+//!
+//! let domain = HyperRect::cube(2, 0.0, 100.0);
+//! let objects = (0..20u64)
+//!     .map(|i| {
+//!         let lo = vec![(i * 4) as f64, 10.0];
+//!         let hi = vec![(i * 4 + 3) as f64, 13.0];
+//!         UncertainObject::uniform(i, HyperRect::new(lo, hi), 16)
+//!     })
+//!     .collect();
+//! let scan = LinearScan::new(&UncertainDb::new(domain, objects));
+//!
+//! let spec = QuerySpec::point(Point::new(vec![1.0, 11.0])).top_k(3);
+//! let outcome = scan.run(&spec);
+//! assert!(!outcome.answers.is_empty() && outcome.answers.len() <= 3);
+//! assert!(outcome.best().unwrap().1 > 0.0); // most likely NN, first
+//! ```
+//!
 //! # Early termination
 //!
 //! When a threshold or top-k is requested, Step 2 visits candidates in
@@ -392,8 +417,9 @@ pub trait ProbNnEngine: Step1Engine {
 
     /// Executes a spec built with [`QuerySpec::point`].
     ///
-    /// (Named `run` rather than `query` so it never collides with the
-    /// deprecated inherent `query` methods still present on the engines.)
+    /// (Named `run` rather than `query` for historical reasons: the engines
+    /// once carried inherent `query` methods, removed after a deprecation
+    /// cycle, and the trait method was named to never collide with them.)
     ///
     /// # Panics
     /// If the spec has no target point.

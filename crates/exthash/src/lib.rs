@@ -340,6 +340,60 @@ impl<P: Pager> ExtHash<P> {
         out
     }
 
+    /// Serialises the table's in-memory state — directory, depths and
+    /// counters — for an index snapshot. Bucket and overflow *pages* are not
+    /// included: they belong to the pager, whose image is snapshotted
+    /// separately by the caller.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_u32(&mut out, self.global_depth);
+        codec::put_u64(&mut out, self.entries as u64);
+        codec::put_u64(&mut out, self.overflow_values as u64);
+        for slot in &self.directory {
+            codec::put_u64(&mut out, slot.0);
+        }
+        out
+    }
+
+    /// Rebuilds a table handle from [`ExtHash::to_snapshot`] bytes over a
+    /// pager already holding the corresponding bucket pages.
+    ///
+    /// # Errors
+    /// Truncation and implausible directory shapes are reported as
+    /// [`codec::DecodeError`] instead of panicking.
+    pub fn from_snapshot(pager: P, buf: &[u8]) -> Result<Self, codec::DecodeError> {
+        let mut r = codec::Reader::new(buf);
+        let global_depth = r.try_u32()?;
+        if global_depth == 0 || global_depth > 32 {
+            return Err(codec::DecodeError::Invalid {
+                context: "extendible-hash snapshot global depth",
+            });
+        }
+        let entries = r.try_u64()? as usize;
+        let overflow_values = r.try_u64()? as usize;
+        let dir_len = 1usize << global_depth;
+        let mut directory = Vec::with_capacity(dir_len);
+        for _ in 0..dir_len {
+            let id = PageId(r.try_u64()?);
+            if id.is_null() {
+                return Err(codec::DecodeError::Invalid {
+                    context: "extendible-hash snapshot directory entry",
+                });
+            }
+            directory.push(id);
+        }
+        // The per-bucket length cache is a write-side optimisation; it
+        // repopulates lazily as buckets are touched.
+        Ok(Self {
+            pager,
+            directory,
+            global_depth,
+            entries,
+            overflow_values,
+            len_cache: HashMap::new(),
+        })
+    }
+
     /// Checks directory/bucket invariants (test helper).
     pub fn check_invariants(&self) {
         assert_eq!(self.directory.len(), 1 << self.global_depth);
@@ -497,6 +551,30 @@ mod tests {
             assert_eq!(*k, i as u64);
             assert_eq!(v, &k.to_le_bytes());
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_lookups() {
+        let pager = MemPager::new(256);
+        let mut h = ExtHash::new(pager.clone());
+        for k in 0..800u64 {
+            h.put(k, format!("value-{k}").as_bytes());
+        }
+        h.put(900, &vec![7u8; 4000]); // one overflowed value
+        let snap = h.to_snapshot();
+        let restored = ExtHash::from_snapshot(pager.clone(), &snap).unwrap();
+        assert_eq!(restored.len(), h.len());
+        assert_eq!(restored.stats(), h.stats());
+        restored.check_invariants();
+        for k in 0..800u64 {
+            assert_eq!(restored.get(k).unwrap(), format!("value-{k}").as_bytes());
+        }
+        assert_eq!(restored.get(900).unwrap(), vec![7u8; 4000]);
+        // corruption surfaces as an error, not a panic
+        assert!(ExtHash::<MemPager>::from_snapshot(pager.clone(), &snap[..10]).is_err());
+        let mut bad = snap.clone();
+        bad[0] = 60; // directory of 2^60 slots
+        assert!(ExtHash::<MemPager>::from_snapshot(pager, &bad).is_err());
     }
 
     #[test]

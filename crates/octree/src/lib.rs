@@ -28,7 +28,7 @@
 #![deny(missing_docs)]
 
 use pv_geom::{HyperRect, Point};
-use pv_storage::{codec, PageList, Pager};
+use pv_storage::{codec, PageId, PageList, Pager};
 
 /// Per-node main-memory cost model (bytes) used against the budget `M`.
 ///
@@ -468,6 +468,117 @@ impl<P: Pager> Octree<P> {
     pub fn pager(&self) -> &P {
         &self.pager
     }
+
+    /// Serialises the tree's in-memory state — domain, budgets, and the
+    /// node arena with its leaf-chain head page ids — for an index
+    /// snapshot. The leaf *pages* are not included: they belong to the
+    /// pager, whose image is snapshotted separately by the caller.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_u16(&mut out, self.dim as u16);
+        for &x in self.domain.lo() {
+            codec::put_f64(&mut out, x);
+        }
+        for &x in self.domain.hi() {
+            codec::put_f64(&mut out, x);
+        }
+        codec::put_u32(&mut out, self.root);
+        codec::put_u64(&mut out, self.mem_budget as u64);
+        codec::put_u64(&mut out, self.mem_used as u64);
+        codec::put_u32(&mut out, self.split_threshold as u32);
+        codec::put_u32(&mut out, self.nodes.len() as u32);
+        for node in &self.nodes {
+            match node {
+                ONode::Internal(children) => {
+                    codec::put_u16(&mut out, 0);
+                    for &c in children {
+                        codec::put_u32(&mut out, c);
+                    }
+                }
+                ONode::Leaf { list, entries } => {
+                    codec::put_u16(&mut out, 1);
+                    codec::put_u64(&mut out, list.head().0);
+                    codec::put_u32(&mut out, *entries);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a tree handle from [`Octree::to_snapshot`] bytes over a
+    /// pager already holding the corresponding leaf pages.
+    ///
+    /// # Errors
+    /// Truncated buffers, unknown node tags and out-of-range references are
+    /// reported as [`codec::DecodeError`] — never a panic — so snapshot
+    /// corruption surfaces cleanly.
+    pub fn from_snapshot(pager: P, buf: &[u8]) -> Result<Self, codec::DecodeError> {
+        let invalid = |context: &'static str| codec::DecodeError::Invalid { context };
+        let mut r = codec::Reader::new(buf);
+        let dim = r.try_u16()? as usize;
+        if dim == 0 || dim > 16 {
+            return Err(invalid("octree snapshot dimensionality"));
+        }
+        let lo: Vec<f64> = (0..dim).map(|_| r.try_f64()).collect::<Result<_, _>>()?;
+        let hi: Vec<f64> = (0..dim).map(|_| r.try_f64()).collect::<Result<_, _>>()?;
+        let domain = HyperRect::new(lo, hi);
+        let root = r.try_u32()?;
+        let mem_budget = r.try_u64()? as usize;
+        let mem_used = r.try_u64()? as usize;
+        let split_threshold = r.try_u32()? as usize;
+        let n_nodes = r.try_u32()? as usize;
+        let mut nodes = Vec::with_capacity(n_nodes.min(1 << 20));
+        for i in 0..n_nodes {
+            match r.try_u16()? {
+                0 => {
+                    let children: Vec<u32> = (0..(1usize << dim))
+                        .map(|_| r.try_u32())
+                        .collect::<Result<_, _>>()?;
+                    // Split order appends children after their parent, so in
+                    // any legitimate arena every child index exceeds its
+                    // parent's; enforcing that also rejects all cycles, which
+                    // would otherwise hang queries on a corrupt snapshot.
+                    if children
+                        .iter()
+                        .any(|&c| c as usize >= n_nodes || c as usize <= i)
+                    {
+                        return Err(invalid("octree snapshot child index"));
+                    }
+                    nodes.push(ONode::Internal(children));
+                }
+                1 => {
+                    let head = PageId(r.try_u64()?);
+                    let entries = r.try_u32()?;
+                    nodes.push(ONode::Leaf {
+                        list: PageList::from_head(head),
+                        entries,
+                    });
+                }
+                t => {
+                    return Err(codec::DecodeError::UnknownTag {
+                        context: "octree snapshot node",
+                        tag: t,
+                    })
+                }
+            }
+        }
+        if root as usize >= nodes.len() {
+            return Err(invalid("octree snapshot root index"));
+        }
+        if split_threshold == 0 {
+            return Err(invalid("octree snapshot split threshold"));
+        }
+        Ok(Self {
+            pager,
+            domain,
+            dim,
+            nodes,
+            root,
+            mem_budget,
+            mem_used,
+            split_threshold,
+        })
+    }
 }
 
 /// Helper for the standard leaf record format used by the PV-index:
@@ -742,6 +853,27 @@ mod tests {
         }
         // 8 children per internal node in 3-D
         assert!(tree.stats().internal_nodes > 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_queries() {
+        let pager = MemPager::new(512);
+        let mut tree = Octree::new(pager.clone(), domain2d(), 1 << 20, 40);
+        let objs = random_objects(400, 41);
+        insert_all(&mut tree, &objs);
+        let snap = tree.to_snapshot();
+        let restored = Octree::from_snapshot(pager.clone(), &snap).unwrap();
+        assert_eq!(restored.stats(), tree.stats());
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..25 {
+            let q = Point::new(vec![rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
+            assert_eq!(restored.point_query(&q), tree.point_query(&q));
+        }
+        // corruption surfaces as an error, not a panic
+        assert!(Octree::<MemPager>::from_snapshot(pager.clone(), &snap[..snap.len() / 2]).is_err());
+        let mut bad = snap.clone();
+        bad[0] = 0xFF; // absurd dimensionality
+        assert!(Octree::<MemPager>::from_snapshot(pager, &bad).is_err());
     }
 
     #[test]

@@ -25,6 +25,33 @@ pub enum DecodeError {
         /// The offending tag value.
         tag: u16,
     },
+    /// A file/blob did not start with the expected magic bytes — it is not
+    /// the kind of artifact the caller tried to open.
+    BadMagic {
+        /// What was being opened (e.g. `"PV-index snapshot"`).
+        context: &'static str,
+    },
+    /// The artifact's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// What was being opened.
+        context: &'static str,
+        /// Version found in the file.
+        found: u16,
+        /// Highest version this build can decode.
+        supported: u16,
+    },
+    /// The artifact's checksum did not match its contents (bit rot, a torn
+    /// write, or deliberate tampering).
+    ChecksumMismatch {
+        /// What was being verified.
+        context: &'static str,
+    },
+    /// A structural field held a value no writer produces (a zero
+    /// dimensionality, an absurd directory size, a dangling reference, …).
+    Invalid {
+        /// The field that was implausible (e.g. `"octree snapshot child index"`).
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -37,11 +64,33 @@ impl std::fmt::Display for DecodeError {
             DecodeError::UnknownTag { context, tag } => {
                 write!(f, "unknown {context} tag {tag}")
             }
+            DecodeError::BadMagic { context } => {
+                write!(f, "not a {context}: bad magic bytes")
+            }
+            DecodeError::UnsupportedVersion {
+                context,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{context} version {found} is newer than supported version {supported}"
+            ),
+            DecodeError::ChecksumMismatch { context } => {
+                write!(f, "{context} checksum mismatch: content is corrupted")
+            }
+            DecodeError::Invalid { context } => {
+                write!(f, "implausible {context}: no known writer produces it")
+            }
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Serialises a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
 
 /// Serialises a `u64`.
 pub fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -111,6 +160,11 @@ impl<'a> Reader<'a> {
         Ok(self.split(n))
     }
 
+    /// Reads a `u8`, or reports truncation.
+    pub fn try_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.try_split(1)?[0])
+    }
+
     /// Reads a `u64`, or reports truncation.
     pub fn try_u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.try_split(8)?.try_into().unwrap()))
@@ -134,6 +188,13 @@ impl<'a> Reader<'a> {
     /// Takes exactly `n` raw bytes, or reports truncation.
     pub fn try_take(&mut self, n: usize) -> Result<Vec<u8>, DecodeError> {
         Ok(self.try_split(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed byte string (the counterpart of
+    /// [`put_bytes`]), or reports truncation.
+    pub fn try_bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.try_u32()? as usize;
+        self.try_take(n)
     }
 
     /// Reads a `u64`.

@@ -1,0 +1,529 @@
+//! A pager backed by a real file — persistent disk pages for warm restarts.
+//!
+//! [`MemPager`](crate::MemPager) models the paper's disk for experiments
+//! whose lifetime is one process. The [`FilePager`] implements the same
+//! [`Pager`] trait against an actual file so that paged structures (octree
+//! leaves, hash buckets, page lists) survive a restart:
+//!
+//! ```text
+//! offset 0:                    superblock (one page)
+//! offset (1 + i) * page_size:  data page PageId(i)
+//! ```
+//!
+//! * the **superblock** holds magic, format version, page geometry, the
+//!   free-list head and a checksum; [`FilePager::open`] refuses files whose
+//!   superblock is corrupt or from a newer format version;
+//! * **free pages** form an on-disk linked list (the first 8 bytes of a
+//!   freed page point at the next free page), so allocation and free are
+//!   O(1) and the free set is recovered on reopen;
+//! * an in-memory **page allocation map** (one bit per page, rebuilt from
+//!   the free list at `open`) gives the same use-after-free / double-free
+//!   detection as the `MemPager`;
+//! * all traffic is metered through the shared [`IoStats`], and the pager
+//!   composes with [`BufferPool`](crate::BufferPool) like any other
+//!   [`Pager`].
+//!
+//! Durability: the superblock is rewritten by [`FilePager::sync`] and on
+//! drop; call `sync` explicitly at checkpoints that must survive a crash.
+//!
+//! ```
+//! use pv_storage::{FilePager, PageList, Pager};
+//!
+//! let path = std::env::temp_dir().join("pv_filepager_doc.pages");
+//! # let _ = std::fs::remove_file(&path);
+//! let pager = FilePager::create(&path, 256).unwrap();
+//! let mut list = PageList::new();
+//! list.append(&pager, b"survives a restart");
+//! let head = list.head();
+//! pager.sync().unwrap();
+//! drop(pager);
+//!
+//! let reopened = FilePager::open(&path).unwrap();
+//! let list = PageList::from_head(head);
+//! assert_eq!(list.read_all(&reopened), vec![b"survives a restart".to_vec()]);
+//! # drop(reopened);
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+
+use crate::codec::DecodeError;
+use crate::pager::{IoStats, PageId, Pager};
+use crate::snapshot::fnv1a64;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: [u8; 8] = *b"PVPAGES\x01";
+const VERSION: u16 = 1;
+/// magic + version + page_size(u32) + n_pages(u64) + free_head(u64) + live(u64)
+const SB_BODY: usize = 8 + 2 + 4 + 8 + 8 + 8;
+/// Smallest page that can hold the superblock plus its checksum.
+const MIN_PAGE: usize = SB_BODY + 8;
+
+struct FileState {
+    file: File,
+    /// Total data pages ever allocated (file length = (1 + n_pages) pages).
+    n_pages: u64,
+    /// Head of the on-disk free list.
+    free_head: PageId,
+    /// Allocation map: `allocated[i]` is true while `PageId(i)` is live.
+    allocated: Vec<bool>,
+}
+
+struct FilePagerInner {
+    page_size: usize,
+    stats: IoStats,
+    state: Mutex<FileState>,
+}
+
+/// A [`Pager`] whose pages live in a real file.
+///
+/// Cloning yields a handle to the *same* file and counters, so multiple
+/// index structures can share one device exactly like with
+/// [`MemPager`](crate::MemPager).
+#[derive(Clone)]
+pub struct FilePager {
+    inner: Arc<FilePagerInner>,
+}
+
+impl std::fmt::Debug for FilePager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilePager")
+            .field("page_size", &self.inner.page_size)
+            .field("live_pages", &self.live_pages())
+            .finish()
+    }
+}
+
+impl FilePager {
+    /// Creates a fresh page file at `path` (truncating any existing file)
+    /// with the given page size.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; rejects page sizes too small for the
+    /// superblock.
+    pub fn create(path: impl AsRef<Path>, page_size: usize) -> io::Result<Self> {
+        if page_size < MIN_PAGE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("page size {page_size} cannot hold the superblock ({MIN_PAGE} bytes)"),
+            ));
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let pager = Self {
+            inner: Arc::new(FilePagerInner {
+                page_size,
+                stats: IoStats::default(),
+                state: Mutex::new(FileState {
+                    file,
+                    n_pages: 0,
+                    free_head: PageId::NULL,
+                    allocated: Vec::new(),
+                }),
+            }),
+        };
+        pager.sync()?;
+        Ok(pager)
+    }
+
+    /// Opens an existing page file, validating its superblock and rebuilding
+    /// the allocation map by walking the free list.
+    ///
+    /// # Errors
+    /// I/O errors pass through; a corrupt, truncated or newer-versioned
+    /// superblock yields an [`io::ErrorKind::InvalidData`] error wrapping the
+    /// precise [`DecodeError`].
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file_len = file.metadata()?.len();
+        let invalid = |e: DecodeError| io::Error::new(io::ErrorKind::InvalidData, e);
+        const CONTEXT: &str = "page file superblock";
+        if file_len < MIN_PAGE as u64 {
+            return Err(invalid(DecodeError::Truncated {
+                needed: MIN_PAGE,
+                remaining: file_len as usize,
+            }));
+        }
+        let mut sb = vec![0u8; SB_BODY + 8];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut sb)?;
+        if sb[0..8] != MAGIC {
+            return Err(invalid(DecodeError::BadMagic { context: CONTEXT }));
+        }
+        let stored_sum = u64::from_le_bytes(sb[SB_BODY..].try_into().unwrap());
+        if fnv1a64(&sb[..SB_BODY]) != stored_sum {
+            return Err(invalid(DecodeError::ChecksumMismatch { context: CONTEXT }));
+        }
+        let version = u16::from_le_bytes([sb[8], sb[9]]);
+        if version == 0 || version > VERSION {
+            return Err(invalid(DecodeError::UnsupportedVersion {
+                context: CONTEXT,
+                found: version,
+                supported: VERSION,
+            }));
+        }
+        let page_size = u32::from_le_bytes(sb[10..14].try_into().unwrap()) as usize;
+        let n_pages = u64::from_le_bytes(sb[14..22].try_into().unwrap());
+        let free_head = PageId(u64::from_le_bytes(sb[22..30].try_into().unwrap()));
+        let live = u64::from_le_bytes(sb[30..38].try_into().unwrap());
+        if page_size < MIN_PAGE || file_len < (1 + n_pages) * page_size as u64 {
+            return Err(invalid(DecodeError::ChecksumMismatch { context: CONTEXT }));
+        }
+
+        // Rebuild the allocation map: everything is live except the pages
+        // reachable from the free list.
+        let mut allocated = vec![true; n_pages as usize];
+        let mut free_count = 0u64;
+        let mut cur = free_head;
+        let mut next_buf = [0u8; 8];
+        while !cur.is_null() {
+            if cur.0 >= n_pages || !allocated[cur.0 as usize] {
+                // Out-of-range or cyclic free list: the superblock lied.
+                return Err(invalid(DecodeError::ChecksumMismatch { context: CONTEXT }));
+            }
+            allocated[cur.0 as usize] = false;
+            free_count += 1;
+            file.seek(SeekFrom::Start((1 + cur.0) * page_size as u64))?;
+            file.read_exact(&mut next_buf)?;
+            cur = PageId(u64::from_le_bytes(next_buf));
+        }
+        if n_pages - free_count != live {
+            return Err(invalid(DecodeError::ChecksumMismatch { context: CONTEXT }));
+        }
+        Ok(Self {
+            inner: Arc::new(FilePagerInner {
+                page_size,
+                stats: IoStats::default(),
+                state: Mutex::new(FileState {
+                    file,
+                    n_pages,
+                    free_head,
+                    allocated,
+                }),
+            }),
+        })
+    }
+
+    /// Writes the superblock and flushes the file to stable storage.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut st = self.inner.state.lock();
+        let sb = superblock_bytes(self.inner.page_size, &st);
+        st.file.seek(SeekFrom::Start(0))?;
+        st.file.write_all(&sb)?;
+        st.file.sync_all()
+    }
+
+    /// Number of live (allocated, not freed) pages.
+    pub fn live_pages(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .allocated
+            .iter()
+            .filter(|&&a| a)
+            .count()
+    }
+
+    /// Bytes the page file occupies on disk (superblock included).
+    pub fn disk_bytes(&self) -> usize {
+        (1 + self.inner.state.lock().n_pages as usize) * self.inner.page_size
+    }
+
+    fn offset(&self, id: PageId) -> u64 {
+        (1 + id.0) * self.inner.page_size as u64
+    }
+
+    fn check_live(st: &FileState, id: PageId, op: &str) {
+        let live = st.allocated.get(id.0 as usize).copied().unwrap_or(false);
+        assert!(live, "{op} of unallocated page {id:?}");
+    }
+}
+
+impl Pager for FilePager {
+    fn page_size(&self) -> usize {
+        self.inner.page_size
+    }
+
+    fn alloc(&self) -> PageId {
+        self.inner
+            .stats
+            .allocs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        let zeros = vec![0u8; self.inner.page_size];
+        let id = if st.free_head.is_null() {
+            let id = PageId(st.n_pages);
+            st.n_pages += 1;
+            st.allocated.push(true);
+            id
+        } else {
+            let id = st.free_head;
+            let off = self.offset(id);
+            let mut next_buf = [0u8; 8];
+            st.file.seek(SeekFrom::Start(off)).expect("seek page file");
+            st.file.read_exact(&mut next_buf).expect("read page file");
+            st.free_head = PageId(u64::from_le_bytes(next_buf));
+            st.allocated[id.0 as usize] = true;
+            id
+        };
+        let off = self.offset(id);
+        st.file.seek(SeekFrom::Start(off)).expect("seek page file");
+        st.file.write_all(&zeros).expect("write page file");
+        id
+    }
+
+    fn read(&self, id: PageId) -> Vec<u8> {
+        self.inner
+            .stats
+            .reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        Self::check_live(&st, id, "read");
+        let off = self.offset(id);
+        let mut buf = vec![0u8; self.inner.page_size];
+        st.file.seek(SeekFrom::Start(off)).expect("seek page file");
+        st.file.read_exact(&mut buf).expect("read page file");
+        buf
+    }
+
+    fn write(&self, id: PageId, data: &[u8]) {
+        assert_eq!(data.len(), self.inner.page_size, "partial page write");
+        self.inner
+            .stats
+            .writes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        Self::check_live(&st, id, "write");
+        let off = self.offset(id);
+        st.file.seek(SeekFrom::Start(off)).expect("seek page file");
+        st.file.write_all(data).expect("write page file");
+    }
+
+    fn free(&self, id: PageId) {
+        self.inner
+            .stats
+            .frees
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        let live = st.allocated.get(id.0 as usize).copied().unwrap_or(false);
+        assert!(live, "double free of page {id:?}");
+        st.allocated[id.0 as usize] = false;
+        // Chain into the free list: the page's first 8 bytes now hold the
+        // previous head; the rest of the page is left as-is (alloc zeroes).
+        let mut head = vec![0u8; 8];
+        head.copy_from_slice(&st.free_head.0.to_le_bytes());
+        let off = self.offset(id);
+        st.file.seek(SeekFrom::Start(off)).expect("seek page file");
+        st.file.write_all(&head).expect("write page file");
+        st.free_head = id;
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.inner.stats
+    }
+}
+
+/// Encodes the full superblock page — the single source of truth shared by
+/// [`FilePager::sync`] and the drop-time best-effort write.
+fn superblock_bytes(page_size: usize, st: &FileState) -> Vec<u8> {
+    let live = st.allocated.iter().filter(|&&a| a).count() as u64;
+    let mut sb = Vec::with_capacity(page_size);
+    sb.extend_from_slice(&MAGIC);
+    sb.extend_from_slice(&VERSION.to_le_bytes());
+    sb.extend_from_slice(&(page_size as u32).to_le_bytes());
+    sb.extend_from_slice(&st.n_pages.to_le_bytes());
+    sb.extend_from_slice(&st.free_head.0.to_le_bytes());
+    sb.extend_from_slice(&live.to_le_bytes());
+    let sum = fnv1a64(&sb);
+    sb.extend_from_slice(&sum.to_le_bytes());
+    sb.resize(page_size, 0);
+    sb
+}
+
+impl Drop for FilePagerInner {
+    fn drop(&mut self) {
+        // Best-effort superblock write so a clean drop reopens consistently;
+        // callers needing crash durability use `sync` explicitly.
+        let page_size = self.page_size;
+        let st = self.state.get_mut();
+        let sb = superblock_bytes(page_size, st);
+        let _ = st
+            .file
+            .seek(SeekFrom::Start(0))
+            .and_then(|_| st.file.write_all(&sb));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("pv_filepager_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let path = temp("roundtrip");
+        let head;
+        {
+            let pager = FilePager::create(&path, 128).unwrap();
+            let a = pager.alloc();
+            let b = pager.alloc();
+            let mut buf = vec![0u8; 128];
+            buf[0] = 0xAA;
+            pager.write(a, &buf);
+            buf[0] = 0xBB;
+            pager.write(b, &buf);
+            pager.free(a);
+            head = b;
+            pager.sync().unwrap();
+            assert_eq!(pager.live_pages(), 1);
+        }
+        let pager = FilePager::open(&path).unwrap();
+        assert_eq!(pager.page_size(), 128);
+        assert_eq!(pager.live_pages(), 1);
+        assert_eq!(pager.read(head)[0], 0xBB);
+        // the freed page is recycled before the file grows
+        let c = pager.alloc();
+        assert_eq!(c, PageId(0));
+        assert!(pager.read(c).iter().all(|&x| x == 0), "recycled page dirty");
+        drop(pager);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn io_stats_are_counted() {
+        let path = temp("stats");
+        let pager = FilePager::create(&path, 128).unwrap();
+        let id = pager.alloc();
+        pager.write(id, &[7u8; 128]);
+        pager.read(id);
+        let snap = pager.stats().snapshot();
+        assert_eq!(snap.allocs, 1);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.reads, 1);
+        drop(pager);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let path = temp("doublefree");
+        let pager = FilePager::create(&path, 128).unwrap();
+        let id = pager.alloc();
+        pager.free(id);
+        pager.free(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "read of unallocated page")]
+    fn read_after_free_panics() {
+        let path = temp("uaf");
+        let pager = FilePager::create(&path, 128).unwrap();
+        let id = pager.alloc();
+        pager.free(id);
+        pager.read(id);
+    }
+
+    #[test]
+    fn corrupted_superblock_is_rejected() {
+        let path = temp("corrupt");
+        {
+            let pager = FilePager::create(&path, 128).unwrap();
+            let id = pager.alloc();
+            pager.write(id, &[1u8; 128]);
+            pager.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x01; // flip a bit inside the superblock body
+        std::fs::write(&path, &bytes).unwrap();
+        let err = FilePager::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = temp("truncated");
+        {
+            let pager = FilePager::create(&path, 128).unwrap();
+            for _ in 0..4 {
+                pager.alloc();
+            }
+            pager.sync().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(FilePager::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let path = temp("magic");
+        std::fs::write(&path, vec![0x42u8; 4096]).unwrap();
+        let err = FilePager::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn composes_with_buffer_pool_and_page_list() {
+        use crate::{BufferPool, PageList};
+        let path = temp("compose");
+        let head;
+        {
+            let pool = BufferPool::new(FilePager::create(&path, 256).unwrap(), 8);
+            let mut list = PageList::new();
+            for i in 0..20u8 {
+                list.append(&pool, &[i; 16]);
+            }
+            head = list.head();
+            pool.flush();
+            pool.inner().sync().unwrap();
+        }
+        let pager = FilePager::open(&path).unwrap();
+        let list = PageList::from_head(head);
+        let records = list.read_all(&pager);
+        assert_eq!(records.len(), 20);
+        // new pages chain at the head, so order is page-reversed; compare sets
+        let mut firsts: Vec<u8> = records.iter().map(|r| r[0]).collect();
+        firsts.sort_unstable();
+        assert_eq!(firsts, (0..20u8).collect::<Vec<_>>());
+        drop(pager);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clones_share_the_file() {
+        let path = temp("clones");
+        let pager = FilePager::create(&path, 128).unwrap();
+        let other = pager.clone();
+        let id = pager.alloc();
+        other.write(id, &[9u8; 128]);
+        assert_eq!(pager.read(id)[0], 9);
+        assert_eq!(pager.stats().snapshot().writes, 1);
+        drop(other);
+        drop(pager);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tiny_page_size_is_rejected() {
+        let path = temp("tiny");
+        assert!(FilePager::create(&path, 16).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -9,24 +9,47 @@
 //! * [`MemPager`] is an in-memory array of fixed-size pages with read / write
 //!   / allocation counters ([`IoStats`]) and an optional per-access latency
 //!   model ([`LatencyModel`]) for wall-clock realism experiments;
+//! * [`FilePager`] implements the same [`Pager`] trait against a real file —
+//!   checksummed superblock, on-disk free list, allocation map — so paged
+//!   structures survive a process restart;
 //! * [`PageList`] implements the paper's leaf-node layout: a linked list of
 //!   pages holding variable-size records, with new pages attached at the
 //!   *head* of the list (§VI-A, construction step 3);
-//! * [`BufferPool`] is an optional LRU read cache used in ablation studies;
+//! * [`BufferPool`] is an optional LRU read cache used in ablation studies,
+//!   stackable on either pager;
 //! * [`codec`] provides the little-endian record encoding shared by the
-//!   octree leaves and the extendible hash table.
+//!   octree leaves and the extendible hash table, and surfaces corruption
+//!   as [`codec::DecodeError`] values instead of panics;
+//! * [`snapshot`] provides the versioned, checksummed envelope every index
+//!   snapshot file in the workspace is wrapped in.
 //!
 //! Every index structure in the workspace performs its "disk" accesses
 //! through this crate, so a unit of I/O means the same thing for the R-tree
 //! baseline, the PV-index and the UV-index.
+//!
+//! ```
+//! use pv_storage::{BufferPool, MemPager, PageList, Pager};
+//!
+//! // A 4 KiB-page simulated disk behind a tiny LRU cache.
+//! let pool = BufferPool::new(MemPager::default_pager(), 4);
+//! let mut leaf = PageList::new();
+//! leaf.append(&pool, b"record one");
+//! leaf.append(&pool, b"record two");
+//! assert_eq!(leaf.read_all(&pool).len(), 2);
+//! pool.flush(); // write-back cache: dirty pages reach the disk on flush
+//! assert!(pool.inner().stats().snapshot().writes > 0);
+//! ```
 
 #![deny(missing_docs)]
 
 pub mod buffer;
 pub mod codec;
+pub mod filepager;
 pub mod pagelist;
 pub mod pager;
+pub mod snapshot;
 
 pub use buffer::BufferPool;
+pub use filepager::FilePager;
 pub use pagelist::{PageList, PageListStats};
 pub use pager::{IoStats, LatencyModel, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};

@@ -185,6 +185,46 @@ impl MemPager {
         st.pages.iter().filter(|p| p.is_some()).count()
     }
 
+    /// Copies the full disk image — one entry per page slot, `None` for
+    /// freed slots — for snapshot serialisation. Charges no I/O (snapshots
+    /// are a device-level dump, not page traffic).
+    pub fn image(&self) -> Vec<Option<Vec<u8>>> {
+        let st = self.inner.state.lock();
+        st.pages
+            .iter()
+            .map(|slot| slot.as_ref().map(|p| p.to_vec()))
+            .collect()
+    }
+
+    /// Reconstructs a pager from an image captured by [`MemPager::image`].
+    /// Page ids are preserved exactly; freed slots rejoin the free list (in
+    /// descending order, so the lowest id is recycled first). Counters start
+    /// at zero.
+    ///
+    /// # Panics
+    /// If any live page's length differs from `page_size`.
+    pub fn from_image(page_size: usize, image: Vec<Option<Vec<u8>>>) -> Self {
+        let pager = Self::new(page_size);
+        {
+            let mut st = pager.inner.state.lock();
+            st.free_list = (0..image.len())
+                .rev()
+                .filter(|&i| image[i].is_none())
+                .map(|i| PageId(i as u64))
+                .collect();
+            st.pages = image
+                .into_iter()
+                .map(|slot| {
+                    slot.map(|p| {
+                        assert_eq!(p.len(), page_size, "image page has the wrong size");
+                        p.into_boxed_slice()
+                    })
+                })
+                .collect();
+        }
+        pager
+    }
+
     /// Total bytes currently occupied on the simulated disk.
     pub fn disk_bytes(&self) -> usize {
         self.live_pages() * self.inner.page_size
@@ -339,5 +379,23 @@ mod tests {
     fn null_page_id() {
         assert!(PageId::NULL.is_null());
         assert!(!PageId(0).is_null());
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_pages_and_free_slots() {
+        let pager = MemPager::new(128);
+        let a = pager.alloc();
+        let b = pager.alloc();
+        let c = pager.alloc();
+        pager.write(a, &[1u8; 128]);
+        pager.write(c, &[3u8; 128]);
+        pager.free(b);
+        let restored = MemPager::from_image(128, pager.image());
+        assert_eq!(restored.read(a), vec![1u8; 128]);
+        assert_eq!(restored.read(c), vec![3u8; 128]);
+        assert_eq!(restored.live_pages(), 2);
+        // the freed slot is recycled before the array grows
+        assert_eq!(restored.alloc(), b);
+        assert_eq!(restored.alloc(), PageId(3));
     }
 }

@@ -3,7 +3,28 @@
 //! Reproducible experiments need datasets that can be generated once and
 //! shared; this module serialises an [`UncertainDb`] to a compact binary
 //! file (magic + version + domain + length-prefixed object records reusing
-//! [`UncertainObject::encode`]) and reads it back.
+//! [`UncertainObject::encode`]) and reads it back. This persists the raw
+//! *data*; for persisting a *built index* (so a restart skips SE entirely)
+//! see the snapshot support in `pv-core::snapshot`.
+//!
+//! ```
+//! use pv_geom::HyperRect;
+//! use pv_uncertain::{persist, UncertainDb, UncertainObject};
+//!
+//! let domain = HyperRect::cube(2, 0.0, 100.0);
+//! let objects = vec![
+//!     UncertainObject::uniform(1, HyperRect::new(vec![5.0, 5.0], vec![8.0, 9.0]), 32),
+//!     UncertainObject::uniform(2, HyperRect::new(vec![40.0, 60.0], vec![42.0, 61.0]), 32),
+//! ];
+//! let db = UncertainDb::new(domain, objects);
+//!
+//! let bytes = persist::to_bytes(&db);
+//! let back = persist::from_bytes(&bytes).unwrap();
+//! assert_eq!(back.objects, db.objects);
+//!
+//! // Corruption is reported as an error, never a panic.
+//! assert!(persist::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+//! ```
 
 use crate::{UncertainDb, UncertainObject};
 use pv_geom::HyperRect;

@@ -35,10 +35,17 @@ use pv_exthash::ExtHash;
 use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
 use pv_octree::{decode_leaf_record, encode_leaf_record, Octree};
 use pv_rtree::{Entry, RTree, RTreeParams};
+use pv_storage::codec;
+use pv_storage::snapshot::{open_snapshot, SnapshotWriter};
 use pv_storage::{MemPager, Pager};
 use pv_uncertain::{UncertainDb, UncertainObject};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Artifact kind of UV-index snapshot files.
+pub const UV_SNAPSHOT_KIND: [u8; 4] = *b"PVUV";
+/// Snapshot format version this build writes and the newest it reads.
+pub const UV_SNAPSHOT_VERSION: u16 = 1;
 
 /// A circular uncertainty region: the smallest circle containing `u(o)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -347,13 +354,94 @@ impl UvIndex {
         &self.pager
     }
 
-    /// PNNQ Step 1 (deprecated inherent form).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `pv_core::query::Step1Engine` trait: `uv.step1(q)`"
-    )]
-    pub fn query_step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
-        Step1Engine::step1(self, q)
+    /// Serialises the index into snapshot bytes (kind `PVUV`, version 1,
+    /// [`pv_storage::snapshot`] envelope): domain, build stats, object
+    /// catalog, the ray-marched UV-cell MBRs (the expensive artifact worth
+    /// persisting), the raw disk image, and the octree/hash-table state.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        use pv_core::snapshot as snap;
+        let mut w = SnapshotWriter::new(UV_SNAPSHOT_KIND, UV_SNAPSHOT_VERSION);
+        let out = w.buf();
+        codec::put_u32(out, self.page_size as u32);
+        snap::put_rect(out, &self.domain);
+        snap::put_build_stats(out, &self.build_stats);
+        let mut ids: Vec<u64> = self.objects.keys().copied().collect();
+        ids.sort_unstable();
+        codec::put_u64(out, ids.len() as u64);
+        for id in &ids {
+            codec::put_bytes(out, &self.objects[id].encode());
+            snap::put_rect(out, &self.cell_mbrs[id]);
+        }
+        snap::put_pager_image(out, &self.pager);
+        codec::put_bytes(out, &self.octree.to_snapshot());
+        codec::put_bytes(out, &self.secondary.to_snapshot());
+        w.finish()
+    }
+
+    /// Reconstructs an index from [`UvIndex::to_snapshot_bytes`] output —
+    /// no ray marching is repeated; the circle catalog is re-derived
+    /// deterministically from the stored regions.
+    ///
+    /// # Errors
+    /// Any corruption or version skew as a
+    /// [`DecodeError`](pv_storage::codec::DecodeError); never panics.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, pv_storage::codec::DecodeError> {
+        use pv_core::snapshot as snap;
+        use pv_storage::codec::DecodeError;
+        let (mut r, _version) = open_snapshot(
+            bytes,
+            UV_SNAPSHOT_KIND,
+            "UV-index snapshot",
+            UV_SNAPSHOT_VERSION,
+        )?;
+        let page_size = r.try_u32()? as usize;
+        let domain = snap::try_rect(&mut r, 2)?;
+        let build_stats = snap::try_build_stats(&mut r)?;
+        let n = r.try_u64()? as usize;
+        let mut objects = HashMap::with_capacity(n.min(1 << 20));
+        let mut cell_mbrs = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let rec = r.try_bytes()?;
+            let o = UncertainObject::try_decode(&rec)?;
+            if o.region.dim() != 2 {
+                return Err(DecodeError::Invalid {
+                    context: "UV-index snapshot object dimensionality",
+                });
+            }
+            cell_mbrs.insert(o.id, snap::try_rect(&mut r, 2)?);
+            objects.insert(o.id, o);
+        }
+        let pager = snap::try_pager_image(&mut r)?;
+        let octree = Octree::from_snapshot(pager.clone(), &r.try_bytes()?)?;
+        let secondary = ExtHash::from_snapshot(pager.clone(), &r.try_bytes()?)?;
+        let circles = objects
+            .values()
+            .map(|o| (o.id, Circle::around(&o.region)))
+            .collect();
+        Ok(Self {
+            domain,
+            octree,
+            secondary,
+            pager,
+            page_size,
+            objects,
+            circles,
+            cell_mbrs,
+            build_stats,
+        })
+    }
+
+    /// Saves the index snapshot to a file; see [`UvIndex::to_snapshot_bytes`].
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_snapshot_bytes())
+    }
+
+    /// Loads an index saved with [`UvIndex::save`]; corruption yields an
+    /// [`std::io::ErrorKind::InvalidData`] error instead of a panic.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_snapshot_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -533,6 +621,34 @@ mod tests {
             assert!(c.min_dist(&p) <= pv_geom::min_dist(&o.region, &p) + 1e-9);
             assert!(c.max_dist(&p) >= pv_geom::max_dist(&o.region, &p) - 1e-9);
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_without_retracing() {
+        use pv_core::query::QuerySpec;
+        let db = db2d(120, 21);
+        let uv = UvIndex::build(&db, UvParams::default());
+        let t0 = Instant::now();
+        let loaded = UvIndex::from_snapshot_bytes(&uv.to_snapshot_bytes()).unwrap();
+        let load_time = t0.elapsed();
+        assert!(
+            load_time < uv.build_stats().total_time,
+            "load {load_time:?} should beat the ray-marched build {:?}",
+            uv.build_stats().total_time
+        );
+        for o in &db.objects {
+            assert_eq!(loaded.cell_mbr(o.id), uv.cell_mbr(o.id));
+        }
+        for q in queries::uniform(&db.domain, 15, 23) {
+            assert_eq!(loaded.step1(&q).0, uv.step1(&q).0);
+            assert_eq!(
+                loaded.execute(&q, &QuerySpec::new()).answers,
+                uv.execute(&q, &QuerySpec::new()).answers
+            );
+        }
+        // corruption is an error, not a panic
+        let bytes = uv.to_snapshot_bytes();
+        assert!(UvIndex::from_snapshot_bytes(&bytes[..bytes.len() - 9]).is_err());
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Warm restart: build a PV-index once, snapshot it to one file, "restart"
+//! the process (drop everything), load the snapshot in O(file read) and
+//! serve the exact same answers — the build-once / serve-many workflow the
+//! persistence subsystem exists for.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example warm_restart
+//! ```
+
+use pv_suite::core::{ProbNnEngine, PvIndex, PvParams, QuerySpec};
+use pv_suite::workload::{queries, synthetic, SyntheticConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = SyntheticConfig {
+        n: 2_000,
+        dim: 3,
+        max_side: 60.0,
+        samples: 200,
+        seed: 4242,
+    };
+    println!(
+        "generating {} uncertain objects (d = {})...",
+        cfg.n, cfg.dim
+    );
+    let db = synthetic(&cfg);
+    let qs = queries::uniform(&db.domain, 50, 7);
+    let spec = QuerySpec::new().top_k(5);
+    let path = std::env::temp_dir().join("pv_warm_restart.pvix");
+
+    // --- Cold start: pay the full SE construction once. ---
+    println!("cold start: building the PV-index (every object pays an SE run)...");
+    let t0 = Instant::now();
+    let index = PvIndex::build(&db, PvParams::default());
+    let build_time = t0.elapsed();
+    println!("  built in {build_time:?}");
+
+    let t0 = Instant::now();
+    index.save(&path).expect("save snapshot");
+    let save_time = t0.elapsed();
+    let file_kib = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) / 1024;
+    println!(
+        "  snapshot saved in {save_time:?}  ({file_kib} KiB at {})",
+        path.display()
+    );
+
+    let cold_answers: Vec<_> = qs.iter().map(|q| index.execute(q, &spec).answers).collect();
+    drop(index); // "the process exits"
+
+    // --- Warm restart: no SE, no octree construction — just a file read. ---
+    println!("warm restart: loading the snapshot...");
+    let t0 = Instant::now();
+    let restored = PvIndex::load(&path).expect("load snapshot");
+    let load_time = t0.elapsed();
+    println!(
+        "  loaded {} objects in {load_time:?}  ({:.0}x faster than the cold build)",
+        restored.len(),
+        build_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9)
+    );
+
+    // --- The restored index serves byte-identical answers. ---
+    let mut identical = 0usize;
+    for (q, want) in qs.iter().zip(&cold_answers) {
+        let got = restored.execute(q, &spec).answers;
+        assert_eq!(&got, want, "restored index diverged at {q:?}");
+        identical += 1;
+    }
+    println!(
+        "  {identical}/{} queries answered identically to the cold index",
+        qs.len()
+    );
+
+    assert!(
+        load_time.as_secs_f64() * 5.0 < build_time.as_secs_f64(),
+        "load ({load_time:?}) should be at least 5x faster than build ({build_time:?})"
+    );
+    println!("warm restart OK: load was >5x cheaper than rebuild");
+    let _ = std::fs::remove_file(&path);
+}

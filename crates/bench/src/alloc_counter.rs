@@ -1,0 +1,64 @@
+//! A counting global allocator for allocation-regression measurements.
+//!
+//! The hot-path contract of this repo (see ARCHITECTURE.md, "Hot paths &
+//! performance model") is that steady-state batch queries perform **zero**
+//! heap allocations. That contract is only checkable by counting real
+//! allocator traffic, so this module provides a [`GlobalAlloc`] wrapper
+//! around the system allocator that tallies every `alloc`/`realloc` call.
+//!
+//! A global allocator must be registered per binary; the `experiments`
+//! binary and the workspace-root `alloc_steady_state` test both do
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pv_bench::alloc_counter::CountingAllocator = CountingAllocator;
+//! ```
+//!
+//! and then read [`allocations`] deltas around the region of interest. In a
+//! binary that does *not* register it, [`allocations`] stays at zero and
+//! deltas are meaningless — check [`is_registered`] before trusting them.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static REGISTERED: AtomicBool = AtomicBool::new(false);
+
+/// System-allocator wrapper counting every allocation and reallocation.
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`, only adding relaxed counter
+// bumps, which are allocation-free and reentrancy-safe.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        REGISTERED.store(true, Ordering::Relaxed);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+/// Total allocations (+ reallocations) observed so far. Take deltas around
+/// the region of interest.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// True once the counting allocator has served at least one allocation in
+/// this process — i.e. it is actually registered as the global allocator.
+pub fn is_registered() -> bool {
+    REGISTERED.load(Ordering::Relaxed)
+}

@@ -8,13 +8,20 @@
 //!   table1   fig9a fig9b fig9c fig9d fig9efg fig9h
 //!   fig10a fig10b fig10c fig10d fig10e fig10f fig10g fig10hi
 //!   params updquality engines snapshot
+//!   report   (bench-trajectory snapshot -> BENCH_pr<N>.json)
 //!   fig9     (all of figure 9)    fig10   (all of figure 10)
 //!   all      (everything)
 //! ```
 //!
 //! Results print as aligned tables and are mirrored to `results/*.csv`.
 
-use pv_bench::{figures, Ctx, Preset};
+use pv_bench::{figures, trajectory, Ctx, Preset};
+
+/// Count real allocator traffic so `report` can measure the zero-allocation
+/// steady-state contract of the batch query path.
+#[global_allocator]
+static ALLOC: pv_bench::alloc_counter::CountingAllocator =
+    pv_bench::alloc_counter::CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,6 +92,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "engines" => figures::engines(ctx),
         "snapshot" => figures::snapshot(ctx),
         "updquality" => figures::update_quality(ctx),
+        "report" => trajectory::report(ctx, &format!("BENCH_pr{}.json", trajectory::TRAJECTORY_PR)),
         "fig9" => {
             figures::fig9a(ctx);
             figures::fig9b(ctx);
@@ -129,6 +137,6 @@ fn print_help() {
          usage: experiments [--preset tiny|small|paper] [--threads N] <command>...\n\
          \n\
          commands: table1, fig9a..fig9h, fig9efg, fig10a..fig10i, fig10hi,\n\
-         params, updquality, space, engines, snapshot, fig9, fig10, all"
+         params, updquality, space, engines, snapshot, report, fig9, fig10, all"
     );
 }

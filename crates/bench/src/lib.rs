@@ -8,8 +8,10 @@
 
 #![deny(missing_docs)]
 
+pub mod alloc_counter;
 pub mod figures;
 pub mod report;
+pub mod trajectory;
 
 use pv_core::params::PvParams;
 use pv_uncertain::UncertainDb;

@@ -1,0 +1,174 @@
+//! The bench-trajectory harness: machine-readable performance snapshots.
+//!
+//! `experiments report` runs the three hot-path workloads — full PNNQ,
+//! batched PNNQ and index construction — on the PV-index and writes the
+//! medians to a `BENCH_pr<N>.json` file at the repository root. Each perf PR
+//! records its post-change numbers under its own file, so later sessions can
+//! read the trajectory instead of re-deriving baselines; CI runs the mode on
+//! the tiny preset so the harness itself cannot bit-rot.
+//!
+//! Allocation accounting: when the running binary registered
+//! [`crate::alloc_counter::CountingAllocator`] (the `experiments` binary
+//! does), the report also measures steady-state allocations per query for a
+//! sequential `query_batch_into` — the number the zero-allocation contract
+//! says must be `0`.
+
+use crate::alloc_counter;
+use crate::Ctx;
+use pv_core::{BatchSlots, ProbNnEngine, PvIndex, QueryOutcome, QueryScratch, QuerySpec};
+use pv_workload::queries;
+use std::time::Instant;
+
+/// The PR number this snapshot file belongs to.
+pub const TRAJECTORY_PR: u32 = 4;
+
+/// One measured per-query workload: a name plus its median cost. (The build
+/// workload reports whole-build wall time separately — its unit is
+/// incomparable with a per-query median.)
+#[derive(Debug, Clone)]
+pub struct WorkloadMedian {
+    /// Workload identifier (`"pnnq_full"`, `"query_batch"`).
+    pub name: &'static str,
+    /// Median nanoseconds per query.
+    pub median_ns_per_op: u64,
+    /// Operations measured per round.
+    pub ops: usize,
+    /// Measurement rounds the median was taken over.
+    pub rounds: usize,
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Runs the trajectory workloads and writes `path` (JSON). Also prints a
+/// short human-readable summary.
+pub fn report(ctx: &Ctx, path: &str) {
+    let n = ctx.preset.s_default();
+    let dim = 3;
+    let db = ctx.synthetic_db(n, dim, 60.0, 4242);
+    let params = ctx.pv_params();
+
+    // --- build workload (median over fresh builds; every build measured,
+    // the last one kept as the query-workload index) ---
+    let build_rounds = 3;
+    let mut build_ns = Vec::with_capacity(build_rounds);
+    let mut timed_build = || {
+        let t = Instant::now();
+        let idx = PvIndex::build(&db, params);
+        build_ns.push(t.elapsed().as_nanos() as u64);
+        idx
+    };
+    let mut index = timed_build();
+    for _ in 1..build_rounds {
+        index = timed_build();
+    }
+    let build_median_ns = median(build_ns);
+
+    // --- pnnq workload (median per-query latency, scratch reused) ---
+    let qs = queries::uniform(&db.domain, ctx.preset.queries().max(32), 77);
+    let spec = QuerySpec::new();
+    let mut scratch = QueryScratch::default();
+    let mut out = QueryOutcome::default();
+    for q in &qs {
+        index.execute_into(q, &spec, &mut scratch, &mut out); // warm-up
+    }
+    let rounds = 5;
+    let mut per_op = Vec::with_capacity(rounds * qs.len());
+    for _ in 0..rounds {
+        for q in &qs {
+            let t = Instant::now();
+            index.execute_into(q, &spec, &mut scratch, &mut out);
+            per_op.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+    let pnnq = WorkloadMedian {
+        name: "pnnq_full",
+        median_ns_per_op: median(per_op),
+        ops: qs.len(),
+        rounds,
+    };
+
+    // --- batch workload (parallel query_batch_into, slots reused) ---
+    let batch_spec = QuerySpec::new().top_k(5);
+    let mut slots = BatchSlots::new();
+    let warm = index.query_batch_into(&qs, &batch_spec, &mut slots);
+    let threads = warm.threads;
+    let mut batch_per_op = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        index.query_batch_into(&qs, &batch_spec, &mut slots);
+        batch_per_op.push(t.elapsed().as_nanos() as u64 / qs.len() as u64);
+    }
+    let batch = WorkloadMedian {
+        name: "query_batch",
+        median_ns_per_op: median(batch_per_op),
+        ops: qs.len(),
+        rounds,
+    };
+
+    // --- steady-state allocations per query (sequential batch) ---
+    let seq_spec = QuerySpec::new().top_k(5).batch_threads(1);
+    index.query_batch_into(&qs, &seq_spec, &mut slots);
+    index.query_batch_into(&qs, &seq_spec, &mut slots);
+    let a0 = alloc_counter::allocations();
+    index.query_batch_into(&qs, &seq_spec, &mut slots);
+    let allocs = alloc_counter::allocations() - a0;
+    let allocs_per_query = allocs as f64 / qs.len() as f64;
+    let alloc_counter_active = alloc_counter::is_registered();
+
+    let preset = format!("{:?}", ctx.preset).to_lowercase();
+    let json = format!(
+        "{{\n  \"pr\": {pr},\n  \"preset\": \"{preset}\",\n  \"engine\": \"pv-index\",\n  \
+         \"objects\": {n},\n  \"dim\": {dim},\n  \"samples_per_object\": {samples},\n  \
+         \"batch_threads\": {threads},\n  \
+         \"workloads\": {{\n{workloads}\n  }},\n  \
+         \"allocs_per_query_steady_state\": {allocs_per_query},\n  \
+         \"alloc_counter_active\": {alloc_counter_active}\n}}\n",
+        pr = TRAJECTORY_PR,
+        samples = ctx.preset.samples(),
+        workloads = [&pnnq, &batch]
+            .iter()
+            .map(|w| {
+                format!(
+                    "    \"{}\": {{ \"median_ns_per_op\": {}, \"ops\": {}, \"rounds\": {} }}",
+                    w.name, w.median_ns_per_op, w.ops, w.rounds
+                )
+            })
+            .chain(std::iter::once(format!(
+                // Whole-build wall time, deliberately NOT "per op": dividing
+                // by the object count would invite cross-workload comparison
+                // of incomparable units.
+                "    \"build\": {{ \"median_ns\": {build_median_ns}, \"objects\": {n}, \"rounds\": {build_rounds} }}"
+            )))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+
+    println!("\n== bench trajectory (PR {TRAJECTORY_PR}, preset {preset}) ==");
+    for w in [&pnnq, &batch] {
+        println!(
+            "{:>12}: median {:>12} ns/op  ({} ops x {} rounds)",
+            w.name, w.median_ns_per_op, w.ops, w.rounds
+        );
+    }
+    println!(
+        "{:>12}: median {:>12} ns/build ({n} objects x {build_rounds} rounds)",
+        "build", build_median_ns
+    );
+    println!(
+        "{:>12}: {:.3} allocs/query (counter {})",
+        "steady-state",
+        allocs_per_query,
+        if alloc_counter_active {
+            "active"
+        } else {
+            "NOT registered — value meaningless"
+        }
+    );
+    println!("(json: {path})");
+}

@@ -8,7 +8,7 @@
 //! live in a main-memory budget, leaves on disk).
 
 use crate::prob::pdf_payload_pages;
-use crate::query::{ProbNnEngine, Step1Engine};
+use crate::query::{FetchScratch, ProbNnEngine, Step1Engine};
 use crate::stats::Step1Stats;
 use pv_geom::{max_dist_sq, HyperRect, Point};
 use pv_rtree::{Entry, RTree, RTreeParams};
@@ -108,10 +108,20 @@ impl Step1Engine for RTreeBaseline {
     /// Best-first branch-and-prune over the R*-tree: all objects with
     /// non-zero qualification probability.
     fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+        let mut ids = Vec::new();
+        let stats = self.step1_into(q, &mut ids, &mut FetchScratch::default());
+        (ids, stats)
+    }
+
+    /// Buffer-reusing branch-and-prune (the best-first iterator itself still
+    /// maintains its own heap, so unlike the PV-index this path is lean but
+    /// not allocation-free).
+    fn step1_into(&self, q: &Point, ids: &mut Vec<u64>, scratch: &mut FetchScratch) -> Step1Stats {
         let t0 = Instant::now();
         let leaf0 = self.tree.stats.leaf_visits.load(Ordering::Relaxed);
         let mut tau_sq = f64::INFINITY;
-        let mut collected: Vec<(u64, f64)> = Vec::new(); // (id, mindist_sq)
+        let cand = &mut scratch.cand; // (id, mindist_sq, unused)
+        cand.clear();
         let mut candidates = 0usize;
         for n in self.tree.nn_iter(q) {
             let mind_sq = n.dist * n.dist;
@@ -120,22 +130,22 @@ impl Step1Engine for RTreeBaseline {
             }
             candidates += 1;
             tau_sq = tau_sq.min(max_dist_sq(&n.rect, q));
-            collected.push((n.id, mind_sq));
+            cand.push((n.id, mind_sq, 0.0));
         }
         // τ only decreased while collecting: final filter.
-        let mut ids: Vec<u64> = collected
-            .into_iter()
-            .filter(|&(_, mind_sq)| mind_sq <= tau_sq)
-            .map(|(id, _)| id)
-            .collect();
+        ids.clear();
+        ids.extend(
+            cand.iter()
+                .filter(|&&(_, mind_sq, _)| mind_sq <= tau_sq)
+                .map(|&(id, _, _)| id),
+        );
         ids.sort_unstable();
-        let stats = Step1Stats {
+        Step1Stats {
             time: t0.elapsed(),
             io_reads: self.tree.stats.leaf_visits.load(Ordering::Relaxed) - leaf0,
             candidates,
             answers: ids.len(),
-        };
-        (ids, stats)
+        }
     }
 }
 
@@ -150,6 +160,19 @@ impl ProbNnEngine for RTreeBaseline {
         let o = self.objects[&id].clone();
         let io = pdf_payload_pages(&o, self.page_size);
         (o, io)
+    }
+
+    /// Serves distances straight from the in-memory catalog — no clone.
+    fn fetch_dists_sq(
+        &self,
+        id: u64,
+        q: &Point,
+        out: &mut Vec<f64>,
+        scratch: &mut FetchScratch,
+    ) -> u64 {
+        let o = &self.objects[&id];
+        o.dists_sq_into(q, &mut scratch.samples, out);
+        pdf_payload_pages(o, self.page_size)
     }
 }
 

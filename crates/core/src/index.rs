@@ -23,13 +23,13 @@
 
 use crate::cset::{build_mean_tree, choose_cset};
 use crate::params::PvParams;
-use crate::prob::pdf_payload_pages;
-use crate::query::{ProbNnEngine, Step1Engine};
+use crate::prob::{payload_pages, pdf_payload_pages};
+use crate::query::{FetchScratch, ProbNnEngine, Step1Engine};
 use crate::se::{compute_ubr, compute_ubr_with_bounds, SeBounds};
 use crate::stats::{BuildStats, SeStats, Step1Stats, UpdateStats};
 use pv_exthash::ExtHash;
-use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
-use pv_octree::{decode_leaf_record, encode_leaf_record, Octree};
+use pv_geom::{HyperRect, Point};
+use pv_octree::{decode_leaf_record, encode_leaf_record, leaf_record_dists_sq, Octree};
 use pv_rtree::RTree;
 use pv_storage::{codec, MemPager, Pager};
 use pv_uncertain::{UncertainDb, UncertainObject};
@@ -99,6 +99,22 @@ pub fn encode_secondary(
     }
     out.extend_from_slice(&o.encode());
     out
+}
+
+/// Byte offset of the embedded [`UncertainObject::encode`] payload inside a
+/// record written by [`encode_secondary`] (i.e. the length of the UBR
+/// prefix), so the hot path can hand the object bytes to a zero-copy
+/// [`pv_uncertain::EncodedObject`] without decoding the UBR.
+fn secondary_payload_offset(buf: &[u8], dim: usize) -> Result<usize, codec::DecodeError> {
+    let mut r = codec::Reader::new(buf);
+    match r.try_u16()? {
+        0 => Ok(2 + dim * 16),
+        1 => Ok(2 + 2 + dim * 4),
+        t => Err(codec::DecodeError::UnknownTag {
+            context: "secondary record",
+            tag: t,
+        }),
+    }
 }
 
 /// Decodes a record written by [`encode_secondary`].
@@ -512,32 +528,40 @@ impl Step1Engine for PvIndex {
     /// PNNQ Step 1: descend to the leaf containing `q`, then prune with the
     /// min/max-distance filter (§VI-A "Query Evaluation").
     fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+        let mut ids = Vec::new();
+        let stats = self.step1_into(q, &mut ids, &mut FetchScratch::default());
+        (ids, stats)
+    }
+
+    /// Allocation-free Step 1: streams the leaf records straight from the
+    /// page chain, computing each candidate's `distmin²`/`distmax²` from the
+    /// record bytes — no rectangle is ever materialised.
+    fn step1_into(&self, q: &Point, ids: &mut Vec<u64>, scratch: &mut FetchScratch) -> Step1Stats {
         let t0 = Instant::now();
-        let io0 = self.pager.stats().snapshot();
-        let records = self.octree.point_query(q);
-        let mut candidates: Vec<(u64, f64, f64)> = Vec::with_capacity(records.len());
-        for rec in &records {
-            let (id, region) = decode_leaf_record(rec, self.dim);
-            candidates.push((id, min_dist_sq(&region, q), max_dist_sq(&region, q)));
-        }
-        let tau_sq = candidates
+        let io0 = self.pager.stats().reads.load(Ordering::Relaxed);
+        let FetchScratch { octree, cand, .. } = scratch;
+        cand.clear();
+        let dim = self.dim;
+        self.octree.point_query_with(q, octree, |rec| {
+            cand.push(leaf_record_dists_sq(rec, dim, q));
+        });
+        let tau_sq = cand
             .iter()
             .map(|&(_, _, maxd)| maxd)
             .fold(f64::INFINITY, f64::min);
-        let mut ids: Vec<u64> = candidates
-            .iter()
-            .filter(|&&(_, mind, _)| mind <= tau_sq)
-            .map(|&(id, _, _)| id)
-            .collect();
+        ids.clear();
+        ids.extend(
+            cand.iter()
+                .filter(|&&(_, mind, _)| mind <= tau_sq)
+                .map(|&(id, _, _)| id),
+        );
         ids.sort_unstable();
-        let io1 = self.pager.stats().snapshot();
-        let stats = Step1Stats {
+        Step1Stats {
             time: t0.elapsed(),
-            io_reads: io1.since(&io0).reads,
-            candidates: candidates.len(),
+            io_reads: self.pager.stats().reads.load(Ordering::Relaxed) - io0,
+            candidates: cand.len(),
             answers: ids.len(),
-        };
-        (ids, stats)
+        }
     }
 }
 
@@ -560,6 +584,33 @@ impl ProbNnEngine for PvIndex {
         let io = self.pager.stats().snapshot().since(&io0).reads;
         let total = io + pdf_payload_pages(&obj, self.params.page_size);
         (obj, total)
+    }
+
+    /// The Step-2 hot path: copies the secondary record into the scratch
+    /// buffer (its real page reads metered with a narrow per-fetch counter
+    /// bracket, like [`PvIndex::fetch_candidate`]) and streams the instance
+    /// distances out of the encoded bytes — no `UncertainObject`, no
+    /// `HyperRect`, no `Point` is materialised. Returns the index reads
+    /// plus the modelled pdf-payload pages.
+    fn fetch_dists_sq(
+        &self,
+        id: u64,
+        q: &Point,
+        out: &mut Vec<f64>,
+        scratch: &mut FetchScratch,
+    ) -> u64 {
+        let io0 = self.pager.stats().reads.load(Ordering::Relaxed);
+        let found = self
+            .secondary
+            .get_into(id, &mut scratch.page, &mut scratch.record);
+        assert!(found, "step-1 answer must exist in the secondary index");
+        let io = self.pager.stats().reads.load(Ordering::Relaxed) - io0;
+        let off = secondary_payload_offset(&scratch.record, self.dim)
+            .expect("secondary record corrupted");
+        let view = pv_uncertain::EncodedObject::parse(&scratch.record[off..])
+            .expect("secondary record corrupted");
+        view.dists_sq_into(q, &mut scratch.samples, out);
+        io + payload_pages(view.n_samples(), self.dim, self.params.page_size)
     }
 }
 

@@ -60,6 +60,9 @@ pub mod verify;
 
 pub use index::PvIndex;
 pub use params::{CSetStrategy, PvParams};
-pub use query::{BatchOutcome, BatchStats, ProbNnEngine, QueryOutcome, QuerySpec, Step1Engine};
+pub use query::{
+    BatchOutcome, BatchSlots, BatchStats, FetchScratch, ProbNnEngine, QueryOutcome, QueryScratch,
+    QuerySpec, Step1Engine,
+};
 pub use stats::{BuildStats, QueryStats, Step1Stats, UpdateStats};
 pub use verify::LinearScan;

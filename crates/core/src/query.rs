@@ -14,10 +14,15 @@
 //!   [`Step1Stats`]/[`QueryStats`], and a truncation flag;
 //! * [`Step1Engine`] — candidate retrieval (PNNQ Step 1), implemented by
 //!   every index in the workspace;
-//! * [`ProbNnEngine`] — full PNNQ. Engines implement two small hooks
+//! * [`ProbNnEngine`] — full PNNQ. Engines implement two required hooks
 //!   ([`ProbNnEngine::candidate_region`], [`ProbNnEngine::fetch_candidate`])
-//!   and inherit the entire Step-2 pipeline, including answer semantics,
-//!   early termination and parallel [`ProbNnEngine::query_batch`].
+//!   plus, for the allocation-free hot path, the buffer-reusing overrides
+//!   [`Step1Engine::step1_into`] and [`ProbNnEngine::fetch_dists_sq`], and
+//!   inherit the entire Step-2 pipeline: squared-distance candidate
+//!   ordering, early termination, the merged-CDF probability sweep, answer
+//!   semantics, and batching
+//!   ([`ProbNnEngine::query_batch`] / [`ProbNnEngine::query_batch_into`]
+//!   with reusable [`BatchSlots`]).
 //!
 //! # Answer semantics
 //!
@@ -70,13 +75,71 @@
 //! payload therefore changes no reported probability — the first
 //! semantics-level optimization the old per-engine inherent methods could
 //! not express. Because candidates are sorted by `distmin`, the first skip
-//! ends the scan.
+//! ends the scan. (The driver compares `distmin²` against a squared cutoff —
+//! the same argument, one `sqrt` cheaper.)
 
-use crate::prob::qualification_from_sorted;
+use crate::prob::{qualification_sweep_into, ProbScratch};
 use crate::stats::{QueryStats, Step1Stats};
-use pv_geom::{min_dist, HyperRect, Point};
+use pv_geom::{min_dist_sq, HyperRect, Point};
 use pv_uncertain::UncertainObject;
 use std::time::{Duration, Instant};
+
+/// Engine-side reusable buffers: everything an engine needs to run Step 1
+/// and fetch Step-2 payloads without touching the heap. Owned by
+/// [`QueryScratch`], handed to [`Step1Engine::step1_into`] and
+/// [`ProbNnEngine::fetch_dists_sq`]. Engines use whichever fields suit their
+/// storage layout; unused fields stay empty and cost nothing.
+#[derive(Debug, Default)]
+pub struct FetchScratch {
+    /// Raw page bytes (hash-bucket pages, overflow pages).
+    pub page: Vec<u8>,
+    /// Record/value bytes (secondary-index records).
+    pub record: Vec<u8>,
+    /// Instance-sampling buffers for the pdf payload path.
+    pub samples: pv_uncertain::SampleScratch,
+    /// Octree point-query descent buffers.
+    pub octree: pv_octree::PointQueryScratch,
+    /// Step-1 candidate triples `(id, distmin², distmax²)`.
+    pub cand: Vec<(u64, f64, f64)>,
+}
+
+/// Per-thread reusable state for the Step-2 driver. Thread one instance
+/// through repeated [`ProbNnEngine::execute_into`] calls (or let
+/// [`ProbNnEngine::query_batch_into`] manage a set) and, once the buffers
+/// have grown to the workload's working size, every query runs with **zero
+/// heap allocations** — the property the counting-allocator test at the
+/// workspace root asserts.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Candidates ordered by squared `distmin` (ascending, ties by id).
+    order: Vec<(u64, f64)>,
+    /// `(id, start, len)` spans into `dists`, in fetch order.
+    spans: Vec<(u64, u32, u32)>,
+    /// Flat buffer of per-candidate sorted squared instance distances.
+    dists: Vec<f64>,
+    /// Merged-CDF sweep state.
+    prob: ProbScratch,
+    /// Engine-side buffers.
+    pub fetch: FetchScratch,
+}
+
+/// Reusable outcome + scratch storage for repeated
+/// [`ProbNnEngine::query_batch_into`] runs. The outcome vectors are cleared
+/// and refilled in place, so a steady-state batch loop re-running the same
+/// workload performs no per-query heap allocation.
+#[derive(Debug, Default)]
+pub struct BatchSlots {
+    /// Per-query outcomes of the latest run, in input order.
+    pub outcomes: Vec<QueryOutcome>,
+    scratches: Vec<QueryScratch>,
+}
+
+impl BatchSlots {
+    /// Empty slots; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A declarative description of one probabilistic-NN request.
 ///
@@ -251,6 +314,15 @@ impl QueryOutcome {
     pub fn answer_ids(&self) -> Vec<u64> {
         self.answers.iter().map(|&(id, _)| id).collect()
     }
+
+    /// Clears the outcome for reuse, keeping the vector capacities.
+    fn reset(&mut self) {
+        self.candidates.clear();
+        self.answers.clear();
+        self.stats = QueryStats::default();
+        self.truncated = false;
+        self.skipped_payloads = 0;
+    }
 }
 
 /// Aggregated cost of a [`ProbNnEngine::query_batch`] run.
@@ -298,20 +370,6 @@ pub struct BatchOutcome {
     pub stats: BatchStats,
 }
 
-impl BatchOutcome {
-    fn collect(outcomes: Vec<QueryOutcome>, wall_time: Duration, threads: usize) -> Self {
-        let stats = BatchStats {
-            queries: outcomes.len(),
-            threads,
-            wall_time,
-            io_reads: outcomes.iter().map(|o| o.stats.total_io()).sum(),
-            answers: outcomes.iter().map(|o| o.answers.len()).sum(),
-            truncated: outcomes.iter().filter(|o| o.truncated).count(),
-        };
-        Self { outcomes, stats }
-    }
-}
-
 /// PNNQ Step 1: retrieval of every object with a non-zero chance of being
 /// the query point's nearest neighbor (possibly over-approximated by engines
 /// with approximate cells, e.g. the UV-index).
@@ -321,6 +379,22 @@ pub trait Step1Engine {
 
     /// Retrieves the candidate ids (ascending) with retrieval statistics.
     fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats);
+
+    /// Buffer-reusing Step 1: writes the candidate ids (ascending) into
+    /// `ids` (cleared first) and returns the retrieval statistics. Engines
+    /// override this with an allocation-free retrieval path; the default
+    /// wraps [`Step1Engine::step1`] and merely recycles the output vector.
+    ///
+    /// The per-phase statistics must be measured with a single clock /
+    /// I/O-counter pair around the whole retrieval — never inside the
+    /// candidate loop (see [`ProbNnEngine::execute_into`]).
+    fn step1_into(&self, q: &Point, ids: &mut Vec<u64>, scratch: &mut FetchScratch) -> Step1Stats {
+        let _ = scratch;
+        let (got, stats) = self.step1(q);
+        ids.clear();
+        ids.extend_from_slice(&got);
+        stats
+    }
 }
 
 /// Full probabilistic-NN query evaluation over a [`Step1Engine`].
@@ -336,83 +410,133 @@ pub trait ProbNnEngine: Step1Engine {
 
     /// Fetches a candidate's full payload, returning the object and the
     /// number of pages the fetch charged (index pages actually read plus
-    /// the pdf-payload pages of the storage model).
+    /// the pdf-payload pages of the storage model). This is the maintenance
+    /// / inspection path; the query driver uses
+    /// [`ProbNnEngine::fetch_dists_sq`], which never materialises the
+    /// object.
     fn fetch_candidate(&self, id: u64) -> (UncertainObject, u64);
 
+    /// Appends candidate `id`'s **squared** instance distances to `q` onto
+    /// `out` and returns the pages the fetch charged (real index page reads
+    /// plus the modelled pdf-payload pages) — the same accounting contract
+    /// as [`ProbNnEngine::fetch_candidate`]. Engines with a shared pager
+    /// meter their reads with a *narrow* per-fetch counter bracket, so under
+    /// a parallel batch a concurrent query's reads can only leak into the
+    /// attribution during the fetch itself, not across the whole Step-2
+    /// phase. Engines override this with a decode-into-buffer path; the
+    /// default materialises the object via
+    /// [`ProbNnEngine::fetch_candidate`] — correct, but allocating.
+    fn fetch_dists_sq(
+        &self,
+        id: u64,
+        q: &Point,
+        out: &mut Vec<f64>,
+        scratch: &mut FetchScratch,
+    ) -> u64 {
+        let (obj, io) = self.fetch_candidate(id);
+        obj.dists_sq_into(q, &mut scratch.samples, out);
+        io
+    }
+
     /// Executes `spec` at point `q`.
+    ///
+    /// Convenience wrapper over [`ProbNnEngine::execute_into`] with fresh
+    /// buffers; batch callers should reuse a [`QueryScratch`] (or use
+    /// [`ProbNnEngine::query_batch_into`]) to amortise them away.
     fn execute(&self, q: &Point, spec: &QuerySpec) -> QueryOutcome {
-        let (ids, step1) = self.step1(q);
-        let mut stats = QueryStats {
-            step1,
-            pc_time: Duration::ZERO,
-            pc_io_reads: 0,
-        };
+        let mut out = QueryOutcome::default();
+        self.execute_into(q, spec, &mut QueryScratch::default(), &mut out);
+        out
+    }
+
+    /// Executes `spec` at point `q`, writing the result into `out` (cleared
+    /// first) and reusing every buffer in `scratch` — the allocation-free
+    /// query driver.
+    ///
+    /// Step 2 works entirely in **squared** distances (ordering, the early
+    /// termination cutoff and the probability kernel are all invariant
+    /// under the monotone square), visits candidates in ascending
+    /// `distmin²` order, and computes the probabilities with the merged-CDF
+    /// sweep ([`qualification_sweep_into`]). Each phase is *timed* with a
+    /// single `Instant` pair (the clock is never read inside the candidate
+    /// loop); I/O is the sum of the per-fetch charges reported by
+    /// [`ProbNnEngine::fetch_dists_sq`], keeping attribution narrow under
+    /// concurrent batches.
+    fn execute_into(
+        &self,
+        q: &Point,
+        spec: &QuerySpec,
+        scratch: &mut QueryScratch,
+        out: &mut QueryOutcome,
+    ) {
+        out.reset();
+        out.stats.step1 = self.step1_into(q, &mut out.candidates, &mut scratch.fetch);
         if spec.is_step1_only() {
-            return QueryOutcome {
-                candidates: ids,
-                stats,
-                ..QueryOutcome::default()
-            };
+            return;
         }
 
         let t1 = Instant::now();
-        // Visit candidates in ascending distmin order so that (a) early
+        // Visit candidates in ascending distmin² order so that (a) early
         // termination can stop at the first provably-irrelevant candidate
         // and (b) an I/O budget keeps the most promising ones.
-        let mut order: Vec<(u64, f64)> = ids
-            .iter()
-            .map(|&id| (id, min_dist(self.candidate_region(id), q)))
-            .collect();
-        order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scratch.order.clear();
+        for &id in out.candidates.iter() {
+            scratch
+                .order
+                .push((id, min_dist_sq(self.candidate_region(id), q)));
+        }
+        scratch
+            .order
+            .sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
 
         let prune = spec.prunes();
-        let mut cutoff = f64::INFINITY; // min over fetched of max instance dist
+        let mut cutoff_sq = f64::INFINITY; // min over fetched of max instance dist²
         let mut pc_io = 0u64;
-        let mut truncated = false;
-        let mut skipped = 0usize;
-        let mut fetched: Vec<(u64, Vec<f64>)> = Vec::with_capacity(order.len());
-        for (i, &(id, mind)) in order.iter().enumerate() {
-            if prune && mind > cutoff {
+        scratch.spans.clear();
+        scratch.dists.clear();
+        for i in 0..scratch.order.len() {
+            let (id, mind_sq) = scratch.order[i];
+            if prune && mind_sq > cutoff_sq {
                 // Sorted ascending: every remaining candidate is proven
                 // irrelevant too (see the module-level soundness argument).
-                skipped = order.len() - i;
+                out.skipped_payloads = scratch.order.len() - i;
                 break;
             }
             if let Some(budget) = spec.get_io_budget() {
-                if stats.step1.io_reads + pc_io >= budget {
-                    truncated = true;
-                    skipped = order.len() - i;
+                if out.stats.step1.io_reads + pc_io >= budget {
+                    out.truncated = true;
+                    out.skipped_payloads = scratch.order.len() - i;
                     break;
                 }
             }
-            let (obj, io) = self.fetch_candidate(id);
-            pc_io += io;
-            let mut dists: Vec<f64> = obj.samples().iter().map(|s| s.dist(q)).collect();
-            dists.sort_unstable_by(f64::total_cmp);
-            if let Some(&dmax) = dists.last() {
-                cutoff = cutoff.min(dmax);
+            let start = scratch.dists.len() as u32;
+            pc_io += self.fetch_dists_sq(id, q, &mut scratch.dists, &mut scratch.fetch);
+            scratch.dists[start as usize..].sort_unstable_by(f64::total_cmp);
+            if scratch.dists.len() as u32 > start {
+                cutoff_sq = cutoff_sq.min(*scratch.dists.last().expect("non-empty"));
             }
-            fetched.push((id, dists));
+            scratch
+                .spans
+                .push((id, start, scratch.dists.len() as u32 - start));
         }
 
-        let mut answers = qualification_from_sorted(&fetched);
-        answers.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        qualification_sweep_into(
+            &scratch.spans,
+            &scratch.dists,
+            &mut scratch.prob,
+            &mut out.answers,
+        );
+        out.answers
+            .sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         if let Some(tau) = spec.get_threshold() {
-            answers.retain(|&(_, p)| p >= tau && p > 0.0);
+            out.answers.retain(|&(_, p)| p >= tau && p > 0.0);
         }
         if let Some(k) = spec.get_top_k() {
-            answers.retain(|&(_, p)| p > 0.0);
-            answers.truncate(k);
+            out.answers.retain(|&(_, p)| p > 0.0);
+            out.answers.truncate(k);
         }
-        stats.pc_time = t1.elapsed();
-        stats.pc_io_reads = pc_io;
-        QueryOutcome {
-            candidates: ids,
-            answers,
-            stats,
-            truncated,
-            skipped_payloads: skipped,
-        }
+        out.stats.pc_time = t1.elapsed();
+        out.stats.pc_io_reads = pc_io;
     }
 
     /// Executes a spec built with [`QuerySpec::point`].
@@ -434,7 +558,35 @@ pub trait ProbNnEngine: Step1Engine {
     /// (`std::thread::scope` over chunks, like the parallel index build);
     /// `&self` queries are already shareable across threads. Control the
     /// worker count with [`QuerySpec::batch_threads`].
+    ///
+    /// Each worker reuses one [`QueryScratch`] across its whole chunk; for a
+    /// serving loop that runs batch after batch, keep a [`BatchSlots`] and
+    /// call [`ProbNnEngine::query_batch_into`] to also recycle the outcome
+    /// storage.
     fn query_batch(&self, points: &[Point], spec: &QuerySpec) -> BatchOutcome
+    where
+        Self: Sync,
+    {
+        let mut slots = BatchSlots::new();
+        let stats = self.query_batch_into(points, spec, &mut slots);
+        BatchOutcome {
+            outcomes: slots.outcomes,
+            stats,
+        }
+    }
+
+    /// Buffer-reusing batch execution: like [`ProbNnEngine::query_batch`]
+    /// but writing into `slots`, whose outcome vectors and per-worker
+    /// scratches persist across calls. At steady state (a warmed `slots`
+    /// re-running a same-shaped workload) the whole batch performs **zero
+    /// per-query heap allocations** with `batch_threads(1)`; with more
+    /// threads only the worker spawns allocate.
+    fn query_batch_into(
+        &self,
+        points: &[Point],
+        spec: &QuerySpec,
+        slots: &mut BatchSlots,
+    ) -> BatchStats
     where
         Self: Sync,
     {
@@ -447,31 +599,45 @@ pub trait ProbNnEngine: Step1Engine {
                     .unwrap_or(1)
             })
             .clamp(1, points.len().max(1));
-        let (outcomes, workers): (Vec<QueryOutcome>, usize) = if threads <= 1 {
-            (points.iter().map(|q| self.execute(q, spec)).collect(), 1)
+        // Chunk rounding can need fewer workers than requested (e.g. 10
+        // points over 8 threads → 5 chunks of 2); report the count actually
+        // used.
+        let chunk = points.len().div_ceil(threads).max(1);
+        let workers = points.len().div_ceil(chunk).max(1);
+        slots
+            .outcomes
+            .resize_with(points.len(), QueryOutcome::default);
+        if slots.scratches.len() < workers {
+            slots.scratches.resize_with(workers, QueryScratch::default);
+        }
+        if workers <= 1 {
+            let scratch = &mut slots.scratches[0];
+            for (q, out) in points.iter().zip(slots.outcomes.iter_mut()) {
+                self.execute_into(q, spec, scratch, out);
+            }
         } else {
-            // Chunk rounding can need fewer workers than requested
-            // (e.g. 10 points over 8 threads → 5 chunks of 2); report the
-            // count actually spawned.
-            let chunk = points.len().div_ceil(threads);
-            let workers = points.len().div_ceil(chunk);
-            let chunk_results: Vec<Vec<QueryOutcome>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = points
+            std::thread::scope(|scope| {
+                for ((ps, outs), scratch) in points
                     .chunks(chunk)
-                    .map(|ps| {
-                        scope.spawn(move || {
-                            ps.iter().map(|q| self.execute(q, spec)).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("batch query worker panicked"))
-                    .collect()
+                    .zip(slots.outcomes.chunks_mut(chunk))
+                    .zip(slots.scratches.iter_mut())
+                {
+                    scope.spawn(move || {
+                        for (q, out) in ps.iter().zip(outs.iter_mut()) {
+                            self.execute_into(q, spec, scratch, out);
+                        }
+                    });
+                }
             });
-            (chunk_results.into_iter().flatten().collect(), workers)
-        };
-        BatchOutcome::collect(outcomes, t0.elapsed(), workers)
+        }
+        BatchStats {
+            queries: points.len(),
+            threads: workers,
+            wall_time: t0.elapsed(),
+            io_reads: slots.outcomes.iter().map(|o| o.stats.total_io()).sum(),
+            answers: slots.outcomes.iter().map(|o| o.answers.len()).sum(),
+            truncated: slots.outcomes.iter().filter(|o| o.truncated).count(),
+        }
     }
 }
 
@@ -599,6 +765,55 @@ mod tests {
         }
         assert_eq!(seq.stats.queries, 16);
         assert_eq!(seq.stats.answers, par.stats.answers);
+    }
+
+    #[test]
+    fn query_batch_into_reuses_slots_and_matches_fresh_runs() {
+        let db = skip_db();
+        let scan = LinearScan::new(&db);
+        let points: Vec<Point> = (0..9).map(|i| Point::new(vec![i as f64])).collect();
+        let spec = QuerySpec::new().top_k(2).batch_threads(1);
+        let mut slots = BatchSlots::new();
+        let first = scan.query_batch_into(&points, &spec, &mut slots);
+        assert_eq!(first.queries, 9);
+        let fresh = scan.query_batch(&points, &spec);
+        for (a, b) in slots.outcomes.iter().zip(fresh.outcomes.iter()) {
+            assert_eq!(a.answers, b.answers);
+            assert_eq!(a.candidates, b.candidates);
+        }
+        // Re-running into the same slots must fully overwrite the previous
+        // outcomes, and shrinking the workload must shrink the outcome list.
+        let shorter = &points[..4];
+        let second = scan.query_batch_into(shorter, &spec, &mut slots);
+        assert_eq!(second.queries, 4);
+        assert_eq!(slots.outcomes.len(), 4);
+        for (out, q) in slots.outcomes.iter().zip(shorter.iter()) {
+            assert_eq!(out.answers, scan.execute(q, &spec).answers);
+        }
+    }
+
+    #[test]
+    fn execute_into_with_reused_scratch_matches_execute() {
+        let db = skip_db();
+        let scan = LinearScan::new(&db);
+        let mut scratch = QueryScratch::default();
+        let mut out = QueryOutcome::default();
+        for spec in [
+            QuerySpec::new(),
+            QuerySpec::new().threshold(0.1),
+            QuerySpec::new().top_k(1),
+            QuerySpec::new().step1_only(),
+        ] {
+            for i in 0..8 {
+                let q = Point::new(vec![i as f64 * 1.5]);
+                scan.execute_into(&q, &spec, &mut scratch, &mut out);
+                let fresh = scan.execute(&q, &spec);
+                assert_eq!(out.answers, fresh.answers);
+                assert_eq!(out.candidates, fresh.candidates);
+                assert_eq!(out.truncated, fresh.truncated);
+                assert_eq!(out.skipped_payloads, fresh.skipped_payloads);
+            }
+        }
     }
 
     #[test]

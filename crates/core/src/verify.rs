@@ -14,7 +14,7 @@
 //! against, as well as the recall oracle for the UV-index baseline.
 
 use crate::prob::pdf_payload_pages;
-use crate::query::{ProbNnEngine, Step1Engine};
+use crate::query::{FetchScratch, ProbNnEngine, Step1Engine};
 use crate::stats::Step1Stats;
 use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
 use pv_uncertain::{UncertainDb, UncertainObject};
@@ -110,6 +110,31 @@ impl Step1Engine for LinearScan {
     fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
         possible_nn_timed(self.objects.iter(), q)
     }
+
+    /// Allocation-free scan: same two passes as [`possible_nn`] (threshold
+    /// fold, then filter), writing into the reused `ids` buffer.
+    fn step1_into(&self, q: &Point, ids: &mut Vec<u64>, _scratch: &mut FetchScratch) -> Step1Stats {
+        let t0 = Instant::now();
+        let tau_sq = self
+            .objects
+            .iter()
+            .map(|o| max_dist_sq(&o.region, q))
+            .fold(f64::INFINITY, f64::min);
+        ids.clear();
+        ids.extend(
+            self.objects
+                .iter()
+                .filter(|o| min_dist_sq(&o.region, q) <= tau_sq)
+                .map(|o| o.id),
+        );
+        ids.sort_unstable();
+        Step1Stats {
+            time: t0.elapsed(),
+            io_reads: 0,
+            candidates: ids.len(),
+            answers: ids.len(),
+        }
+    }
 }
 
 impl ProbNnEngine for LinearScan {
@@ -121,6 +146,19 @@ impl ProbNnEngine for LinearScan {
         let o = self.object(id).clone();
         let io = pdf_payload_pages(&o, self.page_size);
         (o, io)
+    }
+
+    /// Serves distances straight from the in-memory catalog — no clone.
+    fn fetch_dists_sq(
+        &self,
+        id: u64,
+        q: &Point,
+        out: &mut Vec<f64>,
+        scratch: &mut FetchScratch,
+    ) -> u64 {
+        let o = self.object(id);
+        o.dists_sq_into(q, &mut scratch.samples, out);
+        pdf_payload_pages(o, self.page_size)
     }
 }
 

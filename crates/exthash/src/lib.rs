@@ -298,6 +298,47 @@ impl<P: Pager> ExtHash<P> {
             .map(|r| self.load_value(r))
     }
 
+    /// Allocation-free variant of [`ExtHash::get`]: copies the value under
+    /// `key` into `out` (cleared first), using `page_buf` as page scratch.
+    /// Returns `true` if the key was present. Charges the same page reads as
+    /// `get`; at steady state (buffers grown to their working size) it
+    /// performs no heap allocation, which is what the PV-index's Step-2
+    /// payload path relies on.
+    pub fn get_into(&self, key: u64, page_buf: &mut Vec<u8>, out: &mut Vec<u8>) -> bool {
+        let bucket = self.bucket_of(key);
+        self.pager.read_into(bucket, page_buf);
+        // Streaming parse of the bucket page — no `Record` vector.
+        let count = u16::from_le_bytes([page_buf[2], page_buf[3]]) as usize;
+        let mut off = BUCKET_HDR;
+        let mut found: Option<(usize, usize, PageId)> = None;
+        for _ in 0..count {
+            let k = u64::from_le_bytes(page_buf[off..off + 8].try_into().unwrap());
+            let inline_len =
+                u32::from_le_bytes(page_buf[off + 8..off + 12].try_into().unwrap()) as usize;
+            let overflow = PageId(u64::from_le_bytes(
+                page_buf[off + 12..off + 20].try_into().unwrap(),
+            ));
+            let start = off + REC_FIXED;
+            if k == key {
+                found = Some((start, inline_len, overflow));
+                break;
+            }
+            off = start + inline_len;
+        }
+        let Some((start, inline_len, overflow)) = found else {
+            return false;
+        };
+        out.clear();
+        out.extend_from_slice(&page_buf[start..start + inline_len]);
+        if !overflow.is_null() {
+            // The bucket page content is no longer needed: reuse `page_buf`
+            // for the overflow chain pages.
+            let list = pv_storage::PageList::from_head(overflow);
+            list.for_each_record(&self.pager, page_buf, |part| out.extend_from_slice(part));
+        }
+        true
+    }
+
     /// Removes `key`, returning `true` if it was present.
     pub fn remove(&mut self, key: u64) -> bool {
         let bucket = self.bucket_of(key);
@@ -448,6 +489,30 @@ mod tests {
         assert!(h.get(3).is_none());
         assert_eq!(h.len(), 2);
         h.check_invariants();
+    }
+
+    #[test]
+    fn get_into_matches_get_including_overflow() {
+        let mut h = table(256);
+        h.put(1, b"inline value");
+        // Larger than the inline budget of a 256-byte page: spills to an
+        // overflow chain.
+        let big: Vec<u8> = (0..900u32).map(|i| (i % 251) as u8).collect();
+        h.put(2, &big);
+        let mut page = Vec::new();
+        let mut out = Vec::new();
+        for key in [1u64, 2] {
+            assert!(h.get_into(key, &mut page, &mut out));
+            assert_eq!(out, h.get(key).unwrap(), "key {key}");
+        }
+        assert!(!h.get_into(99, &mut page, &mut out));
+        // Same page traffic as `get`.
+        let r0 = h.io_stats().snapshot().reads;
+        let _ = h.get(2);
+        let per_get = h.io_stats().snapshot().reads - r0;
+        let r1 = h.io_stats().snapshot().reads;
+        h.get_into(2, &mut page, &mut out);
+        assert_eq!(h.io_stats().snapshot().reads - r1, per_get);
     }
 
     #[test]

@@ -13,14 +13,15 @@ pub fn sq(x: f64) -> f64 {
     x * x
 }
 
-/// Squared minimum distance between rectangle `r` and point `p`
-/// (`0` when `p ∈ r`).
-#[inline]
-pub fn min_dist_sq(r: &HyperRect, p: &Point) -> f64 {
-    debug_assert_eq!(r.dim(), p.dim());
-    let (lo, hi) = (r.lo(), r.hi());
+/// The single loop body behind [`min_dist_sq`]. The const-length slices the
+/// dispatch arms pass in make the trip count a compile-time constant there,
+/// so the compiler fully unrolls (and, where profitable, vectorizes) those
+/// instantiations — while the dynamic fallback shares this exact code, which
+/// is what keeps every dimension bit-identical by construction.
+#[inline(always)]
+fn min_dist_sq_body(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
     let mut acc = 0.0;
-    for j in 0..r.dim() {
+    for j in 0..lo.len() {
         let c = p[j];
         if c < lo[j] {
             acc += sq(lo[j] - c);
@@ -31,18 +32,49 @@ pub fn min_dist_sq(r: &HyperRect, p: &Point) -> f64 {
     acc
 }
 
-/// Squared maximum distance between rectangle `r` and point `p`
-/// (distance to the farthest corner).
-#[inline]
-pub fn max_dist_sq(r: &HyperRect, p: &Point) -> f64 {
-    debug_assert_eq!(r.dim(), p.dim());
-    let (lo, hi) = (r.lo(), r.hi());
+/// The single loop body behind [`max_dist_sq`]; see [`min_dist_sq_body`].
+#[inline(always)]
+fn max_dist_sq_body(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
     let mut acc = 0.0;
-    for j in 0..r.dim() {
+    for j in 0..lo.len() {
         let c = p[j];
         acc += sq((c - lo[j]).abs().max((hi[j] - c).abs()));
     }
     acc
+}
+
+/// Squared minimum distance between rectangle `r` and point `p`
+/// (`0` when `p ∈ r`).
+///
+/// Dispatches to an unrolled instantiation of the shared body for
+/// `d ∈ {2, 3, 4}` (the hot dimensionalities of both Step 1 and SE);
+/// results are bit-identical in every dimension because all arms run the
+/// same code.
+#[inline]
+pub fn min_dist_sq(r: &HyperRect, p: &Point) -> f64 {
+    debug_assert_eq!(r.dim(), p.dim());
+    let (lo, hi, p) = (r.lo(), r.hi(), p.coords());
+    match lo.len() {
+        2 => min_dist_sq_body(&lo[..2], &hi[..2], &p[..2]),
+        3 => min_dist_sq_body(&lo[..3], &hi[..3], &p[..3]),
+        4 => min_dist_sq_body(&lo[..4], &hi[..4], &p[..4]),
+        _ => min_dist_sq_body(lo, hi, p),
+    }
+}
+
+/// Squared maximum distance between rectangle `r` and point `p`
+/// (distance to the farthest corner). Dimension-dispatched like
+/// [`min_dist_sq`].
+#[inline]
+pub fn max_dist_sq(r: &HyperRect, p: &Point) -> f64 {
+    debug_assert_eq!(r.dim(), p.dim());
+    let (lo, hi, p) = (r.lo(), r.hi(), p.coords());
+    match lo.len() {
+        2 => max_dist_sq_body(&lo[..2], &hi[..2], &p[..2]),
+        3 => max_dist_sq_body(&lo[..3], &hi[..3], &p[..3]),
+        4 => max_dist_sq_body(&lo[..4], &hi[..4], &p[..4]),
+        _ => max_dist_sq_body(lo, hi, p),
+    }
 }
 
 /// `distmin(r, p)`.
@@ -126,6 +158,50 @@ mod tests {
         let q = Point::new(vec![4.0, 6.0]);
         assert_eq!(min_dist_sq(&pr, &q), 25.0);
         assert_eq!(max_dist_sq(&pr, &q), 25.0);
+    }
+
+    #[test]
+    fn specialized_dispatch_is_bit_identical_to_generic() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        // The generic loop, spelled out once more so the test does not depend
+        // on the dispatch under test.
+        fn generic_min(r: &HyperRect, p: &Point) -> f64 {
+            let mut acc = 0.0;
+            for j in 0..r.dim() {
+                let c = p[j];
+                if c < r.lo()[j] {
+                    acc += sq(r.lo()[j] - c);
+                } else if c > r.hi()[j] {
+                    acc += sq(c - r.hi()[j]);
+                }
+            }
+            acc
+        }
+        fn generic_max(r: &HyperRect, p: &Point) -> f64 {
+            let mut acc = 0.0;
+            for j in 0..r.dim() {
+                let c = p[j];
+                acc += sq((c - r.lo()[j]).abs().max((r.hi()[j] - c).abs()));
+            }
+            acc
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in 1..=5usize {
+            for _ in 0..200 {
+                let lo: Vec<f64> = (0..d).map(|_| rng.gen_range(-50.0..50.0)).collect();
+                let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(0.0..30.0)).collect();
+                let rect = HyperRect::new(lo, hi);
+                let p = Point::new((0..d).map(|_| rng.gen_range(-80.0..80.0)).collect());
+                assert_eq!(
+                    min_dist_sq(&rect, &p).to_bits(),
+                    generic_min(&rect, &p).to_bits()
+                );
+                assert_eq!(
+                    max_dist_sq(&rect, &p).to_bits(),
+                    generic_max(&rect, &p).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,16 @@ pub struct OctreeStats {
     pub depth: usize,
 }
 
+/// Reusable buffers for [`Octree::point_query_with`]: the descent's cell
+/// bounds plus a page buffer for the leaf chain. Keep one per query thread
+/// and the whole Step-1 lookup runs without heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct PointQueryScratch {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    page: Vec<u8>,
+}
+
 /// A `2^d`-ary space-partitioning tree with disk-resident leaves.
 pub struct Octree<P: Pager> {
     pager: P,
@@ -260,6 +270,49 @@ impl<P: Pager> Octree<P> {
                     region = region.octants().swap_remove(oct);
                 }
                 ONode::Leaf { list, .. } => return list.read_all(&self.pager),
+            }
+        }
+    }
+
+    /// Allocation-free [`Octree::point_query`]: descends with the cell bounds
+    /// held in `scratch` (mutated in place instead of materialising child
+    /// rectangles) and streams each leaf record to `sink` as a borrowed
+    /// slice. Visits the same leaf, in the same record order, charging the
+    /// same page reads; at steady state it performs no heap allocation.
+    pub fn point_query_with(
+        &self,
+        q: &Point,
+        scratch: &mut PointQueryScratch,
+        sink: impl FnMut(&[u8]),
+    ) {
+        debug_assert!(self.domain.contains_point(q), "query outside the domain");
+        scratch.lo.clear();
+        scratch.lo.extend_from_slice(self.domain.lo());
+        scratch.hi.clear();
+        scratch.hi.extend_from_slice(self.domain.hi());
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                ONode::Internal(children) => {
+                    // In-place equivalent of `octant_of` + `octants()[oct]`:
+                    // same midpoints, same tie rule (ties go to the upper
+                    // half).
+                    let mut oct = 0usize;
+                    for j in 0..self.dim {
+                        let mid = 0.5 * (scratch.lo[j] + scratch.hi[j]);
+                        if q[j] >= mid {
+                            oct |= 1 << j;
+                            scratch.lo[j] = mid;
+                        } else {
+                            scratch.hi[j] = mid;
+                        }
+                    }
+                    node = children[oct];
+                }
+                ONode::Leaf { list, .. } => {
+                    list.for_each_record(&self.pager, &mut scratch.page, sink);
+                    return;
+                }
             }
         }
     }
@@ -604,6 +657,35 @@ pub fn decode_leaf_record(rec: &[u8], dim: usize) -> (u64, HyperRect) {
     (id, HyperRect::new(lo, hi))
 }
 
+/// Reads a leaf record's id plus the squared min/max distance between its
+/// rectangle and `q`, straight from the record bytes — the allocation-free
+/// Step-1 filter. Bit-identical to decoding the rectangle and calling
+/// [`pv_geom::min_dist_sq`] / [`pv_geom::max_dist_sq`] (same per-dimension
+/// accumulation order).
+#[inline]
+pub fn leaf_record_dists_sq(rec: &[u8], dim: usize, q: &Point) -> (u64, f64, f64) {
+    debug_assert!(rec.len() >= 8 + dim * 16, "truncated leaf record");
+    let id = u64::from_le_bytes(rec[0..8].try_into().expect("leaf record id"));
+    let mut mind = 0.0;
+    let mut maxd = 0.0;
+    for j in 0..dim {
+        let lo = f64::from_le_bytes(rec[8 + 8 * j..16 + 8 * j].try_into().unwrap());
+        let hi = f64::from_le_bytes(
+            rec[8 + 8 * (dim + j)..16 + 8 * (dim + j)]
+                .try_into()
+                .unwrap(),
+        );
+        let c = q[j];
+        if c < lo {
+            mind += pv_geom::sq(lo - c);
+        } else if c > hi {
+            mind += pv_geom::sq(c - hi);
+        }
+        maxd += pv_geom::sq((c - lo).abs().max((hi - c).abs()));
+    }
+    (id, mind, maxd)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +717,45 @@ mod tests {
         let lookup = move |id: u64| lookup_src[&id].clone();
         for (id, ubr) in objs {
             tree.insert(ubr, &encode_leaf_record(*id, ubr), &lookup);
+        }
+    }
+
+    #[test]
+    fn leaf_record_dists_sq_matches_decoded_rectangle() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for dim in [2usize, 3, 4] {
+            for _ in 0..100 {
+                let lo: Vec<f64> = (0..dim).map(|_| rng.gen_range(-40.0..40.0)).collect();
+                let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(0.0..25.0)).collect();
+                let rect = HyperRect::new(lo, hi);
+                let rec = encode_leaf_record(17, &rect);
+                let q = Point::new((0..dim).map(|_| rng.gen_range(-60.0..60.0)).collect());
+                let (id, mind, maxd) = leaf_record_dists_sq(&rec, dim, &q);
+                assert_eq!(id, 17);
+                assert_eq!(mind.to_bits(), pv_geom::min_dist_sq(&rect, &q).to_bits());
+                assert_eq!(maxd.to_bits(), pv_geom::max_dist_sq(&rect, &q).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn point_query_with_matches_point_query() {
+        let mut tree = mk_tree(1 << 20);
+        let objs = random_objects(300, 9);
+        insert_all(&mut tree, &objs);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut scratch = PointQueryScratch::default();
+        for _ in 0..60 {
+            let q = Point::new(vec![rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
+            let want = tree.point_query(&q);
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            let r0 = tree.pager.stats().snapshot().reads;
+            tree.point_query_with(&q, &mut scratch, |rec| got.push(rec.to_vec()));
+            let reads = tree.pager.stats().snapshot().reads - r0;
+            assert_eq!(got, want, "q = {q:?}");
+            let r1 = tree.pager.stats().snapshot().reads;
+            let _ = tree.point_query(&q);
+            assert_eq!(tree.pager.stats().snapshot().reads - r1, reads);
         }
     }
 

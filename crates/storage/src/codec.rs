@@ -190,6 +190,12 @@ impl<'a> Reader<'a> {
         Ok(self.try_split(n)?.to_vec())
     }
 
+    /// Borrows the next `n` raw bytes without copying, or reports
+    /// truncation. Used by zero-copy record views on the query hot path.
+    pub fn try_borrow(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.try_split(n)
+    }
+
     /// Reads a length-prefixed byte string (the counterpart of
     /// [`put_bytes`]), or reports truncation.
     pub fn try_bytes(&mut self) -> Result<Vec<u8>, DecodeError> {

@@ -131,6 +131,32 @@ impl PageList {
         out
     }
 
+    /// Visits every record in the chain (head page first) without allocating:
+    /// pages are read into `page_buf` (reused between pages and calls) and
+    /// each record is handed to `sink` as a borrowed slice. Same traversal
+    /// order and I/O charging as [`PageList::read_all`].
+    pub fn for_each_record(
+        &self,
+        pager: &dyn Pager,
+        page_buf: &mut Vec<u8>,
+        mut sink: impl FnMut(&[u8]),
+    ) {
+        let mut cur = self.head;
+        while !cur.is_null() {
+            pager.read_into(cur, page_buf);
+            let page = &page_buf[..];
+            let next = PageId(u64::from_le_bytes(page[0..8].try_into().unwrap()));
+            let used = u16::from_le_bytes([page[8], page[9]]) as usize;
+            let mut off = HDR;
+            while off < HDR + used {
+                let len = u16::from_le_bytes([page[off], page[off + 1]]) as usize;
+                sink(&page[off + 2..off + 2 + len]);
+                off += REC_HDR + len;
+            }
+            cur = next;
+        }
+    }
+
     /// Rewrites the list keeping only records for which `keep` returns true.
     /// Returns the number of records removed. Pages made empty are freed.
     pub fn retain(&mut self, pager: &dyn Pager, mut keep: impl FnMut(&[u8]) -> bool) -> usize {
@@ -198,6 +224,19 @@ mod tests {
         );
         assert_eq!(list.stats(&pager).pages, 1);
         assert_eq!(list.stats(&pager).records, 2);
+    }
+
+    #[test]
+    fn for_each_record_matches_read_all() {
+        let pager = MemPager::new(64);
+        let mut list = PageList::new();
+        for i in 0..12u8 {
+            list.append(&pager, &[i; 17]);
+        }
+        let mut streamed: Vec<Vec<u8>> = Vec::new();
+        let mut buf = Vec::new();
+        list.for_each_record(&pager, &mut buf, |rec| streamed.push(rec.to_vec()));
+        assert_eq!(streamed, list.read_all(&pager));
     }
 
     #[test]

@@ -124,6 +124,14 @@ pub trait Pager {
     fn alloc(&self) -> PageId;
     /// Reads a full page into a fresh buffer.
     fn read(&self, id: PageId) -> Vec<u8>;
+    /// Reads a full page into `buf` (cleared first), reusing its capacity.
+    ///
+    /// The default forwards to [`Pager::read`]; implementations on the query
+    /// hot path ([`MemPager`]) override it to copy without allocating, which
+    /// is what makes steady-state batch queries allocation-free.
+    fn read_into(&self, id: PageId, buf: &mut Vec<u8>) {
+        *buf = self.read(id);
+    }
     /// Overwrites a full page. `data.len()` must equal `page_size()`.
     fn write(&self, id: PageId, data: &[u8]);
     /// Releases a page for reuse.
@@ -258,6 +266,19 @@ impl Pager for MemPager {
             .and_then(|p| p.as_ref())
             .unwrap_or_else(|| panic!("read of unallocated page {id:?}"))
             .to_vec()
+    }
+
+    fn read_into(&self, id: PageId, buf: &mut Vec<u8>) {
+        self.inner.latency.charge();
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let st = self.inner.state.lock();
+        let page = st
+            .pages
+            .get(id.0 as usize)
+            .and_then(|p| p.as_ref())
+            .unwrap_or_else(|| panic!("read of unallocated page {id:?}"));
+        buf.clear();
+        buf.extend_from_slice(page);
     }
 
     fn write(&self, id: PageId, data: &[u8]) {

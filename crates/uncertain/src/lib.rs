@@ -126,6 +126,87 @@ fn gauss(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
+/// Reusable buffers for the allocation-free payload path
+/// ([`UncertainObject::dists_sq_into`] / [`EncodedObject::dists_sq_into`]).
+/// Keep one per query thread; after the first few queries grow the buffers
+/// to their working size, sampling performs no heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct SampleScratch {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    coords: Vec<f64>,
+}
+
+/// Squared Euclidean distance between a coordinate slice and a point slice,
+/// accumulated in dimension order — bit-identical to [`Point::dist_sq`].
+#[inline]
+fn slice_dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for j in 0..a.len() {
+        let d = a[j] - b[j];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Streams the squared instance distances of a *uniform* pdf to `q` into
+/// `out`, drawing exactly the same RNG sequence as [`Pdf::samples`] — the
+/// distances are bitwise equal to sampling first and measuring afterwards.
+fn uniform_dists_sq_into(lo: &[f64], hi: &[f64], n: u32, seed: u64, q: &[f64], out: &mut Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = lo.len();
+    for _ in 0..n {
+        let mut acc = 0.0;
+        for j in 0..d {
+            let c = if hi[j] - lo[j] > 0.0 {
+                rng.gen_range(lo[j]..=hi[j])
+            } else {
+                lo[j]
+            };
+            let diff = c - q[j];
+            acc += diff * diff;
+        }
+        out.push(acc);
+    }
+}
+
+/// Streams the squared instance distances of a clipped-Gaussian pdf to `q`,
+/// mirroring the rejection/clamp control flow (and RNG draws) of
+/// [`Pdf::samples`] exactly.
+#[allow(clippy::too_many_arguments)]
+fn gaussian_dists_sq_into(
+    lo: &[f64],
+    hi: &[f64],
+    sigma: f64,
+    n: u32,
+    seed: u64,
+    q: &[f64],
+    coords: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = lo.len();
+    let mid = |j: usize| 0.5 * (lo[j] + hi[j]);
+    'samples: for _ in 0..n {
+        for _ in 0..64 {
+            coords.clear();
+            for j in 0..d {
+                coords.push(mid(j) + sigma * gauss(&mut rng));
+            }
+            if (0..d).all(|j| lo[j] <= coords[j] && coords[j] <= hi[j]) {
+                out.push(slice_dist_sq(coords, q));
+                continue 'samples;
+            }
+        }
+        coords.clear();
+        for j in 0..d {
+            coords.push((mid(j) + sigma * gauss(&mut rng)).clamp(lo[j], hi[j]));
+        }
+        out.push(slice_dist_sq(coords, q));
+    }
+}
+
 /// An uncertain object: identity, rectangular uncertainty region and pdf.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UncertainObject {
@@ -160,6 +241,36 @@ impl UncertainObject {
     /// the object's "mean position" for NN ordering.
     pub fn mean(&self) -> Point {
         self.region.center()
+    }
+
+    /// Appends the **squared** distance of every instance to `q` onto `out`,
+    /// without materialising the instance points. The values are bitwise
+    /// identical to `self.samples().iter().map(|s| s.dist_sq(q))` (same RNG
+    /// sequence, same per-dimension accumulation order) but the whole pass
+    /// is allocation-free once `scratch` has grown to its working size —
+    /// this is the Step-2 payload path of the query engine.
+    pub fn dists_sq_into(&self, q: &Point, scratch: &mut SampleScratch, out: &mut Vec<f64>) {
+        debug_assert_eq!(self.region.dim(), q.dim());
+        match &self.pdf {
+            Pdf::Uniform { n, seed } => {
+                uniform_dists_sq_into(self.region.lo(), self.region.hi(), *n, *seed, q, out)
+            }
+            Pdf::Gaussian { sigma, n, seed } => gaussian_dists_sq_into(
+                self.region.lo(),
+                self.region.hi(),
+                *sigma,
+                *n,
+                *seed,
+                q,
+                &mut scratch.coords,
+                out,
+            ),
+            Pdf::Explicit(points) => {
+                for p in points.iter() {
+                    out.push(slice_dist_sq(p.coords(), q));
+                }
+            }
+        }
     }
 
     /// Serialises `(id, region, pdf)` for the secondary index.
@@ -244,6 +355,166 @@ impl UncertainObject {
             }
         };
         Ok(UncertainObject { id, region, pdf })
+    }
+}
+
+/// The pdf descriptor of an [`EncodedObject`], borrowing any instance data
+/// from the underlying record bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EncodedPdf<'a> {
+    /// Uniform pdf parameters.
+    Uniform {
+        /// Number of instances.
+        n: u32,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Clipped-Gaussian pdf parameters.
+    Gaussian {
+        /// Standard deviation.
+        sigma: f64,
+        /// Number of instances.
+        n: u32,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Explicit instance list: `n · dim` little-endian `f64`s.
+    Explicit {
+        /// Number of instances.
+        n: u32,
+        /// Raw coordinate bytes (`n * dim * 8` of them).
+        data: &'a [u8],
+    },
+}
+
+/// A zero-copy view over a record written by [`UncertainObject::encode`].
+///
+/// [`UncertainObject::try_decode`] materialises a full object (two boxed
+/// corner slices plus the pdf) on every call — fine for maintenance paths,
+/// wasteful for PNNQ Step 2, which only needs the instance *distances* to
+/// the query point. `EncodedObject` parses the same bytes into borrowed
+/// offsets and streams those distances straight out of the buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodedObject<'a> {
+    id: u64,
+    dim: usize,
+    /// `2 · dim` little-endian f64s: the region's lo corner then hi corner.
+    region: &'a [u8],
+    pdf: EncodedPdf<'a>,
+}
+
+impl<'a> EncodedObject<'a> {
+    /// Parses a record produced by [`UncertainObject::encode`] without
+    /// copying coordinate data.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, codec::DecodeError> {
+        let mut r = codec::Reader::new(buf);
+        let id = r.try_u64()?;
+        let dim = r.try_u16()? as usize;
+        if dim == 0 {
+            return Err(codec::DecodeError::Invalid {
+                context: "encoded object dimensionality",
+            });
+        }
+        let region = r.try_borrow(2 * dim * 8)?;
+        let pdf = match r.try_u16()? {
+            0 => EncodedPdf::Uniform {
+                n: r.try_u32()?,
+                seed: r.try_u64()?,
+            },
+            1 => EncodedPdf::Gaussian {
+                sigma: r.try_f64()?,
+                n: r.try_u32()?,
+                seed: r.try_u64()?,
+            },
+            2 => {
+                let n = r.try_u32()?;
+                EncodedPdf::Explicit {
+                    n,
+                    data: r.try_borrow(n as usize * dim * 8)?,
+                }
+            }
+            t => {
+                return Err(codec::DecodeError::UnknownTag {
+                    context: "pdf descriptor",
+                    tag: t,
+                })
+            }
+        };
+        Ok(Self {
+            id,
+            dim,
+            region,
+            pdf,
+        })
+    }
+
+    /// Object id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of instances the pdf discretises to.
+    pub fn n_samples(&self) -> usize {
+        match self.pdf {
+            EncodedPdf::Uniform { n, .. }
+            | EncodedPdf::Gaussian { n, .. }
+            | EncodedPdf::Explicit { n, .. } => n as usize,
+        }
+    }
+
+    /// The pdf descriptor.
+    pub fn pdf(&self) -> EncodedPdf<'a> {
+        self.pdf
+    }
+
+    #[inline]
+    fn coord(bytes: &[u8], i: usize) -> f64 {
+        f64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap())
+    }
+
+    /// Appends the squared distance of every instance to `q` onto `out`,
+    /// bitwise identical to decoding the object and calling
+    /// [`UncertainObject::dists_sq_into`], but with zero heap allocation at
+    /// steady state (the region corners are staged in `scratch`).
+    pub fn dists_sq_into(&self, q: &Point, scratch: &mut SampleScratch, out: &mut Vec<f64>) {
+        debug_assert_eq!(self.dim, q.dim());
+        let d = self.dim;
+        scratch.lo.clear();
+        scratch.hi.clear();
+        for j in 0..d {
+            scratch.lo.push(Self::coord(self.region, j));
+            scratch.hi.push(Self::coord(self.region, d + j));
+        }
+        match self.pdf {
+            EncodedPdf::Uniform { n, seed } => {
+                uniform_dists_sq_into(&scratch.lo, &scratch.hi, n, seed, q, out)
+            }
+            EncodedPdf::Gaussian { sigma, n, seed } => gaussian_dists_sq_into(
+                &scratch.lo,
+                &scratch.hi,
+                sigma,
+                n,
+                seed,
+                q,
+                &mut scratch.coords,
+                out,
+            ),
+            EncodedPdf::Explicit { n, data } => {
+                for s in 0..n as usize {
+                    let mut acc = 0.0;
+                    for j in 0..d {
+                        let diff = Self::coord(data, s * d + j) - q[j];
+                        acc += diff * diff;
+                    }
+                    out.push(acc);
+                }
+            }
+        }
     }
 }
 
@@ -399,6 +670,80 @@ mod tests {
             let back = UncertainObject::decode(&buf);
             assert_eq!(back, o);
         }
+    }
+
+    #[test]
+    fn dists_sq_into_matches_materialised_samples_bitwise() {
+        let objs = vec![
+            UncertainObject::uniform(1, region(&[0.0, 1.0], &[2.0, 3.0]), 64),
+            UncertainObject::uniform(2, region(&[5.0, 5.0], &[5.0, 7.0]), 16), // degenerate dim
+            UncertainObject {
+                id: 3,
+                region: region(&[5.0, 5.0], &[6.0, 7.0]),
+                pdf: Pdf::Gaussian {
+                    sigma: 0.25,
+                    n: 32,
+                    seed: 5,
+                },
+            },
+            UncertainObject {
+                id: 4,
+                region: region(&[0.0, 0.0], &[1.0, 1.0]),
+                pdf: Pdf::Explicit(Arc::new(vec![
+                    Point::new(vec![0.5, 0.5]),
+                    Point::new(vec![0.25, 0.75]),
+                ])),
+            },
+        ];
+        let q = Point::new(vec![1.5, 2.5]);
+        let mut scratch = SampleScratch::default();
+        for o in &objs {
+            let want: Vec<u64> = o
+                .samples()
+                .iter()
+                .map(|s| s.dist_sq(&q).to_bits())
+                .collect();
+            let mut got = Vec::new();
+            o.dists_sq_into(&q, &mut scratch, &mut got);
+            assert_eq!(
+                got.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                want,
+                "object {}",
+                o.id
+            );
+            // the zero-copy encoded view agrees too
+            let buf = o.encode();
+            let view = EncodedObject::parse(&buf).unwrap();
+            assert_eq!(view.id(), o.id);
+            assert_eq!(view.dim(), 2);
+            assert_eq!(view.n_samples(), o.pdf.n_samples());
+            let mut via_view = Vec::new();
+            view.dists_sq_into(&q, &mut scratch, &mut via_view);
+            assert_eq!(
+                via_view.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                want,
+                "encoded view of object {}",
+                o.id
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_object_reports_corruption() {
+        let o = UncertainObject::uniform(9, region(&[0.0, 0.0], &[1.0, 1.0]), 8);
+        let buf = o.encode();
+        assert!(EncodedObject::parse(&buf).is_ok());
+        assert!(matches!(
+            EncodedObject::parse(&buf[..buf.len() - 1]),
+            Err(pv_storage::codec::DecodeError::Truncated { .. })
+        ));
+        let mut bad = buf.clone();
+        bad[42] = 0xEE;
+        bad[43] = 0xEE;
+        assert!(matches!(
+            EncodedObject::parse(&bad),
+            Err(pv_storage::codec::DecodeError::UnknownTag { .. })
+        ));
     }
 
     #[test]

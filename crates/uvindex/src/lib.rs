@@ -28,12 +28,12 @@
 #![deny(missing_docs)]
 
 use pv_core::params::PvParams;
-use pv_core::prob::pdf_payload_pages;
-use pv_core::query::{ProbNnEngine, Step1Engine};
+use pv_core::prob::{payload_pages, pdf_payload_pages};
+use pv_core::query::{FetchScratch, ProbNnEngine, Step1Engine};
 use pv_core::stats::{BuildStats, SeStats, Step1Stats};
 use pv_exthash::ExtHash;
-use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
-use pv_octree::{decode_leaf_record, encode_leaf_record, Octree};
+use pv_geom::{HyperRect, Point};
+use pv_octree::{encode_leaf_record, leaf_record_dists_sq, Octree};
 use pv_rtree::{Entry, RTree, RTreeParams};
 use pv_storage::codec;
 use pv_storage::snapshot::{open_snapshot, SnapshotWriter};
@@ -453,35 +453,38 @@ impl Step1Engine for UvIndex {
     /// PNNQ Step 1 via the UV-index: leaf lookup + min/max pruning
     /// (identical query path to the PV-index, different cells).
     fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
+        let mut ids = Vec::new();
+        let stats = self.step1_into(q, &mut ids, &mut FetchScratch::default());
+        (ids, stats)
+    }
+
+    /// Allocation-free Step 1 (same streaming leaf path as the PV-index).
+    fn step1_into(&self, q: &Point, ids: &mut Vec<u64>, scratch: &mut FetchScratch) -> Step1Stats {
+        use std::sync::atomic::Ordering;
         let t0 = Instant::now();
-        let io0 = self.pager.stats().snapshot();
-        let records = self.octree.point_query(q);
-        let mut candidates: Vec<(u64, f64, f64)> = Vec::with_capacity(records.len());
-        for rec in &records {
-            let (id, region) = decode_leaf_record(rec, 2);
-            candidates.push((id, min_dist_sq(&region, q), max_dist_sq(&region, q)));
-        }
-        let tau_sq = candidates
+        let io0 = self.pager.stats().reads.load(Ordering::Relaxed);
+        let FetchScratch { octree, cand, .. } = scratch;
+        cand.clear();
+        self.octree.point_query_with(q, octree, |rec| {
+            cand.push(leaf_record_dists_sq(rec, 2, q));
+        });
+        let tau_sq = cand
             .iter()
             .map(|&(_, _, maxd)| maxd)
             .fold(f64::INFINITY, f64::min);
-        let mut ids: Vec<u64> = candidates
-            .iter()
-            .filter(|&&(_, mind, _)| mind <= tau_sq)
-            .map(|&(id, _, _)| id)
-            .collect();
+        ids.clear();
+        ids.extend(
+            cand.iter()
+                .filter(|&&(_, mind, _)| mind <= tau_sq)
+                .map(|&(id, _, _)| id),
+        );
         ids.sort_unstable();
-        let io1 = self.pager.stats().snapshot();
-        let answers = ids.len();
-        (
-            ids,
-            Step1Stats {
-                time: t0.elapsed(),
-                io_reads: io1.since(&io0).reads,
-                candidates: candidates.len(),
-                answers,
-            },
-        )
+        Step1Stats {
+            time: t0.elapsed(),
+            io_reads: self.pager.stats().reads.load(Ordering::Relaxed) - io0,
+            candidates: cand.len(),
+            answers: ids.len(),
+        }
     }
 }
 
@@ -504,6 +507,29 @@ impl ProbNnEngine for UvIndex {
         let io = self.pager.stats().snapshot().since(&io0).reads;
         let total = io + pdf_payload_pages(&obj, self.page_size);
         (obj, total)
+    }
+
+    /// Decode-into-buffer payload path: same storage traffic and same
+    /// narrow per-fetch I/O bracket as [`UvIndex::fetch_candidate`], zero
+    /// materialisation.
+    fn fetch_dists_sq(
+        &self,
+        id: u64,
+        q: &Point,
+        out: &mut Vec<f64>,
+        scratch: &mut FetchScratch,
+    ) -> u64 {
+        use std::sync::atomic::Ordering;
+        let io0 = self.pager.stats().reads.load(Ordering::Relaxed);
+        let found = self
+            .secondary
+            .get_into(id, &mut scratch.page, &mut scratch.record);
+        assert!(found, "step-1 answer must exist in the secondary index");
+        let io = self.pager.stats().reads.load(Ordering::Relaxed) - io0;
+        let view = pv_uncertain::EncodedObject::parse(&scratch.record)
+            .expect("secondary record corrupted");
+        view.dists_sq_into(q, &mut scratch.samples, out);
+        io + payload_pages(view.n_samples(), 2, self.page_size)
     }
 }
 

@@ -1,0 +1,72 @@
+//! The steady-state allocation contract of the batch query path.
+//!
+//! After warm-up (two batches that grow every scratch/outcome buffer to its
+//! working size), a sequential `query_batch_into` over the same workload
+//! must perform **zero** heap allocations — the whole Step-1 descent,
+//! secondary-record fetch, instance sampling and merged-CDF sweep run out
+//! of reused buffers. This is asserted with a counting global allocator
+//! around real PV-index and linear-scan batches.
+//!
+//! Everything lives in one `#[test]` because the counter is process-global:
+//! a sibling test allocating concurrently would poison the delta.
+
+use pv_bench::alloc_counter::{allocations, CountingAllocator};
+use pv_suite::core::{BatchSlots, LinearScan, ProbNnEngine, PvIndex, PvParams, QuerySpec};
+use pv_suite::workload::{queries, synthetic, SyntheticConfig};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn measure_steady_state<E: ProbNnEngine + Sync>(
+    engine: &E,
+    points: &[pv_suite::geom::Point],
+    spec: &QuerySpec,
+) -> u64 {
+    let mut slots = BatchSlots::new();
+    // Warm-up: grow outcome vectors and per-worker scratches.
+    engine.query_batch_into(points, spec, &mut slots);
+    engine.query_batch_into(points, spec, &mut slots);
+    let before = allocations();
+    let stats = engine.query_batch_into(points, spec, &mut slots);
+    let delta = allocations() - before;
+    assert_eq!(stats.queries, points.len());
+    assert!(stats.answers > 0, "workload produced no answers");
+    delta
+}
+
+#[test]
+fn steady_state_query_batch_allocates_nothing() {
+    let db = synthetic(&SyntheticConfig {
+        n: 400,
+        dim: 2,
+        max_side: 150.0,
+        samples: 24,
+        seed: 7,
+    });
+    let points = queries::uniform(&db.domain, 48, 3);
+    // Sequential: parallel batches still allocate per worker spawn; the
+    // per-query hot path itself is what must stay allocation-free.
+    let spec = QuerySpec::new().batch_threads(1);
+
+    let index = PvIndex::build(&db, PvParams::default());
+    let pv_allocs = measure_steady_state(&index, &points, &spec);
+    assert_eq!(
+        pv_allocs, 0,
+        "pv-index steady-state batch performed {pv_allocs} heap allocations"
+    );
+
+    let scan = LinearScan::new(&db);
+    let scan_allocs = measure_steady_state(&scan, &points, &spec);
+    assert_eq!(
+        scan_allocs, 0,
+        "linear-scan steady-state batch performed {scan_allocs} heap allocations"
+    );
+
+    // Pruning specs share the same buffers: still allocation-free.
+    let pruned_spec = QuerySpec::new().top_k(3).batch_threads(1);
+    let pruned = measure_steady_state(&index, &points, &pruned_spec);
+    assert_eq!(
+        pruned, 0,
+        "pv-index steady-state top-k batch performed {pruned} heap allocations"
+    );
+}

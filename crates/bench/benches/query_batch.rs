@@ -21,7 +21,7 @@ fn bench_query_batch(c: &mut Criterion) {
         .unwrap_or(1);
 
     for (label, threads) in [("seq", 1usize), ("par", cores)] {
-        let spec = QuerySpec::new().top_k(5).batch_threads(threads);
+        let spec = QuerySpec::new().with_top_k(5).with_batch_threads(threads);
         g.bench_with_input(BenchmarkId::new("pv_index", label), &threads, |b, _| {
             b.iter(|| black_box(index.query_batch(&qs, &spec)))
         });

@@ -23,7 +23,7 @@ fn bench_updates(c: &mut Criterion) {
             let o = db.objects[i % db.objects.len()].clone();
             i = i.wrapping_add(37);
             index.remove(o.id).expect("present");
-            black_box(index.insert(o));
+            black_box(index.insert(o).expect("reinsert"));
         })
     });
 

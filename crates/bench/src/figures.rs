@@ -67,8 +67,8 @@ fn measure_pair(
     let baseline = RTreeBaseline::build(db, params.rtree_fanout, params.page_size);
     let qs = queries::uniform(&db.domain, ctx.preset.queries(), seed);
     let spec = QuerySpec::new();
-    let pv = run_queries(|q| index.execute(q, &spec).stats, &qs);
-    let rt = run_queries(|q| baseline.execute(q, &spec).stats, &qs);
+    let pv = run_queries(|q| index.execute(q, &spec).expect("query").stats, &qs);
+    let rt = run_queries(|q| baseline.execute(q, &spec).expect("query").stats, &qs);
     (pv, rt, index, baseline)
 }
 
@@ -181,7 +181,10 @@ pub fn fig9efg(ctx: &Ctx) {
         let uv_tq = if d == 2 {
             let uv = UvIndex::build(&db, UvParams::matching(index.params()));
             let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9500 + i as u64);
-            let avg = run_queries(|q| uv.execute(q, &QuerySpec::new()).stats, &qs);
+            let avg = run_queries(
+                |q| uv.execute(q, &QuerySpec::new()).expect("query").stats,
+                &qs,
+            );
             Some(avg.tq)
         } else {
             None
@@ -228,7 +231,10 @@ pub fn fig9h(ctx: &Ctx) {
         let uv_cell = if db.dim() == 2 {
             let uv = UvIndex::build(&db, UvParams::matching(index.params()));
             let qs = queries::uniform(&db.domain, ctx.preset.queries(), 9600);
-            let avg = run_queries(|q| uv.execute(q, &QuerySpec::new()).stats, &qs);
+            let avg = run_queries(
+                |q| uv.execute(q, &QuerySpec::new()).expect("query").stats,
+                &qs,
+            );
             Table::ms(avg.tq)
         } else {
             "-".into()
@@ -530,7 +536,9 @@ pub fn fig10hi(ctx: &Ctx) {
         // Insertion: put them back incrementally.
         let t0 = Instant::now();
         for &id in &victims {
-            index.insert(db.objects[id as usize].clone());
+            index
+                .insert(db.objects[id as usize].clone())
+                .expect("insert");
         }
         let ins_inc = t0.elapsed().as_secs_f64() / batch as f64;
 
@@ -571,7 +579,10 @@ pub fn params_sensitivity(ctx: &Ctx) {
                 ..ctx.pv_params()
             },
         );
-        let avg = run_queries(|q| index.execute(q, &QuerySpec::new()).stats, &qs);
+        let avg = run_queries(
+            |q| index.execute(q, &QuerySpec::new()).expect("query").stats,
+            &qs,
+        );
         t.row(vec![format!("{delta}"), Table::ms(avg.tq)]);
     }
     t.finish();
@@ -589,7 +600,10 @@ pub fn params_sensitivity(ctx: &Ctx) {
                 ..ctx.pv_params()
             },
         );
-        let avg = run_queries(|q| index.execute(q, &QuerySpec::new()).stats, &qs);
+        let avg = run_queries(
+            |q| index.execute(q, &QuerySpec::new()).expect("query").stats,
+            &qs,
+        );
         t.row(vec![
             k.to_string(),
             Table::ms(avg.tq),
@@ -614,7 +628,10 @@ pub fn params_sensitivity(ctx: &Ctx) {
                 ..ctx.pv_params()
             },
         );
-        let avg = run_queries(|q| index.execute(q, &QuerySpec::new()).stats, &qs);
+        let avg = run_queries(
+            |q| index.execute(q, &QuerySpec::new()).expect("query").stats,
+            &qs,
+        );
         t.row(vec![
             kp.to_string(),
             Table::ms(avg.tq),
@@ -676,7 +693,7 @@ pub fn update_quality(ctx: &Ctx) {
     let mut inc = PvIndex::build(&db, params);
     let victims: Vec<u64> = (0..batch as u64).collect();
     for &id in &victims {
-        inc.remove(id);
+        inc.remove(id).expect("victim exists");
     }
     let remaining = UncertainDb::new(
         db.domain.clone(),
@@ -687,8 +704,14 @@ pub fn update_quality(ctx: &Ctx) {
             .collect(),
     );
     let rebuilt = PvIndex::build(&remaining, params);
-    let a = run_queries(|q| inc.execute(q, &QuerySpec::new()).stats, &qs);
-    let b = run_queries(|q| rebuilt.execute(q, &QuerySpec::new()).stats, &qs);
+    let a = run_queries(
+        |q| inc.execute(q, &QuerySpec::new()).expect("query").stats,
+        &qs,
+    );
+    let b = run_queries(
+        |q| rebuilt.execute(q, &QuerySpec::new()).expect("query").stats,
+        &qs,
+    );
     let equal = qs.iter().all(|q| inc.step1(q).0 == rebuilt.step1(q).0);
     t.row(vec![
         "deletion".into(),
@@ -703,11 +726,17 @@ pub fn update_quality(ctx: &Ctx) {
 
     // Insertion parity: re-insert the victims.
     for &id in &victims {
-        inc.insert(db.objects[id as usize].clone());
+        inc.insert(db.objects[id as usize].clone()).expect("insert");
     }
     let rebuilt = PvIndex::build(&db, params);
-    let a = run_queries(|q| inc.execute(q, &QuerySpec::new()).stats, &qs);
-    let b = run_queries(|q| rebuilt.execute(q, &QuerySpec::new()).stats, &qs);
+    let a = run_queries(
+        |q| inc.execute(q, &QuerySpec::new()).expect("query").stats,
+        &qs,
+    );
+    let b = run_queries(
+        |q| rebuilt.execute(q, &QuerySpec::new()).expect("query").stats,
+        &qs,
+    );
     let equal = qs.iter().all(|q| inc.step1(q).0 == rebuilt.step1(q).0);
     t.row(vec![
         "insertion".into(),
@@ -878,8 +907,11 @@ pub fn engines(ctx: &Ctx) {
     let rt = RTreeBaseline::build(&db, params.rtree_fanout, params.page_size);
     let uv = UvIndex::build(&db, UvParams::matching(&params));
     let scan = LinearScan::with_page_size(&db, params.page_size);
-    let spec = QuerySpec::new().top_k(5);
-    let truth: Vec<Vec<(u64, f64)>> = qs.iter().map(|q| scan.execute(q, &spec).answers).collect();
+    let spec = QuerySpec::new().with_top_k(5);
+    let truth: Vec<Vec<(u64, f64)>> = qs
+        .iter()
+        .map(|q| scan.execute(q, &spec).expect("query").answers)
+        .collect();
 
     fn row<E: ProbNnEngine + Sync>(
         e: &E,
@@ -893,7 +925,7 @@ pub fn engines(ctx: &Ctx) {
         let mut io = 0u64;
         let mut answers = 0usize;
         for (q, want) in qs.iter().zip(truth) {
-            let out = e.execute(q, spec);
+            let out = e.execute(q, spec).expect("query");
             let close = out.answers.len() == want.len()
                 && out
                     .answers
@@ -905,8 +937,10 @@ pub fn engines(ctx: &Ctx) {
             io += out.stats.total_io();
             answers += out.answers.len();
         }
-        let seq = e.query_batch(qs, &spec.clone().batch_threads(1));
-        let par = e.query_batch(qs, spec);
+        let seq = e
+            .query_batch(qs, &spec.clone().with_batch_threads(1))
+            .expect("batch");
+        let par = e.query_batch(qs, spec).expect("batch");
         let m = qs.len();
         t.row(vec![
             e.engine_name().to_string(),
@@ -932,7 +966,7 @@ pub fn engines(ctx: &Ctx) {
 /// Persistent index snapshots: cold-build vs save / load cost and file size
 /// for every engine that persists, verifying the loaded index answers
 /// identically. This is the "build once, serve many" experiment behind the
-/// roadmap's warm-restart requirement (see ARCHITECTURE.md §5).
+/// roadmap's warm-restart requirement (see ARCHITECTURE.md §6).
 pub fn snapshot(ctx: &Ctx) {
     let mut t = Table::new(
         "snapshot",
@@ -977,9 +1011,10 @@ pub fn snapshot(ctx: &Ctx) {
         let t0 = Instant::now();
         let loaded = load(&path);
         let load_time = t0.elapsed();
-        let identical = qs
-            .iter()
-            .all(|q| built.execute(q, spec).answers == loaded.execute(q, spec).answers);
+        let identical = qs.iter().all(|q| {
+            built.execute(q, spec).expect("query").answers
+                == loaded.execute(q, spec).expect("query").answers
+        });
         t.row(vec![
             name.to_string(),
             Table::ms(build_time),

@@ -1,26 +1,37 @@
 //! The bench-trajectory harness: machine-readable performance snapshots.
 //!
-//! `experiments report` runs the three hot-path workloads — full PNNQ,
-//! batched PNNQ and index construction — on the PV-index and writes the
-//! medians to a `BENCH_pr<N>.json` file at the repository root. Each perf PR
-//! records its post-change numbers under its own file, so later sessions can
-//! read the trajectory instead of re-deriving baselines; CI runs the mode on
-//! the tiny preset so the harness itself cannot bit-rot.
+//! `experiments report` runs the hot-path workloads — full PNNQ, batched
+//! PNNQ, index construction and (since PR 5) a mixed read/write `serve`
+//! workload on the concurrent [`Db`] facade — on the PV-index and writes
+//! the medians to a `BENCH_pr<N>.json` file at the repository root. Each
+//! perf PR records its post-change numbers under its own file, so later
+//! sessions can read the trajectory instead of re-deriving baselines; CI
+//! runs the mode on the tiny preset so the harness itself cannot bit-rot.
 //!
 //! Allocation accounting: when the running binary registered
 //! [`crate::alloc_counter::CountingAllocator`] (the `experiments` binary
 //! does), the report also measures steady-state allocations per query for a
 //! sequential `query_batch_into` — the number the zero-allocation contract
 //! says must be `0`.
+//!
+//! The `serve` workload measures what the PR-5 redesign is for: read QPS
+//! while a single writer publishes copy-on-write snapshots at 0, 1 and
+//! 10 writes/sec. Readers pin snapshots through pooled [`Session`]s and
+//! never block on the writer's forking/SE work, so read throughput should
+//! stay in the same band across the three rates.
 
 use crate::alloc_counter;
 use crate::Ctx;
+use pv_core::db::{Db, Session};
 use pv_core::{BatchSlots, ProbNnEngine, PvIndex, QueryOutcome, QueryScratch, QuerySpec};
+use pv_geom::{HyperRect, Point};
+use pv_uncertain::UncertainObject;
 use pv_workload::queries;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// The PR number this snapshot file belongs to.
-pub const TRAJECTORY_PR: u32 = 4;
+pub const TRAJECTORY_PR: u32 = 5;
 
 /// One measured per-query workload: a name plus its median cost. (The build
 /// workload reports whole-build wall time separately — its unit is
@@ -37,9 +48,105 @@ pub struct WorkloadMedian {
     pub rounds: usize,
 }
 
+/// One mixed read/write measurement point of the `serve` workload.
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    /// Writer publication rate the point was measured at (writes/sec).
+    pub writes_per_sec: u32,
+    /// Read throughput across all reader threads (queries/sec).
+    pub read_qps: f64,
+    /// Snapshot publications the writer actually committed.
+    pub writes_applied: u64,
+}
+
 fn median(mut v: Vec<u64>) -> u64 {
     v.sort_unstable();
     v[v.len() / 2]
+}
+
+/// Runs readers (pooled sessions over `db`) for `duration` while one writer
+/// publishes insert/remove pairs at `writes_per_sec`; returns the measured
+/// point. Readers never block on the writer — every query runs against a
+/// pinned snapshot.
+fn serve_point(
+    db: &Db<PvIndex>,
+    qs: &[Point],
+    writes_per_sec: u32,
+    duration: Duration,
+    reader_threads: usize,
+) -> ServePoint {
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let spec = QuerySpec::new().with_top_k(5);
+    let domain: HyperRect = db.reader().domain().clone();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..reader_threads {
+            scope.spawn(|| {
+                let mut session: Session<'_, PvIndex> = db.session();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    session
+                        .query(&qs[i % qs.len()], &spec)
+                        .expect("serve query");
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        if writes_per_sec > 0 {
+            scope.spawn(|| {
+                let interval = Duration::from_secs_f64(1.0 / writes_per_sec as f64);
+                // A small object at the domain centre, fresh id per write.
+                let c = domain.center();
+                let lo: Vec<f64> = c.coords().iter().map(|x| x - 0.5).collect();
+                let hi: Vec<f64> = c.coords().iter().map(|x| x + 0.5).collect();
+                let region = HyperRect::new(lo, hi);
+                let mut next_id = 1_000_000_000u64;
+                let mut live: Option<u64> = None;
+                while !stop.load(Ordering::Relaxed) {
+                    // Alternate insert/remove so the database size stays
+                    // put while every tick publishes a new snapshot.
+                    match live.take() {
+                        Some(id) => {
+                            db.remove(id).expect("serve remove");
+                        }
+                        None => {
+                            let o = UncertainObject::uniform(next_id, region.clone(), 16);
+                            db.insert(o).expect("serve insert");
+                            live = Some(next_id);
+                            next_id += 1;
+                        }
+                    }
+                    writes.fetch_add(1, Ordering::Relaxed);
+                    // Sleep in short slices so the stop flag is honoured.
+                    let wake = Instant::now() + interval;
+                    while Instant::now() < wake && !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                // Leave the database exactly as found, so consecutive
+                // serve points (and their fresh-id counters) are
+                // independent.
+                if let Some(id) = live {
+                    db.remove(id).expect("serve cleanup");
+                }
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        // Sample the window at the instant the flag flips: scope join still
+        // waits for the writer's in-flight fork (O(index)), and counting
+        // that tail against only the nonzero-write points would fake a read
+        // slowdown the readers never experienced.
+        let elapsed = t0.elapsed().as_secs_f64();
+        ServePoint {
+            writes_per_sec,
+            read_qps: reads.load(Ordering::Relaxed) as f64 / elapsed.max(1e-9),
+            writes_applied: writes.load(Ordering::Relaxed),
+        }
+    })
 }
 
 /// Runs the trajectory workloads and writes `path` (JSON). Also prints a
@@ -72,14 +179,18 @@ pub fn report(ctx: &Ctx, path: &str) {
     let mut scratch = QueryScratch::default();
     let mut out = QueryOutcome::default();
     for q in &qs {
-        index.execute_into(q, &spec, &mut scratch, &mut out); // warm-up
+        index
+            .execute_into(q, &spec, &mut scratch, &mut out)
+            .expect("warm-up query"); // warm-up
     }
     let rounds = 5;
     let mut per_op = Vec::with_capacity(rounds * qs.len());
     for _ in 0..rounds {
         for q in &qs {
             let t = Instant::now();
-            index.execute_into(q, &spec, &mut scratch, &mut out);
+            index
+                .execute_into(q, &spec, &mut scratch, &mut out)
+                .expect("pnnq query");
             per_op.push(t.elapsed().as_nanos() as u64);
         }
     }
@@ -91,14 +202,18 @@ pub fn report(ctx: &Ctx, path: &str) {
     };
 
     // --- batch workload (parallel query_batch_into, slots reused) ---
-    let batch_spec = QuerySpec::new().top_k(5);
+    let batch_spec = QuerySpec::new().with_top_k(5);
     let mut slots = BatchSlots::new();
-    let warm = index.query_batch_into(&qs, &batch_spec, &mut slots);
+    let warm = index
+        .query_batch_into(&qs, &batch_spec, &mut slots)
+        .expect("warm-up batch");
     let threads = warm.threads;
     let mut batch_per_op = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let t = Instant::now();
-        index.query_batch_into(&qs, &batch_spec, &mut slots);
+        index
+            .query_batch_into(&qs, &batch_spec, &mut slots)
+            .expect("batch");
         batch_per_op.push(t.elapsed().as_nanos() as u64 / qs.len() as u64);
     }
     let batch = WorkloadMedian {
@@ -109,25 +224,55 @@ pub fn report(ctx: &Ctx, path: &str) {
     };
 
     // --- steady-state allocations per query (sequential batch) ---
-    let seq_spec = QuerySpec::new().top_k(5).batch_threads(1);
-    index.query_batch_into(&qs, &seq_spec, &mut slots);
-    index.query_batch_into(&qs, &seq_spec, &mut slots);
+    let seq_spec = QuerySpec::new().with_top_k(5).with_batch_threads(1);
+    index
+        .query_batch_into(&qs, &seq_spec, &mut slots)
+        .expect("alloc warm-up");
+    index
+        .query_batch_into(&qs, &seq_spec, &mut slots)
+        .expect("alloc warm-up");
     let a0 = alloc_counter::allocations();
-    index.query_batch_into(&qs, &seq_spec, &mut slots);
+    index
+        .query_batch_into(&qs, &seq_spec, &mut slots)
+        .expect("alloc measurement");
     let allocs = alloc_counter::allocations() - a0;
     let allocs_per_query = allocs as f64 / qs.len() as f64;
     let alloc_counter_active = alloc_counter::is_registered();
 
+    // --- serve workload (mixed read/write on the Db facade) ---
+    let serve_db = Db::new(index);
+    // Long enough that at least one COW fork (O(index), ~0.5 s for the tiny
+    // preset on a 1-core CI box) completes inside every nonzero-write
+    // window.
+    let serve_duration = Duration::from_millis(1_000);
+    let reader_threads = 2;
+    let serve: Vec<ServePoint> = [0u32, 1, 10]
+        .iter()
+        .map(|&w| serve_point(&serve_db, &qs, w, serve_duration, reader_threads))
+        .collect();
+
     let preset = format!("{:?}", ctx.preset).to_lowercase();
+    let serve_json = serve
+        .iter()
+        .map(|p| {
+            format!(
+                "    \"writes_per_sec_{}\": {{ \"read_qps\": {:.0}, \"writes_applied\": {} }}",
+                p.writes_per_sec, p.read_qps, p.writes_applied
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         "{{\n  \"pr\": {pr},\n  \"preset\": \"{preset}\",\n  \"engine\": \"pv-index\",\n  \
          \"objects\": {n},\n  \"dim\": {dim},\n  \"samples_per_object\": {samples},\n  \
          \"batch_threads\": {threads},\n  \
          \"workloads\": {{\n{workloads}\n  }},\n  \
+         \"serve\": {{\n    \"duration_ms\": {serve_ms},\n    \"reader_threads\": {reader_threads},\n{serve_json}\n  }},\n  \
          \"allocs_per_query_steady_state\": {allocs_per_query},\n  \
          \"alloc_counter_active\": {alloc_counter_active}\n}}\n",
         pr = TRAJECTORY_PR,
         samples = ctx.preset.samples(),
+        serve_ms = serve_duration.as_millis(),
         workloads = [&pnnq, &batch]
             .iter()
             .map(|w| {
@@ -160,6 +305,12 @@ pub fn report(ctx: &Ctx, path: &str) {
         "{:>12}: median {:>12} ns/build ({n} objects x {build_rounds} rounds)",
         "build", build_median_ns
     );
+    for p in &serve {
+        println!(
+            "{:>12}: {:>8.0} read qps at {:>2} writes/sec ({} published)",
+            "serve", p.read_qps, p.writes_per_sec, p.writes_applied
+        );
+    }
     println!(
         "{:>12}: {:.3} allocs/query (counter {})",
         "steady-state",

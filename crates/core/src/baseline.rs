@@ -7,9 +7,11 @@
 //! charged as disk I/O, matching the paper's storage model (non-leaf nodes
 //! live in a main-memory budget, leaves on disk).
 
+use crate::db::{PersistentEngine, WritableEngine};
+use crate::error::DbError;
 use crate::prob::pdf_payload_pages;
 use crate::query::{FetchScratch, ProbNnEngine, Step1Engine};
-use crate::stats::Step1Stats;
+use crate::stats::{BuildStats, Step1Stats, UpdateStats};
 use pv_geom::{max_dist_sq, HyperRect, Point};
 use pv_rtree::{Entry, RTree, RTreeParams};
 use pv_uncertain::{UncertainDb, UncertainObject};
@@ -23,6 +25,7 @@ pub struct RTreeBaseline {
     pub(crate) objects: HashMap<u64, UncertainObject>,
     pub(crate) page_size: usize,
     pub(crate) fanout: usize,
+    pub(crate) domain: HyperRect,
 }
 
 impl RTreeBaseline {
@@ -43,7 +46,13 @@ impl RTreeBaseline {
             objects,
             page_size,
             fanout,
+            domain: db.domain.clone(),
         }
+    }
+
+    /// The domain the indexed database covers.
+    pub fn domain(&self) -> &HyperRect {
+        &self.domain
     }
 
     /// Serialises the baseline into a snapshot file at `path`; the object
@@ -76,17 +85,46 @@ impl RTreeBaseline {
     }
 
     /// Inserts an object (the baseline supports updates trivially).
-    pub fn insert(&mut self, o: UncertainObject) {
+    ///
+    /// # Errors
+    /// [`DbError::DuplicateId`] if the id is already indexed (inserting it
+    /// anyway would leave a dangling duplicate entry in the tree);
+    /// [`DbError::OutOfDomain`] if the region escapes the domain — the same
+    /// write contract as every other engine behind the [`crate::db::Db`]
+    /// facade.
+    pub fn insert(&mut self, o: UncertainObject) -> Result<UpdateStats, DbError> {
+        let t0 = Instant::now();
+        if self.objects.contains_key(&o.id) {
+            return Err(DbError::DuplicateId(o.id));
+        }
+        if !self.domain.contains_rect(&o.region) {
+            return Err(DbError::OutOfDomain(o.id));
+        }
         self.tree.insert(o.region.clone(), o.id);
         self.objects.insert(o.id, o);
+        Ok(UpdateStats {
+            time: t0.elapsed(),
+            ..Default::default()
+        })
     }
 
     /// Removes an object by id.
-    pub fn remove(&mut self, id: u64) -> bool {
-        let Some(o) = self.objects.remove(&id) else {
-            return false;
-        };
-        self.tree.remove(&o.region, id)
+    ///
+    /// # Errors
+    /// [`DbError::UnknownId`] if the id is not indexed (previously `false`).
+    pub fn remove(&mut self, id: u64) -> Result<UpdateStats, DbError> {
+        let t0 = Instant::now();
+        let o = self.objects.remove(&id).ok_or(DbError::UnknownId(id))?;
+        let in_tree = self.tree.remove(&o.region, id);
+        // The catalog and the tree are updated in lock-step, so a miss here
+        // means they drifted apart — catch it at the point of corruption
+        // (in release builds too; a ghost id would otherwise surface far
+        // away as a broken step1) rather than absorb it.
+        assert!(in_tree, "object {id} was in the catalog but not the tree");
+        Ok(UpdateStats {
+            time: t0.elapsed(),
+            ..Default::default()
+        })
     }
 
     /// Access to the underlying tree (statistics, invariants).
@@ -103,6 +141,14 @@ impl RTreeBaseline {
 impl Step1Engine for RTreeBaseline {
     fn engine_name(&self) -> &'static str {
         "rtree"
+    }
+
+    fn dim(&self) -> usize {
+        self.tree.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
     }
 
     /// Best-first branch-and-prune over the R*-tree: all objects with
@@ -176,6 +222,73 @@ impl ProbNnEngine for RTreeBaseline {
     }
 }
 
+/// Copy-on-write support for the [`crate::db::Db`] facade: the fork
+/// re-runs the deterministic STR bulk load over the id-sorted catalog (the
+/// same reconstruction [`RTreeBaseline::load`] uses), so the successor
+/// shares no state with the published original.
+impl WritableEngine for RTreeBaseline {
+    fn fork(&self) -> Self {
+        let mut ids: Vec<u64> = self.objects.keys().copied().collect();
+        ids.sort_unstable();
+        let entries: Vec<Entry> = ids
+            .iter()
+            .map(|id| Entry {
+                rect: self.objects[id].region.clone(),
+                id: *id,
+            })
+            .collect();
+        let dim = self.tree.dim();
+        Self {
+            tree: RTree::bulk_load(dim, RTreeParams::with_fanout(self.fanout), entries),
+            objects: self.objects.clone(),
+            page_size: self.page_size,
+            fanout: self.fanout,
+            domain: self.domain.clone(),
+        }
+    }
+
+    /// The fork *is* a fresh deterministic bulk load, so a rebuild needs no
+    /// second construction.
+    fn rebuilt(&self) -> (Self, BuildStats) {
+        let t0 = Instant::now();
+        let fresh = self.fork();
+        let stats = BuildStats {
+            total_time: t0.elapsed(),
+            ubr_count: fresh.objects.len(),
+            ..Default::default()
+        };
+        (fresh, stats)
+    }
+
+    fn apply_insert(&mut self, o: UncertainObject) -> Result<UpdateStats, DbError> {
+        self.insert(o)
+    }
+
+    fn apply_remove(&mut self, id: u64) -> Result<UpdateStats, DbError> {
+        self.remove(id)
+    }
+
+    fn apply_rebuild(&mut self) -> BuildStats {
+        let t0 = Instant::now();
+        *self = self.fork();
+        BuildStats {
+            total_time: t0.elapsed(),
+            ubr_count: self.objects.len(),
+            ..Default::default()
+        }
+    }
+}
+
+impl PersistentEngine for RTreeBaseline {
+    fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.save(path)
+    }
+
+    fn load_from(path: &std::path::Path) -> std::io::Result<Self> {
+        Self::load(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,7 +340,7 @@ mod tests {
         let db = small_db(300, 2, 13);
         let baseline = RTreeBaseline::build(&db, 16, 4096);
         let q = queries::uniform(&db.domain, 1, 7)[0].clone();
-        let out = baseline.execute(&q, &QuerySpec::new());
+        let out = baseline.execute(&q, &QuerySpec::new()).unwrap();
         let total: f64 = out.answers.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-6, "sum {total}");
         assert!(out.stats.pc_io_reads >= out.answers.len() as u64);
@@ -240,7 +353,7 @@ mod tests {
         let mut baseline = RTreeBaseline::build(&db, 8, 4096);
         // remove 50 objects, insert 30 fresh ones
         for id in 0..50u64 {
-            assert!(baseline.remove(id));
+            assert!(baseline.remove(id).is_ok());
         }
         db.objects.retain(|o| o.id >= 50);
         let fresh = small_db(30, 2, 999);
@@ -248,13 +361,31 @@ mod tests {
             let mut o = o;
             o.id = 10_000 + i as u64;
             db.objects.push(o.clone());
-            baseline.insert(o);
+            baseline.insert(o).unwrap();
         }
         for q in queries::uniform(&db.domain, 20, 23) {
             let (got, _) = baseline.step1(&q);
             let want = verify::possible_nn(db.objects.iter(), &q);
             assert_eq!(got, want);
         }
+        // Bad writes are typed errors under the same contract as the other
+        // engines behind the Db facade.
+        let escapee = UncertainObject::uniform(
+            77_777,
+            HyperRect::new(vec![-50.0, -50.0], vec![-40.0, -40.0]),
+            4,
+        );
+        assert!(matches!(
+            baseline.insert(escapee),
+            Err(DbError::OutOfDomain(77_777))
+        ));
+        let dup = db.objects[0].clone();
+        let dup_id = dup.id;
+        assert!(matches!(baseline.insert(dup), Err(DbError::DuplicateId(id)) if id == dup_id));
+        assert!(matches!(
+            baseline.remove(999_999),
+            Err(DbError::UnknownId(999_999))
+        ));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Typed errors for the query and database layers.
+//!
+//! Before PR 5, bad inputs panicked: a query point of the wrong
+//! dimensionality indexed out of bounds somewhere inside the geometry
+//! kernels, inserting a duplicate id asserted, and `run` on a spec without a
+//! target point `expect`ed. A concurrent serving system cannot afford any of
+//! that — one malformed request must come back as a value, not take the
+//! process down — so the public API now reports every data-dependent failure
+//! through two enums:
+//!
+//! * [`QueryError`] — read-side failures, produced by
+//!   [`ProbNnEngine::execute`](crate::query::ProbNnEngine::execute) and
+//!   friends;
+//! * [`DbError`] — write- and persistence-side failures, produced by the
+//!   [`Db`](crate::db::Db) facade, the fallible update methods on the
+//!   engines, and snapshot `save`/`load`.
+//!
+//! Programming errors that cannot depend on runtime data (e.g. building a
+//! [`QuerySpec`](crate::query::QuerySpec) with `top_k(0)`) remain documented
+//! panics: they are caught by the first unit test, not by production
+//! traffic.
+
+use std::fmt;
+
+/// A read-side failure: the request cannot be answered against the engine's
+/// current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The query point's dimensionality differs from the indexed data's.
+    DimensionMismatch {
+        /// Dimensionality of the indexed data.
+        expected: usize,
+        /// Dimensionality of the offending query point.
+        got: usize,
+    },
+    /// The engine indexes no objects, so "the nearest neighbor" does not
+    /// exist. (Distinguished from an empty *answer set*, which a threshold
+    /// spec can legitimately produce.)
+    EmptyDatabase,
+    /// [`run`](crate::query::ProbNnEngine::run) was called on a spec that
+    /// has no target point; build it with
+    /// [`QuerySpec::point`](crate::query::QuerySpec::point) or pass the
+    /// point explicitly via `execute` / `query_batch`.
+    MissingTarget,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::DimensionMismatch { expected, got } => write!(
+                f,
+                "query point has dimensionality {got}, the indexed data has {expected}"
+            ),
+            QueryError::EmptyDatabase => write!(f, "the database holds no objects"),
+            QueryError::MissingTarget => write!(
+                f,
+                "the query spec has no target point (build it with QuerySpec::point)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A write- or persistence-side failure of a database operation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DbError {
+    /// A read-side failure surfaced through a database-level call.
+    Query(QueryError),
+    /// Insertion of an object id that is already indexed.
+    DuplicateId(u64),
+    /// Removal (or lookup) of an object id that is not indexed.
+    UnknownId(u64),
+    /// The object's uncertainty region lies (partly) outside the engine's
+    /// domain, so index cells cannot cover it.
+    OutOfDomain(u64),
+    /// Snapshot persistence failed: an I/O error from `save`/`load`, or a
+    /// corrupt / version-skewed snapshot file (surfaced by the codec layer
+    /// as [`std::io::ErrorKind::InvalidData`]).
+    Snapshot(std::io::Error),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Query(e) => write!(f, "query failed: {e}"),
+            DbError::DuplicateId(id) => write!(f, "object id {id} is already indexed"),
+            DbError::UnknownId(id) => write!(f, "object id {id} is not indexed"),
+            DbError::OutOfDomain(id) => {
+                write!(
+                    f,
+                    "object {id}'s uncertainty region lies outside the domain"
+                )
+            }
+            DbError::Snapshot(e) => write!(f, "snapshot I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Query(e) => Some(e),
+            DbError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for DbError {
+    fn from(e: QueryError) -> Self {
+        DbError::Query(e)
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QueryError::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        assert!(DbError::DuplicateId(7).to_string().contains('7'));
+        assert!(DbError::UnknownId(9).to_string().contains('9'));
+        assert!(DbError::OutOfDomain(4).to_string().contains('4'));
+    }
+
+    #[test]
+    fn conversions_and_sources() {
+        let q: DbError = QueryError::EmptyDatabase.into();
+        assert!(matches!(q, DbError::Query(QueryError::EmptyDatabase)));
+        assert!(q.source().is_some());
+        let io: DbError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, DbError::Snapshot(_)));
+        assert!(io.source().is_some());
+        assert!(DbError::DuplicateId(1).source().is_none());
+    }
+}

@@ -22,6 +22,8 @@
 //! cached anyway.
 
 use crate::cset::{build_mean_tree, choose_cset};
+use crate::db::{PersistentEngine, WritableEngine};
+use crate::error::DbError;
 use crate::params::PvParams;
 use crate::prob::{payload_pages, pdf_payload_pages};
 use crate::query::{FetchScratch, ProbNnEngine, Step1Engine};
@@ -312,6 +314,19 @@ impl PvIndex {
         self.objects.get(&id)
     }
 
+    /// Every indexed object (arbitrary order).
+    pub fn objects(&self) -> impl Iterator<Item = &UncertainObject> {
+        self.objects.values()
+    }
+
+    /// Every indexed object id, ascending — the canonical fingerprint of an
+    /// index state (the concurrency tests match pinned snapshots by it).
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.objects.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// The shared simulated disk (I/O statistics).
     pub fn pager(&self) -> &MemPager {
         &self.pager
@@ -396,19 +411,18 @@ impl PvIndex {
 
     /// Incrementally inserts a new object (§VI-B "Insertion").
     ///
-    /// # Panics
-    /// If the id already exists or the region lies outside the domain.
-    pub fn insert(&mut self, o: UncertainObject) -> UpdateStats {
-        assert!(
-            !self.objects.contains_key(&o.id),
-            "duplicate object id {}",
-            o.id
-        );
-        assert!(
-            self.domain.contains_rect(&o.region),
-            "object {} outside the domain",
-            o.id
-        );
+    /// # Errors
+    /// [`DbError::DuplicateId`] if the id already exists,
+    /// [`DbError::OutOfDomain`] if the region escapes the domain; the index
+    /// is untouched on error. (These were assertions before PR 5; a
+    /// serving system must reject bad requests as values.)
+    pub fn insert(&mut self, o: UncertainObject) -> Result<UpdateStats, DbError> {
+        if self.objects.contains_key(&o.id) {
+            return Err(DbError::DuplicateId(o.id));
+        }
+        if !self.domain.contains_rect(&o.region) {
+            return Err(DbError::OutOfDomain(o.id));
+        }
         let t0 = Instant::now();
         let mut se_total = SeStats::default();
 
@@ -450,18 +464,20 @@ impl PvIndex {
         let lookup = move |i: u64| ubrs[&i].clone();
         self.octree.insert(&new_ubr, &record, &lookup);
 
-        UpdateStats {
+        Ok(UpdateStats {
             time: t0.elapsed(),
             scanned,
             affected: affected.len(),
             se: se_total,
-        }
+        })
     }
 
-    /// Incrementally removes an object (§VI-B "Deletion"). Returns `None`
-    /// if the id is unknown.
-    pub fn remove(&mut self, id: u64) -> Option<UpdateStats> {
-        let o = self.objects.get(&id)?.clone();
+    /// Incrementally removes an object (§VI-B "Deletion").
+    ///
+    /// # Errors
+    /// [`DbError::UnknownId`] if the id is not indexed (previously `None`).
+    pub fn remove(&mut self, id: u64) -> Result<UpdateStats, DbError> {
+        let o = self.objects.get(&id).ok_or(DbError::UnknownId(id))?.clone();
         let t0 = Instant::now();
         let mut se_total = SeStats::default();
         let old_ubr = self.ubrs[&id].clone();
@@ -493,7 +509,7 @@ impl PvIndex {
             self.octree.insert_delta(&old, &grown, &record, &lookup);
         }
 
-        Some(UpdateStats {
+        Ok(UpdateStats {
             time: t0.elapsed(),
             scanned,
             affected: affected.len(),
@@ -523,6 +539,14 @@ impl PvIndex {
 impl Step1Engine for PvIndex {
     fn engine_name(&self) -> &'static str {
         "pv-index"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
     }
 
     /// PNNQ Step 1: descend to the leaf containing `q`, then prune with the
@@ -614,6 +638,56 @@ impl ProbNnEngine for PvIndex {
     }
 }
 
+/// Copy-on-write support for the [`crate::db::Db`] facade.
+///
+/// [`WritableEngine::fork`] round-trips the index through its canonical
+/// snapshot codec ([`crate::snapshot`]): the only deep-copy path that is
+/// already proven byte-exact by `tests/snapshot_roundtrip.rs`, and — unlike
+/// a field-wise `Clone` — one that cannot accidentally *share* the
+/// simulated disk between the fork and the published original (both index
+/// structures hold handles to one pager; sharing it would let a writer
+/// mutate pages a pinned reader is concurrently serving from).
+impl WritableEngine for PvIndex {
+    fn fork(&self) -> Self {
+        crate::snapshot::pv_index_from_bytes(&crate::snapshot::pv_index_to_bytes(self))
+            .expect("snapshot round-trip of a live index cannot fail")
+    }
+
+    fn apply_insert(&mut self, o: UncertainObject) -> Result<UpdateStats, DbError> {
+        self.insert(o)
+    }
+
+    fn apply_remove(&mut self, id: u64) -> Result<UpdateStats, DbError> {
+        self.remove(id)
+    }
+
+    fn apply_rebuild(&mut self) -> BuildStats {
+        self.rebuild()
+    }
+
+    /// [`PvIndex::build`] already constructs a fully independent index from
+    /// the catalog, so the successor needs no snapshot-codec fork first.
+    fn rebuilt(&self) -> (Self, BuildStats) {
+        let db = UncertainDb::new(
+            self.domain.clone(),
+            self.objects.values().cloned().collect(),
+        );
+        let fresh = PvIndex::build(&db, self.params);
+        let stats = fresh.build_stats.clone();
+        (fresh, stats)
+    }
+}
+
+impl PersistentEngine for PvIndex {
+    fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.save(path)
+    }
+
+    fn load_from(path: &std::path::Path) -> std::io::Result<Self> {
+        Self::load(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,7 +740,7 @@ mod tests {
         let db = small_db(200, 2, 4);
         let index = PvIndex::build(&db, PvParams::default());
         for q in queries::uniform(&db.domain, 10, 19) {
-            let out = index.execute(&q, &QuerySpec::new());
+            let out = index.execute(&q, &QuerySpec::new()).unwrap();
             let total: f64 = out.answers.iter().map(|(_, p)| p).sum();
             assert!((total - 1.0).abs() < 1e-6, "sum {total}");
             assert!(out.stats.pc_io_reads > 0);
@@ -702,7 +776,7 @@ mod tests {
         for (i, mut o) in extra.objects.into_iter().enumerate() {
             o.id = 50_000 + i as u64;
             db.objects.push(o.clone());
-            index.insert(o);
+            index.insert(o).unwrap();
         }
         check_queries(&index, &db.objects, 23);
     }
@@ -712,7 +786,7 @@ mod tests {
         let mut db = small_db(200, 2, 7);
         let mut index = PvIndex::build(&db, PvParams::default());
         for id in (0..200u64).step_by(7) {
-            assert!(index.remove(id).is_some());
+            assert!(index.remove(id).is_ok());
         }
         db.objects.retain(|o| o.id % 7 != 0);
         check_queries(&index, &db.objects, 29);
@@ -724,14 +798,14 @@ mod tests {
         let mut index = PvIndex::build(&db, PvParams::default());
         // interleave deletions and insertions
         for id in [3u64, 17, 42, 99, 140] {
-            index.remove(id);
+            index.remove(id).unwrap();
             db.objects.retain(|o| o.id != id);
         }
         let extra = small_db(10, 2, 888);
         for (i, mut o) in extra.objects.into_iter().enumerate() {
             o.id = 60_000 + i as u64;
             db.objects.push(o.clone());
-            index.insert(o);
+            index.insert(o).unwrap();
         }
         // compare against a fresh build
         let fresh = PvIndex::build(&db, PvParams::default());
@@ -744,20 +818,31 @@ mod tests {
     }
 
     #[test]
-    fn remove_unknown_returns_none() {
+    fn remove_unknown_is_a_typed_error() {
         let db = small_db(50, 2, 9);
         let mut index = PvIndex::build(&db, PvParams::default());
-        assert!(index.remove(123_456).is_none());
+        assert!(matches!(
+            index.remove(123_456),
+            Err(DbError::UnknownId(123_456))
+        ));
         assert_eq!(index.len(), 50);
     }
 
     #[test]
-    #[should_panic(expected = "duplicate object id")]
-    fn insert_duplicate_panics() {
+    fn insert_duplicate_or_escaping_is_a_typed_error() {
         let db = small_db(50, 2, 10);
         let mut index = PvIndex::build(&db, PvParams::default());
         let dup = db.objects[0].clone();
-        index.insert(dup);
+        let dup_id = dup.id;
+        assert!(matches!(index.insert(dup), Err(DbError::DuplicateId(id)) if id == dup_id));
+        let mut escapee = db.objects[1].clone();
+        escapee.id = 999_999;
+        escapee.region = HyperRect::new(vec![-10.0, -10.0], vec![-5.0, -5.0]);
+        assert!(matches!(
+            index.insert(escapee),
+            Err(DbError::OutOfDomain(999_999))
+        ));
+        assert_eq!(index.len(), 50, "failed inserts must not mutate");
     }
 
     #[test]
@@ -878,7 +963,7 @@ mod tests {
         for (i, mut o) in extra.objects.into_iter().enumerate() {
             o.id = 40_000 + i as u64;
             db.objects.push(o.clone());
-            index.insert(o);
+            index.insert(o).unwrap();
         }
         check_queries(&index, &db.objects, 47);
     }

@@ -19,6 +19,13 @@
 //!   threshold / top-k / Step-1-only / I/O budget), [`query::QueryOutcome`],
 //!   and the [`query::Step1Engine`] / [`query::ProbNnEngine`] traits every
 //!   engine implements, with batched parallel execution;
+//! * [`db`] — the **concurrent database facade**: [`db::Db`] publishes
+//!   immutable engine snapshots through an [`db::ArcSwap`]; readers pin
+//!   them ([`db::Reader`], pooled [`db::Session`]s) and never block on the
+//!   single copy-on-write writer ([`db::WritableEngine`]);
+//! * [`error`] — the typed error surface: [`error::QueryError`] (read
+//!   side) and [`error::DbError`] (write/persistence side) replace the
+//!   pre-PR-5 panics;
 //! * [`baseline`] — the R-tree branch-and-prune Step-1 baseline \[8\] the
 //!   experiments compare against;
 //! * [`snapshot`] — persistent index snapshots: a built [`PvIndex`] (or
@@ -32,23 +39,28 @@
 //! ## Example
 //!
 //! ```
-//! use pv_core::{PvIndex, PvParams, ProbNnEngine, QuerySpec};
+//! use pv_core::db::Db;
+//! use pv_core::{PvIndex, PvParams, QuerySpec};
 //! use pv_workload::{synthetic, SyntheticConfig, queries};
 //!
-//! let db = synthetic(&SyntheticConfig { n: 200, dim: 2, samples: 50, ..Default::default() });
-//! let index = PvIndex::build(&db, PvParams::default());
-//! let q = queries::uniform(&db.domain, 1, 7)[0].clone();
+//! let data = synthetic(&SyntheticConfig { n: 200, dim: 2, samples: 50, ..Default::default() });
+//! let db = Db::new(PvIndex::build(&data, PvParams::default()));
+//! let q = queries::uniform(&data.domain, 1, 7)[0].clone();
 //!
-//! // The three most likely nearest neighbors, best first.
-//! let outcome = index.run(&QuerySpec::point(q).top_k(3));
+//! // The three most likely nearest neighbors, best first. Queries read a
+//! // pinned snapshot, so concurrent inserts/removes never block them.
+//! let outcome = db.query(&q, &QuerySpec::new().with_top_k(3))?;
 //! assert!(!outcome.answers.is_empty()); // someone is always a possible NN
 //! assert!(outcome.best().unwrap().1 > 0.0);
+//! # Ok::<(), pv_core::QueryError>(())
 //! ```
 
 #![deny(missing_docs)]
 
 pub mod baseline;
 pub mod cset;
+pub mod db;
+pub mod error;
 pub mod index;
 pub mod params;
 pub mod prob;
@@ -58,6 +70,8 @@ pub mod snapshot;
 pub mod stats;
 pub mod verify;
 
+pub use db::{Db, PersistentEngine, Reader, Session, WritableEngine};
+pub use error::{DbError, QueryError};
 pub use index::PvIndex;
 pub use params::{CSetStrategy, PvParams};
 pub use query::{

@@ -3,8 +3,8 @@
 //! The paper evaluates one query shape — a point PNNQ returning every object
 //! with non-zero qualification probability — but the surrounding literature
 //! (probability-threshold PNN, top-k PNN) and this repo's roadmap (batched,
-//! multi-backend serving) need a single engine-agnostic surface. This module
-//! provides it:
+//! multi-backend, concurrent serving) need a single engine-agnostic surface.
+//! This module provides it:
 //!
 //! * [`QuerySpec`] — a builder describing *what to answer*: plain PNNQ,
 //!   probability threshold, top-k, Step-1-only retrieval, an optional I/O
@@ -24,17 +24,26 @@
 //!   ([`ProbNnEngine::query_batch`] / [`ProbNnEngine::query_batch_into`]
 //!   with reusable [`BatchSlots`]).
 //!
+//! Every evaluation entry point is **fallible**: data-dependent misuse — a
+//! query point of the wrong dimensionality, a query against an empty
+//! engine, a [`ProbNnEngine::run`] call on a spec without a target — comes
+//! back as a [`QueryError`] instead of a panic, so a serving layer (see
+//! [`crate::db`]) can reject one bad request without taking the process
+//! down. Spec-construction misuse (`with_top_k(0)`, a negative threshold)
+//! stays a documented panic: it cannot depend on runtime data.
+//!
 //! # Answer semantics
 //!
 //! * default — every Step-1 candidate with its exact probability, zeros
 //!   retained (the paper's semantics, plus filter observability);
-//! * [`QuerySpec::threshold`]`(τ)` — answers with `p ≥ τ` and `p > 0`;
-//! * [`QuerySpec::top_k`]`(k)` — the `k` highest-probability answers among
-//!   those with `p > 0`.
+//! * [`QuerySpec::with_threshold`]`(τ)` — answers with `p ≥ τ` and `p > 0`;
+//! * [`QuerySpec::with_top_k`]`(k)` — the `k` highest-probability answers
+//!   among those with `p > 0`.
 //!
-//! Raising `τ` yields a subset; `top_k(k)` is a prefix of `top_k(k + 1)`;
-//! both agree with the [`LinearScan`](crate::verify::LinearScan) ground
-//! truth (`tests/answer_semantics.rs` at the workspace root checks the laws
+//! Raising `τ` yields a subset; `with_top_k(k)` is a prefix of
+//! `with_top_k(k + 1)`; both agree with the
+//! [`LinearScan`](crate::verify::LinearScan) ground truth
+//! (`tests/answer_semantics.rs` at the workspace root checks the laws
 //! across all four engines).
 //!
 //! The same spec runs unchanged on every engine — here against the
@@ -56,10 +65,14 @@
 //!     .collect();
 //! let scan = LinearScan::new(&UncertainDb::new(domain, objects));
 //!
-//! let spec = QuerySpec::point(Point::new(vec![1.0, 11.0])).top_k(3);
-//! let outcome = scan.run(&spec);
+//! let spec = QuerySpec::point(Point::new(vec![1.0, 11.0])).with_top_k(3);
+//! let outcome = scan.run(&spec).unwrap();
 //! assert!(!outcome.answers.is_empty() && outcome.answers.len() <= 3);
 //! assert!(outcome.best().unwrap().1 > 0.0); // most likely NN, first
+//!
+//! // Malformed requests are values, not panics:
+//! let bad = QuerySpec::point(Point::new(vec![1.0, 2.0, 3.0]));
+//! assert!(scan.run(&bad).is_err()); // 3-D point, 2-D data
 //! ```
 //!
 //! # Early termination
@@ -78,6 +91,7 @@
 //! ends the scan. (The driver compares `distmin²` against a squared cutoff —
 //! the same argument, one `sqrt` cheaper.)
 
+use crate::error::QueryError;
 use crate::prob::{qualification_sweep_into, ProbScratch};
 use crate::stats::{QueryStats, Step1Stats};
 use pv_geom::{min_dist_sq, HyperRect, Point};
@@ -108,7 +122,9 @@ pub struct FetchScratch {
 /// [`ProbNnEngine::query_batch_into`] manage a set) and, once the buffers
 /// have grown to the workload's working size, every query runs with **zero
 /// heap allocations** — the property the counting-allocator test at the
-/// workspace root asserts.
+/// workspace root asserts. The [`Session`](crate::db::Session) handle of
+/// the concurrent [`Db`](crate::db::Db) facade pools one of these per
+/// session so the contract survives snapshot swaps.
 #[derive(Debug, Default)]
 pub struct QueryScratch {
     /// Candidates ordered by squared `distmin` (ascending, ties by id).
@@ -145,18 +161,23 @@ impl BatchSlots {
 ///
 /// Build with [`QuerySpec::point`] (single query) or [`QuerySpec::new`]
 /// (a template for [`ProbNnEngine::query_batch`] /
-/// [`ProbNnEngine::execute`]), then chain the builder methods:
+/// [`ProbNnEngine::execute`]), then chain the `with_*` builder methods.
+/// Each builder has a symmetric getter of the bare name
+/// (`with_threshold(τ)` ↔ `threshold()`); the pre-PR-5 `get_*` getters
+/// survive as deprecated shims.
 ///
 /// ```
 /// use pv_core::query::QuerySpec;
 /// use pv_geom::Point;
 ///
 /// let spec = QuerySpec::point(Point::new(vec![1.0, 2.0]))
-///     .threshold(0.1)
-///     .top_k(5)
-///     .io_budget(64);
-/// assert_eq!(spec.get_top_k(), Some(5));
+///     .with_threshold(0.1)
+///     .with_top_k(5)
+///     .with_io_budget(64);
+/// assert_eq!(spec.top_k(), Some(5));
+/// assert_eq!(spec.threshold(), Some(0.1));
 /// ```
+#[must_use = "a QuerySpec does nothing until an engine executes it"]
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QuerySpec {
     target: Option<Point>,
@@ -189,7 +210,7 @@ impl QuerySpec {
     ///
     /// # Panics
     /// If `tau` is negative or not finite.
-    pub fn threshold(mut self, tau: f64) -> Self {
+    pub fn with_threshold(mut self, tau: f64) -> Self {
         assert!(tau.is_finite() && tau >= 0.0, "threshold must be ≥ 0");
         self.threshold = Some(tau);
         self
@@ -200,7 +221,7 @@ impl QuerySpec {
     ///
     /// # Panics
     /// If `k` is zero.
-    pub fn top_k(mut self, k: usize) -> Self {
+    pub fn with_top_k(mut self, k: usize) -> Self {
         assert!(k > 0, "top_k must be ≥ 1");
         self.top_k = Some(k);
         self
@@ -208,7 +229,7 @@ impl QuerySpec {
 
     /// Stop after Step 1: [`QueryOutcome::candidates`] is populated,
     /// [`QueryOutcome::answers`] stays empty and no pdf payload is read.
-    pub fn step1_only(mut self) -> Self {
+    pub fn with_step1_only(mut self) -> Self {
         self.step1_only = true;
         self
     }
@@ -223,9 +244,9 @@ impl QuerySpec {
     /// count concurrent queries' page reads against each other's budgets, so
     /// under a parallel [`ProbNnEngine::query_batch`] the truncation point —
     /// and therefore the answer set — can vary run to run. Combine a budget
-    /// with [`QuerySpec::batch_threads`]`(1)` when reproducible budgeted
-    /// results matter.
-    pub fn io_budget(mut self, pages: u64) -> Self {
+    /// with [`QuerySpec::with_batch_threads`]`(1)` when reproducible
+    /// budgeted results matter.
+    pub fn with_io_budget(mut self, pages: u64) -> Self {
         self.io_budget = Some(pages);
         self
     }
@@ -233,7 +254,7 @@ impl QuerySpec {
     /// Worker threads for [`ProbNnEngine::query_batch`] (default: one per
     /// available core, capped at the batch size). `1` forces sequential
     /// execution.
-    pub fn batch_threads(mut self, threads: usize) -> Self {
+    pub fn with_batch_threads(mut self, threads: usize) -> Self {
         self.batch_threads = Some(threads.max(1));
         self
     }
@@ -244,12 +265,12 @@ impl QuerySpec {
     }
 
     /// The probability threshold, if any.
-    pub fn get_threshold(&self) -> Option<f64> {
+    pub fn threshold(&self) -> Option<f64> {
         self.threshold
     }
 
     /// The top-k cap, if any.
-    pub fn get_top_k(&self) -> Option<usize> {
+    pub fn top_k(&self) -> Option<usize> {
         self.top_k
     }
 
@@ -259,11 +280,35 @@ impl QuerySpec {
     }
 
     /// The per-query I/O budget, if any.
-    pub fn get_io_budget(&self) -> Option<u64> {
+    pub fn io_budget(&self) -> Option<u64> {
         self.io_budget
     }
 
     /// The requested batch parallelism, if any.
+    pub fn batch_threads(&self) -> Option<usize> {
+        self.batch_threads
+    }
+
+    /// Deprecated alias of [`QuerySpec::threshold`].
+    #[deprecated(since = "0.5.0", note = "renamed to `threshold()`")]
+    pub fn get_threshold(&self) -> Option<f64> {
+        self.threshold
+    }
+
+    /// Deprecated alias of [`QuerySpec::top_k`].
+    #[deprecated(since = "0.5.0", note = "renamed to `top_k()`")]
+    pub fn get_top_k(&self) -> Option<usize> {
+        self.top_k
+    }
+
+    /// Deprecated alias of [`QuerySpec::io_budget`].
+    #[deprecated(since = "0.5.0", note = "renamed to `io_budget()`")]
+    pub fn get_io_budget(&self) -> Option<u64> {
+        self.io_budget
+    }
+
+    /// Deprecated alias of [`QuerySpec::batch_threads`].
+    #[deprecated(since = "0.5.0", note = "renamed to `batch_threads()`")]
     pub fn get_batch_threads(&self) -> Option<usize> {
         self.batch_threads
     }
@@ -276,10 +321,11 @@ impl QuerySpec {
 }
 
 /// The result of one query executed through [`ProbNnEngine`].
+#[must_use = "a QueryOutcome carries the answers and per-phase statistics"]
 #[derive(Debug, Clone, Default)]
 pub struct QueryOutcome {
     /// The Step-1 candidate set (ids ascending) — populated for every spec,
-    /// including [`QuerySpec::step1_only`].
+    /// including [`QuerySpec::with_step1_only`].
     pub candidates: Vec<u64>,
     /// Final answers `(id, qualification probability)`, sorted by
     /// probability descending (ties: id ascending). Empty for
@@ -287,8 +333,9 @@ pub struct QueryOutcome {
     pub answers: Vec<(u64, f64)>,
     /// Per-phase cost breakdown.
     pub stats: QueryStats,
-    /// True when an [`QuerySpec::io_budget`] stopped Step 2 before every
-    /// relevant candidate was processed (answers are then approximate).
+    /// True when an [`QuerySpec::with_io_budget`] stopped Step 2 before
+    /// every relevant candidate was processed (answers are then
+    /// approximate).
     pub truncated: bool,
     /// Candidates whose pdf payload was never fetched: proven-zero
     /// candidates removed by early termination, plus any cut by the I/O
@@ -349,7 +396,10 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
-    /// Batch throughput in queries per second.
+    /// Batch throughput in queries per second. Returns `0.0` (not `inf` or
+    /// NaN) when the measured wall time is zero — sub-resolution clocks on
+    /// tiny CI batches must not poison downstream aggregation.
+    #[must_use]
     pub fn queries_per_sec(&self) -> f64 {
         let s = self.wall_time.as_secs_f64();
         if s <= 0.0 {
@@ -362,6 +412,7 @@ impl BatchStats {
 
 /// The result of a batch execution: one [`QueryOutcome`] per input point (in
 /// input order) plus aggregated statistics.
+#[must_use = "a BatchOutcome carries the per-query outcomes and batch statistics"]
 #[derive(Debug, Clone, Default)]
 pub struct BatchOutcome {
     /// Per-query outcomes, in input order.
@@ -377,7 +428,24 @@ pub trait Step1Engine {
     /// Short engine identifier for reports (`"pv-index"`, `"rtree"`, …).
     fn engine_name(&self) -> &'static str;
 
+    /// Dimensionality of the indexed data. Drives the
+    /// [`QueryError::DimensionMismatch`] validation in the shared driver.
+    fn dim(&self) -> usize;
+
+    /// Number of indexed objects. Drives the
+    /// [`QueryError::EmptyDatabase`] validation in the shared driver.
+    fn len(&self) -> usize;
+
+    /// True when no object is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Retrieves the candidate ids (ascending) with retrieval statistics.
+    ///
+    /// Step 1 is infallible by contract: callers reach it through the
+    /// validated [`ProbNnEngine::execute_into`] driver (or validate
+    /// themselves when calling it directly).
     fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats);
 
     /// Buffer-reusing Step 1: writes the candidate ids (ascending) into
@@ -400,8 +468,8 @@ pub trait Step1Engine {
 /// Full probabilistic-NN query evaluation over a [`Step1Engine`].
 ///
 /// Implementors provide the two data-access hooks; the whole Step-2
-/// pipeline — candidate ordering, early termination, probability
-/// computation, answer semantics and batching — is inherited.
+/// pipeline — input validation, candidate ordering, early termination,
+/// probability computation, answer semantics and batching — is inherited.
 pub trait ProbNnEngine: Step1Engine {
     /// The uncertainty region of a Step-1 candidate, served by reference
     /// from the engine's in-memory catalog (no I/O is charged; used for
@@ -438,20 +506,43 @@ pub trait ProbNnEngine: Step1Engine {
         io
     }
 
+    /// Validates `q` against the engine: dimensionality must match and at
+    /// least one object must be indexed. Shared by every evaluation entry
+    /// point; call it directly before a raw [`Step1Engine::step1`] when
+    /// bypassing the driver.
+    fn validate_point(&self, q: &Point) -> Result<(), QueryError> {
+        if self.is_empty() {
+            return Err(QueryError::EmptyDatabase);
+        }
+        let expected = self.dim();
+        if q.dim() != expected {
+            return Err(QueryError::DimensionMismatch {
+                expected,
+                got: q.dim(),
+            });
+        }
+        Ok(())
+    }
+
     /// Executes `spec` at point `q`.
     ///
     /// Convenience wrapper over [`ProbNnEngine::execute_into`] with fresh
     /// buffers; batch callers should reuse a [`QueryScratch`] (or use
     /// [`ProbNnEngine::query_batch_into`]) to amortise them away.
-    fn execute(&self, q: &Point, spec: &QuerySpec) -> QueryOutcome {
+    ///
+    /// # Errors
+    /// [`QueryError::DimensionMismatch`] when `q` does not match the
+    /// indexed data's dimensionality; [`QueryError::EmptyDatabase`] when
+    /// nothing is indexed.
+    fn execute(&self, q: &Point, spec: &QuerySpec) -> Result<QueryOutcome, QueryError> {
         let mut out = QueryOutcome::default();
-        self.execute_into(q, spec, &mut QueryScratch::default(), &mut out);
-        out
+        self.execute_into(q, spec, &mut QueryScratch::default(), &mut out)?;
+        Ok(out)
     }
 
     /// Executes `spec` at point `q`, writing the result into `out` (cleared
     /// first) and reusing every buffer in `scratch` — the allocation-free
-    /// query driver.
+    /// query driver. On error `out` is left cleared.
     ///
     /// Step 2 works entirely in **squared** distances (ordering, the early
     /// termination cutoff and the probability kernel are all invariant
@@ -462,17 +553,21 @@ pub trait ProbNnEngine: Step1Engine {
     /// loop); I/O is the sum of the per-fetch charges reported by
     /// [`ProbNnEngine::fetch_dists_sq`], keeping attribution narrow under
     /// concurrent batches.
+    ///
+    /// # Errors
+    /// Same contract as [`ProbNnEngine::execute`].
     fn execute_into(
         &self,
         q: &Point,
         spec: &QuerySpec,
         scratch: &mut QueryScratch,
         out: &mut QueryOutcome,
-    ) {
+    ) -> Result<(), QueryError> {
         out.reset();
+        self.validate_point(q)?;
         out.stats.step1 = self.step1_into(q, &mut out.candidates, &mut scratch.fetch);
         if spec.is_step1_only() {
-            return;
+            return Ok(());
         }
 
         let t1 = Instant::now();
@@ -502,7 +597,7 @@ pub trait ProbNnEngine: Step1Engine {
                 out.skipped_payloads = scratch.order.len() - i;
                 break;
             }
-            if let Some(budget) = spec.get_io_budget() {
+            if let Some(budget) = spec.io_budget() {
                 if out.stats.step1.io_reads + pc_io >= budget {
                     out.truncated = true;
                     out.skipped_payloads = scratch.order.len() - i;
@@ -528,15 +623,16 @@ pub trait ProbNnEngine: Step1Engine {
         );
         out.answers
             .sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        if let Some(tau) = spec.get_threshold() {
+        if let Some(tau) = spec.threshold() {
             out.answers.retain(|&(_, p)| p >= tau && p > 0.0);
         }
-        if let Some(k) = spec.get_top_k() {
+        if let Some(k) = spec.top_k() {
             out.answers.retain(|&(_, p)| p > 0.0);
             out.answers.truncate(k);
         }
         out.stats.pc_time = t1.elapsed();
         out.stats.pc_io_reads = pc_io;
+        Ok(())
     }
 
     /// Executes a spec built with [`QuerySpec::point`].
@@ -545,54 +641,65 @@ pub trait ProbNnEngine: Step1Engine {
     /// once carried inherent `query` methods, removed after a deprecation
     /// cycle, and the trait method was named to never collide with them.)
     ///
-    /// # Panics
-    /// If the spec has no target point.
-    fn run(&self, spec: &QuerySpec) -> QueryOutcome {
-        let q = spec
-            .target()
-            .expect("QuerySpec has no target point; build it with QuerySpec::point, or pass the point explicitly via execute/query_batch");
+    /// # Errors
+    /// [`QueryError::MissingTarget`] when the spec has no target point,
+    /// plus the [`ProbNnEngine::execute`] contract.
+    fn run(&self, spec: &QuerySpec) -> Result<QueryOutcome, QueryError> {
+        let q = spec.target().ok_or(QueryError::MissingTarget)?;
         self.execute(q, spec)
     }
 
     /// Executes `spec` at every point of `points`, in parallel by default
     /// (`std::thread::scope` over chunks, like the parallel index build);
     /// `&self` queries are already shareable across threads. Control the
-    /// worker count with [`QuerySpec::batch_threads`].
+    /// worker count with [`QuerySpec::with_batch_threads`].
     ///
     /// Each worker reuses one [`QueryScratch`] across its whole chunk; for a
     /// serving loop that runs batch after batch, keep a [`BatchSlots`] and
     /// call [`ProbNnEngine::query_batch_into`] to also recycle the outcome
     /// storage.
-    fn query_batch(&self, points: &[Point], spec: &QuerySpec) -> BatchOutcome
+    ///
+    /// # Errors
+    /// The whole batch is validated up front: the first offending point (or
+    /// an empty engine) fails the call before any query runs, so there are
+    /// no partial results.
+    fn query_batch(&self, points: &[Point], spec: &QuerySpec) -> Result<BatchOutcome, QueryError>
     where
         Self: Sync,
     {
         let mut slots = BatchSlots::new();
-        let stats = self.query_batch_into(points, spec, &mut slots);
-        BatchOutcome {
+        let stats = self.query_batch_into(points, spec, &mut slots)?;
+        Ok(BatchOutcome {
             outcomes: slots.outcomes,
             stats,
-        }
+        })
     }
 
     /// Buffer-reusing batch execution: like [`ProbNnEngine::query_batch`]
     /// but writing into `slots`, whose outcome vectors and per-worker
     /// scratches persist across calls. At steady state (a warmed `slots`
     /// re-running a same-shaped workload) the whole batch performs **zero
-    /// per-query heap allocations** with `batch_threads(1)`; with more
+    /// per-query heap allocations** with `with_batch_threads(1)`; with more
     /// threads only the worker spawns allocate.
+    ///
+    /// # Errors
+    /// Validated up front like [`ProbNnEngine::query_batch`]; on error
+    /// `slots` is left untouched.
     fn query_batch_into(
         &self,
         points: &[Point],
         spec: &QuerySpec,
         slots: &mut BatchSlots,
-    ) -> BatchStats
+    ) -> Result<BatchStats, QueryError>
     where
         Self: Sync,
     {
         let t0 = Instant::now();
+        for p in points {
+            self.validate_point(p)?;
+        }
         let threads = spec
-            .get_batch_threads()
+            .batch_threads()
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|n| n.get())
@@ -613,7 +720,8 @@ pub trait ProbNnEngine: Step1Engine {
         if workers <= 1 {
             let scratch = &mut slots.scratches[0];
             for (q, out) in points.iter().zip(slots.outcomes.iter_mut()) {
-                self.execute_into(q, spec, scratch, out);
+                self.execute_into(q, spec, scratch, out)
+                    .expect("points validated before dispatch");
             }
         } else {
             std::thread::scope(|scope| {
@@ -624,20 +732,21 @@ pub trait ProbNnEngine: Step1Engine {
                 {
                     scope.spawn(move || {
                         for (q, out) in ps.iter().zip(outs.iter_mut()) {
-                            self.execute_into(q, spec, scratch, out);
+                            self.execute_into(q, spec, scratch, out)
+                                .expect("points validated before dispatch");
                         }
                     });
                 }
             });
         }
-        BatchStats {
+        Ok(BatchStats {
             queries: points.len(),
             threads: workers,
             wall_time: t0.elapsed(),
             io_reads: slots.outcomes.iter().map(|o| o.stats.total_io()).sum(),
             answers: slots.outcomes.iter().map(|o| o.answers.len()).sum(),
             truncated: slots.outcomes.iter().filter(|o| o.truncated).count(),
-        }
+        })
     }
 }
 
@@ -674,7 +783,9 @@ mod tests {
         let db = skip_db();
         let scan = LinearScan::new(&db);
         let q = Point::new(vec![0.0]);
-        let out = scan.execute(&q, &QuerySpec::new().step1_only());
+        let out = scan
+            .execute(&q, &QuerySpec::new().with_step1_only())
+            .unwrap();
         assert_eq!(out.candidates, vec![1, 2]);
         assert!(out.answers.is_empty());
         assert_eq!(out.stats.pc_io_reads, 0);
@@ -685,7 +796,7 @@ mod tests {
         let db = skip_db();
         let scan = LinearScan::new(&db);
         let q = Point::new(vec![0.0]);
-        let out = scan.execute(&q, &QuerySpec::new());
+        let out = scan.execute(&q, &QuerySpec::new()).unwrap();
         assert_eq!(out.answers, vec![(1, 1.0), (2, 0.0)]);
         assert_eq!(out.skipped_payloads, 0);
         assert!(!out.truncated);
@@ -696,8 +807,10 @@ mod tests {
         let db = skip_db();
         let scan = LinearScan::new(&db);
         let q = Point::new(vec![0.0]);
-        let full = scan.execute(&q, &QuerySpec::new());
-        let pruned = scan.execute(&q, &QuerySpec::new().threshold(1e-9));
+        let full = scan.execute(&q, &QuerySpec::new()).unwrap();
+        let pruned = scan
+            .execute(&q, &QuerySpec::new().with_threshold(1e-9))
+            .unwrap();
         assert_eq!(pruned.answers, vec![(1, 1.0)]);
         assert_eq!(pruned.skipped_payloads, 1);
         assert!(pruned.stats.pc_io_reads < full.stats.pc_io_reads);
@@ -717,9 +830,15 @@ mod tests {
         let db = UncertainDb::new(domain, objs);
         let scan = LinearScan::new(&db);
         let q = Point::new(vec![0.0]);
-        let mut prev = scan.execute(&q, &QuerySpec::new().threshold(0.0)).answers;
+        let mut prev = scan
+            .execute(&q, &QuerySpec::new().with_threshold(0.0))
+            .unwrap()
+            .answers;
         for tau in [0.1, 0.3, 0.6, 0.9] {
-            let cur = scan.execute(&q, &QuerySpec::new().threshold(tau)).answers;
+            let cur = scan
+                .execute(&q, &QuerySpec::new().with_threshold(tau))
+                .unwrap()
+                .answers;
             assert!(
                 cur.iter().all(|a| prev.contains(a)),
                 "threshold {tau} not a subset"
@@ -728,7 +847,10 @@ mod tests {
         }
         let mut prefix: Vec<(u64, f64)> = Vec::new();
         for k in 1..=4 {
-            let cur = scan.execute(&q, &QuerySpec::new().top_k(k)).answers;
+            let cur = scan
+                .execute(&q, &QuerySpec::new().with_top_k(k))
+                .unwrap()
+                .answers;
             assert!(cur.len() <= k);
             assert_eq!(&cur[..prefix.len()], &prefix[..], "top_k({k}) prefix");
             prefix = cur;
@@ -740,10 +862,14 @@ mod tests {
         let db = skip_db();
         let scan = LinearScan::new(&db);
         let q = Point::new(vec![0.0]);
-        let out = scan.execute(&q, &QuerySpec::new().io_budget(1));
+        let out = scan
+            .execute(&q, &QuerySpec::new().with_io_budget(1))
+            .unwrap();
         assert!(out.truncated);
         assert!(out.answers.len() <= out.candidates.len());
-        let roomy = scan.execute(&q, &QuerySpec::new().io_budget(1_000));
+        let roomy = scan
+            .execute(&q, &QuerySpec::new().with_io_budget(1_000))
+            .unwrap();
         assert!(!roomy.truncated);
         assert_eq!(roomy.answers.len(), 2);
     }
@@ -753,9 +879,13 @@ mod tests {
         let db = skip_db();
         let scan = LinearScan::new(&db);
         let points: Vec<Point> = (0..16).map(|i| Point::new(vec![i as f64])).collect();
-        let spec = QuerySpec::new().top_k(2);
-        let seq = scan.query_batch(&points, &spec.clone().batch_threads(1));
-        let par = scan.query_batch(&points, &spec.clone().batch_threads(4));
+        let spec = QuerySpec::new().with_top_k(2);
+        let seq = scan
+            .query_batch(&points, &spec.clone().with_batch_threads(1))
+            .unwrap();
+        let par = scan
+            .query_batch(&points, &spec.clone().with_batch_threads(4))
+            .unwrap();
         assert_eq!(seq.stats.threads, 1);
         assert_eq!(par.stats.threads, 4);
         assert_eq!(seq.outcomes.len(), par.outcomes.len());
@@ -772,11 +902,11 @@ mod tests {
         let db = skip_db();
         let scan = LinearScan::new(&db);
         let points: Vec<Point> = (0..9).map(|i| Point::new(vec![i as f64])).collect();
-        let spec = QuerySpec::new().top_k(2).batch_threads(1);
+        let spec = QuerySpec::new().with_top_k(2).with_batch_threads(1);
         let mut slots = BatchSlots::new();
-        let first = scan.query_batch_into(&points, &spec, &mut slots);
+        let first = scan.query_batch_into(&points, &spec, &mut slots).unwrap();
         assert_eq!(first.queries, 9);
-        let fresh = scan.query_batch(&points, &spec);
+        let fresh = scan.query_batch(&points, &spec).unwrap();
         for (a, b) in slots.outcomes.iter().zip(fresh.outcomes.iter()) {
             assert_eq!(a.answers, b.answers);
             assert_eq!(a.candidates, b.candidates);
@@ -784,11 +914,11 @@ mod tests {
         // Re-running into the same slots must fully overwrite the previous
         // outcomes, and shrinking the workload must shrink the outcome list.
         let shorter = &points[..4];
-        let second = scan.query_batch_into(shorter, &spec, &mut slots);
+        let second = scan.query_batch_into(shorter, &spec, &mut slots).unwrap();
         assert_eq!(second.queries, 4);
         assert_eq!(slots.outcomes.len(), 4);
         for (out, q) in slots.outcomes.iter().zip(shorter.iter()) {
-            assert_eq!(out.answers, scan.execute(q, &spec).answers);
+            assert_eq!(out.answers, scan.execute(q, &spec).unwrap().answers);
         }
     }
 
@@ -800,14 +930,15 @@ mod tests {
         let mut out = QueryOutcome::default();
         for spec in [
             QuerySpec::new(),
-            QuerySpec::new().threshold(0.1),
-            QuerySpec::new().top_k(1),
-            QuerySpec::new().step1_only(),
+            QuerySpec::new().with_threshold(0.1),
+            QuerySpec::new().with_top_k(1),
+            QuerySpec::new().with_step1_only(),
         ] {
             for i in 0..8 {
                 let q = Point::new(vec![i as f64 * 1.5]);
-                scan.execute_into(&q, &spec, &mut scratch, &mut out);
-                let fresh = scan.execute(&q, &spec);
+                scan.execute_into(&q, &spec, &mut scratch, &mut out)
+                    .unwrap();
+                let fresh = scan.execute(&q, &spec).unwrap();
                 assert_eq!(out.answers, fresh.answers);
                 assert_eq!(out.candidates, fresh.candidates);
                 assert_eq!(out.truncated, fresh.truncated);
@@ -820,17 +951,78 @@ mod tests {
     fn run_uses_the_spec_target() {
         let db = skip_db();
         let scan = LinearScan::new(&db);
-        let spec = QuerySpec::point(Point::new(vec![0.0])).top_k(1);
-        let out = scan.run(&spec);
+        let spec = QuerySpec::point(Point::new(vec![0.0])).with_top_k(1);
+        let out = scan.run(&spec).unwrap();
         assert_eq!(out.best(), Some((1, 1.0)));
         assert_eq!(out.answer_ids(), vec![1]);
     }
 
     #[test]
-    #[should_panic(expected = "no target point")]
-    fn run_without_target_panics() {
+    fn run_without_target_is_a_typed_error() {
         let db = skip_db();
         let scan = LinearScan::new(&db);
-        let _ = scan.run(&QuerySpec::new());
+        assert_eq!(
+            scan.run(&QuerySpec::new()).unwrap_err(),
+            QueryError::MissingTarget
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_a_typed_error() {
+        let db = skip_db(); // 1-D data
+        let scan = LinearScan::new(&db);
+        let q2 = Point::new(vec![0.0, 1.0]);
+        assert_eq!(
+            scan.execute(&q2, &QuerySpec::new()).unwrap_err(),
+            QueryError::DimensionMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+        // batch validation is up-front: a bad point anywhere fails the call
+        let points = vec![Point::new(vec![0.0]), q2];
+        assert!(scan.query_batch(&points, &QuerySpec::new()).is_err());
+    }
+
+    #[test]
+    fn empty_database_is_a_typed_error() {
+        let domain = HyperRect::new(vec![0.0], vec![10.0]);
+        let scan = LinearScan::new(&UncertainDb::new(domain, vec![]));
+        assert_eq!(
+            scan.execute(&Point::new(vec![1.0]), &QuerySpec::new())
+                .unwrap_err(),
+            QueryError::EmptyDatabase
+        );
+    }
+
+    #[test]
+    fn queries_per_sec_guards_zero_duration() {
+        let stats = BatchStats {
+            queries: 100,
+            wall_time: Duration::ZERO,
+            ..Default::default()
+        };
+        assert_eq!(stats.queries_per_sec(), 0.0);
+        assert!(stats.queries_per_sec().is_finite());
+        let real = BatchStats {
+            queries: 100,
+            wall_time: Duration::from_millis(500),
+            ..Default::default()
+        };
+        assert!((real.queries_per_sec() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_getter_shims_still_answer() {
+        let spec = QuerySpec::new()
+            .with_threshold(0.25)
+            .with_top_k(3)
+            .with_io_budget(9)
+            .with_batch_threads(2);
+        assert_eq!(spec.get_threshold(), spec.threshold());
+        assert_eq!(spec.get_top_k(), spec.top_k());
+        assert_eq!(spec.get_io_budget(), spec.io_budget());
+        assert_eq!(spec.get_batch_threads(), spec.batch_threads());
     }
 }

@@ -51,7 +51,9 @@ pub const RTREE_KIND: [u8; 4] = *b"PVRT";
 /// writes.
 pub const PV_INDEX_VERSION: u16 = 1;
 /// Highest R-tree baseline snapshot version this build reads/writes.
-pub const RTREE_VERSION: u16 = 1;
+/// Version 2 (PR 5) added the stored domain; version-1 files (no domain,
+/// different byte layout) are rejected rather than mis-decoded.
+pub const RTREE_VERSION: u16 = 2;
 
 // ---------------------------------------------------------------------------
 // Shared field codecs (also used by the UV-index snapshot in `pv-uvindex`).
@@ -356,15 +358,17 @@ pub fn pv_index_from_bytes(bytes: &[u8]) -> Result<PvIndex, DecodeError> {
 // R-tree baseline snapshots.
 // ---------------------------------------------------------------------------
 
-/// Serialises an [`RTreeBaseline`] (kind `PVRT`): object catalog plus the
-/// bulk-load parameters — the tree itself is deterministic to rebuild and
-/// orders of magnitude cheaper than the objects' SE-free bulk load.
+/// Serialises an [`RTreeBaseline`] (kind `PVRT`): domain, object catalog
+/// and the bulk-load parameters — the tree itself is deterministic to
+/// rebuild and orders of magnitude cheaper than the objects' SE-free bulk
+/// load.
 pub fn rtree_baseline_to_bytes(b: &RTreeBaseline) -> Vec<u8> {
     let mut w = SnapshotWriter::new(RTREE_KIND, RTREE_VERSION);
     let out = w.buf();
     codec::put_u16(out, b.tree.dim() as u16);
     codec::put_u32(out, b.fanout as u32);
     codec::put_u32(out, b.page_size as u32);
+    put_rect(out, &b.domain);
     put_objects(out, &b.objects);
     w.finish()
 }
@@ -375,7 +379,16 @@ pub fn rtree_baseline_to_bytes(b: &RTreeBaseline) -> Vec<u8> {
 /// # Errors
 /// Any corruption or version skew as a [`DecodeError`]; never panics.
 pub fn rtree_baseline_from_bytes(bytes: &[u8]) -> Result<RTreeBaseline, DecodeError> {
-    let (mut r, _version) = open_snapshot(bytes, RTREE_KIND, "R-tree snapshot", RTREE_VERSION)?;
+    let (mut r, version) = open_snapshot(bytes, RTREE_KIND, "R-tree snapshot", RTREE_VERSION)?;
+    if version < RTREE_VERSION {
+        // Version 1 lacks the domain field, so its bytes cannot be decoded
+        // by this layout; reject cleanly instead of reading garbage.
+        return Err(DecodeError::UnsupportedVersion {
+            context: "R-tree snapshot",
+            found: version,
+            supported: RTREE_VERSION,
+        });
+    }
     let dim = r.try_u16()? as usize;
     let fanout = r.try_u32()? as usize;
     let page_size = r.try_u32()? as usize;
@@ -389,6 +402,7 @@ pub fn rtree_baseline_from_bytes(bytes: &[u8]) -> Result<RTreeBaseline, DecodeEr
             context: "R-tree snapshot fanout",
         });
     }
+    let domain = try_rect(&mut r, dim)?;
     let object_list = try_objects(&mut r)?;
     let entries: Vec<pv_rtree::Entry> = object_list
         .iter()
@@ -403,6 +417,7 @@ pub fn rtree_baseline_from_bytes(bytes: &[u8]) -> Result<RTreeBaseline, DecodeEr
         objects: object_list.into_iter().map(|o| (o.id, o)).collect(),
         page_size,
         fanout,
+        domain,
     })
 }
 
@@ -436,8 +451,8 @@ mod tests {
         );
         for q in queries::uniform(index.domain(), 30, 17) {
             assert_eq!(
-                loaded.execute(&q, &QuerySpec::new()).answers,
-                index.execute(&q, &QuerySpec::new()).answers,
+                loaded.execute(&q, &QuerySpec::new()).unwrap().answers,
+                index.execute(&q, &QuerySpec::new()).unwrap().answers,
                 "loaded index diverged at {q:?}"
             );
         }
@@ -471,14 +486,14 @@ mod tests {
         // mutate the loaded copy: removals and inserts must keep Step 1 exact
         let mut objects = db.objects.clone();
         for id in (0..150u64).step_by(13) {
-            assert!(loaded.remove(id).is_some());
+            assert!(loaded.remove(id).is_ok());
         }
         objects.retain(|o| o.id % 13 != 0);
         let extra = self::db(15, 2, 931);
         for (i, mut o) in extra.objects.into_iter().enumerate() {
             o.id = 70_000 + i as u64;
             objects.push(o.clone());
-            loaded.insert(o);
+            loaded.insert(o).unwrap();
         }
         for q in queries::uniform(loaded.domain(), 20, 23) {
             let (got, _) = loaded.step1(&q);
@@ -494,8 +509,8 @@ mod tests {
         assert_eq!(loaded.len(), baseline.len());
         for q in queries::uniform(&db.domain, 25, 29) {
             assert_eq!(
-                loaded.execute(&q, &QuerySpec::new()).answers,
-                baseline.execute(&q, &QuerySpec::new()).answers
+                loaded.execute(&q, &QuerySpec::new()).unwrap().answers,
+                baseline.execute(&q, &QuerySpec::new()).unwrap().answers
             );
         }
     }
@@ -520,8 +535,8 @@ mod tests {
         let loaded = PvIndex::load(&path).unwrap();
         let q = queries::uniform(index.domain(), 1, 31)[0].clone();
         assert_eq!(
-            loaded.execute(&q, &QuerySpec::new()).answers,
-            index.execute(&q, &QuerySpec::new()).answers
+            loaded.execute(&q, &QuerySpec::new()).unwrap().answers,
+            index.execute(&q, &QuerySpec::new()).unwrap().answers
         );
         // truncated file loads as InvalidData, not a panic
         let bytes = std::fs::read(&path).unwrap();

@@ -13,9 +13,11 @@
 //! and serves as the reference implementation the indexes are validated
 //! against, as well as the recall oracle for the UV-index baseline.
 
+use crate::db::WritableEngine;
+use crate::error::DbError;
 use crate::prob::pdf_payload_pages;
 use crate::query::{FetchScratch, ProbNnEngine, Step1Engine};
-use crate::stats::Step1Stats;
+use crate::stats::{BuildStats, Step1Stats, UpdateStats};
 use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
 use pv_uncertain::{UncertainDb, UncertainObject};
 use std::collections::HashMap;
@@ -64,10 +66,12 @@ pub fn possible_nn_timed<'a>(
 /// the shared trait pipeline with the same pdf-payload I/O accounting as the
 /// R-tree baseline, so every engine's answers — and the answer-semantics
 /// laws (threshold subsets, top-k prefixes) — can be validated against it.
+#[derive(Debug, Clone)]
 pub struct LinearScan {
     objects: Vec<UncertainObject>,
     by_id: HashMap<u64, usize>,
     page_size: usize,
+    domain: HyperRect,
 }
 
 impl LinearScan {
@@ -84,6 +88,7 @@ impl LinearScan {
             objects,
             by_id,
             page_size,
+            domain: db.domain.clone(),
         }
     }
 
@@ -97,6 +102,18 @@ impl LinearScan {
         self.objects.is_empty()
     }
 
+    /// The domain the wrapped database covers.
+    pub fn domain(&self) -> &HyperRect {
+        &self.domain
+    }
+
+    /// The scanned objects. Construction order until the first
+    /// [`WritableEngine::apply_remove`], which swap-removes and therefore
+    /// reorders; treat the order as arbitrary on a mutated scan.
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
     fn object(&self, id: u64) -> &UncertainObject {
         &self.objects[self.by_id[&id]]
     }
@@ -105,6 +122,14 @@ impl LinearScan {
 impl Step1Engine for LinearScan {
     fn engine_name(&self) -> &'static str {
         "linear-scan"
+    }
+
+    fn dim(&self) -> usize {
+        self.domain.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
     }
 
     fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
@@ -159,6 +184,63 @@ impl ProbNnEngine for LinearScan {
         let o = self.object(id);
         o.dists_sq_into(q, &mut scratch.samples, out);
         pdf_payload_pages(o, self.page_size)
+    }
+}
+
+/// The scan has no index to maintain, so updates are trivial — which makes
+/// it the ideal ground-truth engine for the [`crate::db`] concurrency
+/// stress tests: every published snapshot can be re-derived exactly from
+/// the operation prefix it reflects.
+impl WritableEngine for LinearScan {
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    fn apply_insert(&mut self, o: UncertainObject) -> Result<UpdateStats, DbError> {
+        let t0 = Instant::now();
+        if self.by_id.contains_key(&o.id) {
+            return Err(DbError::DuplicateId(o.id));
+        }
+        if !self.domain.contains_rect(&o.region) {
+            return Err(DbError::OutOfDomain(o.id));
+        }
+        self.by_id.insert(o.id, self.objects.len());
+        self.objects.push(o);
+        Ok(UpdateStats {
+            time: t0.elapsed(),
+            ..Default::default()
+        })
+    }
+
+    fn apply_remove(&mut self, id: u64) -> Result<UpdateStats, DbError> {
+        let t0 = Instant::now();
+        let idx = *self.by_id.get(&id).ok_or(DbError::UnknownId(id))?;
+        self.objects.swap_remove(idx);
+        self.by_id.remove(&id);
+        if idx < self.objects.len() {
+            self.by_id.insert(self.objects[idx].id, idx);
+        }
+        Ok(UpdateStats {
+            time: t0.elapsed(),
+            ..Default::default()
+        })
+    }
+
+    fn apply_rebuild(&mut self) -> BuildStats {
+        let t0 = Instant::now();
+        // Nothing derived to rebuild; re-densify the id map for parity with
+        // the indexed engines' contract.
+        self.by_id = self
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.id, i))
+            .collect();
+        BuildStats {
+            total_time: t0.elapsed(),
+            ubr_count: self.objects.len(),
+            ..Default::default()
+        }
     }
 }
 
@@ -241,11 +323,40 @@ mod tests {
         let (ids, stats) = scan.step1(&q);
         assert_eq!(ids, possible_nn(objs.iter(), &q));
         assert_eq!(stats.io_reads, 0, "the scan charges no index I/O");
-        let out = scan.execute(&q, &QuerySpec::new());
+        let out = scan.execute(&q, &QuerySpec::new()).unwrap();
         assert_eq!(out.candidates, ids);
         let total: f64 = out.answers.iter().map(|&(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-9);
         // step 2 charges pdf payload pages like the R-tree baseline
         assert!(out.stats.pc_io_reads >= out.answers.len() as u64);
+    }
+
+    #[test]
+    fn updates_keep_the_scan_exact() {
+        let domain = HyperRect::new(vec![0.0, 0.0], vec![100.0, 100.0]);
+        let db = UncertainDb::new(domain, vec![mk(1, &[1.0, 1.0], &[2.0, 2.0])]);
+        let mut scan = LinearScan::new(&db);
+        scan.apply_insert(mk(2, &[3.0, 3.0], &[4.0, 4.0])).unwrap();
+        scan.apply_insert(mk(3, &[90.0, 90.0], &[91.0, 91.0]))
+            .unwrap();
+        assert!(matches!(
+            scan.apply_insert(mk(2, &[5.0, 5.0], &[6.0, 6.0])),
+            Err(DbError::DuplicateId(2))
+        ));
+        assert!(matches!(
+            scan.apply_insert(mk(9, &[99.0, 99.0], &[101.0, 101.0])),
+            Err(DbError::OutOfDomain(9))
+        ));
+        scan.apply_remove(1).unwrap();
+        assert!(matches!(scan.apply_remove(1), Err(DbError::UnknownId(1))));
+        let q = Point::new(vec![0.0, 0.0]);
+        let (ids, _) = scan.step1(&q);
+        assert_eq!(ids, possible_nn(scan.objects().iter(), &q));
+        assert_eq!(scan.len(), 2);
+        // fork is fully independent
+        let fork = scan.fork();
+        scan.apply_remove(2).unwrap();
+        assert_eq!(fork.len(), 2);
+        assert_eq!(scan.len(), 1);
     }
 }

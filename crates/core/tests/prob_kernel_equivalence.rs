@@ -183,7 +183,7 @@ proptest! {
         let scan = LinearScan::new(&db);
         let q = Point::new(q_cell.iter().take(dim).map(|&c| c as f64).collect());
 
-        let got = scan.execute(&q, &QuerySpec::new());
+        let got = scan.execute(&q, &QuerySpec::new()).expect("query");
         let want = oracle_pipeline(&objs, &q);
         assert_bitwise_equal(&want, &got.answers);
 

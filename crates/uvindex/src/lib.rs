@@ -450,6 +450,14 @@ impl Step1Engine for UvIndex {
         "uv-index"
     }
 
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
     /// PNNQ Step 1 via the UV-index: leaf lookup + min/max pruning
     /// (identical query path to the PV-index, different cells).
     fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
@@ -530,6 +538,17 @@ impl ProbNnEngine for UvIndex {
             .expect("secondary record corrupted");
         view.dists_sq_into(q, &mut scratch.samples, out);
         io + payload_pages(view.n_samples(), 2, self.page_size)
+    }
+}
+
+/// Snapshot persistence through the [`pv_core::db::Db`] facade.
+impl pv_core::db::PersistentEngine for UvIndex {
+    fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.save(path)
+    }
+
+    fn load_from(path: &std::path::Path) -> std::io::Result<Self> {
+        Self::load(path)
     }
 }
 
@@ -629,7 +648,7 @@ mod tests {
         let uv = UvIndex::build(&db, UvParams::default());
         assert_eq!(uv.engine_name(), "uv-index");
         for q in queries::uniform(&db.domain, 10, 17) {
-            let out = uv.execute(&q, &QuerySpec::new());
+            let out = uv.execute(&q, &QuerySpec::new()).unwrap();
             let total: f64 = out.answers.iter().map(|(_, p)| p).sum();
             assert!((total - 1.0).abs() < 1e-6, "sum {total}");
             // payloads come off the secondary index: real page reads
@@ -668,8 +687,8 @@ mod tests {
         for q in queries::uniform(&db.domain, 15, 23) {
             assert_eq!(loaded.step1(&q).0, uv.step1(&q).0);
             assert_eq!(
-                loaded.execute(&q, &QuerySpec::new()).answers,
-                uv.execute(&q, &QuerySpec::new()).answers
+                loaded.execute(&q, &QuerySpec::new()).unwrap().answers,
+                uv.execute(&q, &QuerySpec::new()).unwrap().answers
             );
         }
         // corruption is an error, not a panic

@@ -156,8 +156,8 @@ fn main() {
     for &hid in &highlight {
         let q = db.get(hid).unwrap().region.center();
         let spec = QuerySpec::point(q);
-        let got = index.run(&spec);
-        let want = scan.run(&spec);
+        let got = index.run(&spec).expect("query");
+        let want = scan.run(&spec).expect("query");
         assert_eq!(got.answers, want.answers, "object {hid}");
         assert!(
             got.answer_ids().contains(&hid),

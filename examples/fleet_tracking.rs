@@ -57,7 +57,7 @@ fn main() {
                 next_id += 1;
                 shadow.push(o.clone());
                 let t0 = Instant::now();
-                let st = index.insert(o);
+                let st = index.insert(o).expect("fresh vehicle id");
                 t_insert += t0.elapsed();
                 n_insert += 1;
                 affected_total += st.affected;
@@ -74,7 +74,9 @@ fn main() {
             _ => {
                 // dispatch query at a random incident location
                 let q = &queries::uniform(index.domain(), 1, 1000 + tick)[0];
-                let out = index.execute(q, &QuerySpec::new().step1_only());
+                let out = index
+                    .execute(q, &QuerySpec::new().with_step1_only())
+                    .expect("dispatch query");
                 let (ids, stats) = (out.candidates, out.stats.step1);
                 let want = verify::possible_nn(shadow.iter(), q);
                 assert_eq!(ids, want, "index drifted from ground truth");
@@ -107,7 +109,7 @@ fn main() {
     let o = UncertainObject::uniform(next_id, gps_box(&mut rng, err), 500);
     shadow.push(o.clone());
     let t0 = Instant::now();
-    index.insert(o);
+    index.insert(o).expect("fresh vehicle id");
     let inc = t0.elapsed();
     let t0 = Instant::now();
     index.rebuild();

@@ -57,7 +57,7 @@ fn main() {
     let q = queries::uniform(&db.domain, 1, 7)[0].clone();
     println!("\nPNNQ at q = {:?}", q.coords());
     let spec = QuerySpec::point(q);
-    let pv_out = index.run(&spec);
+    let pv_out = index.run(&spec).expect("query");
     println!(
         "  PV-index : {} answers, OR {:?} ({} I/O), PC {:?} ({} I/O)",
         pv_out.answers.len(),
@@ -66,7 +66,7 @@ fn main() {
         pv_out.stats.pc_time,
         pv_out.stats.pc_io_reads
     );
-    let rt_out = baseline.run(&spec);
+    let rt_out = baseline.run(&spec).expect("query");
     println!(
         "  R-tree   : {} answers, OR {:?} ({} I/O), PC {:?} ({} I/O)",
         rt_out.answers.len(),
@@ -75,7 +75,7 @@ fn main() {
         rt_out.stats.pc_time,
         rt_out.stats.pc_io_reads
     );
-    let truth = scan.run(&spec);
+    let truth = scan.run(&spec).expect("query");
     println!(
         "  naive    : {} answers (ground truth)",
         truth.answers.len()
@@ -88,7 +88,7 @@ fn main() {
 
     // Answer semantics beyond the paper: top-k and probability thresholds,
     // with Step-2 early termination skipping unfetchable candidates.
-    let top3 = index.run(&spec.clone().top_k(3));
+    let top3 = index.run(&spec.clone().with_top_k(3)).expect("query");
     println!("\ntop-3 most likely nearest neighbors (PV-index):");
     for (id, p) in &top3.answers {
         println!("  object {:>6}  P(nearest) = {:.4}", id, p);
@@ -99,14 +99,16 @@ fn main() {
             top3.skipped_payloads
         );
     }
-    let confident = index.run(&spec.clone().threshold(0.2));
+    let confident = index.run(&spec.clone().with_threshold(0.2)).expect("query");
     println!("answers with P >= 0.2: {:?}", confident.answer_ids());
     let total: f64 = pv_out.answers.iter().map(|(_, p)| p).sum();
     println!("Σ over all answers = {total:.6} (≈ 1)");
 
     // Batched execution: the whole workload in one call, in parallel.
     let batch_qs = queries::uniform(&db.domain, 64, 11);
-    let batch = index.query_batch(&batch_qs, &QuerySpec::new().top_k(3));
+    let batch = index
+        .query_batch(&batch_qs, &QuerySpec::new().with_top_k(3))
+        .expect("batch");
     println!(
         "\nbatch: {} queries on {} threads in {:?} ({:.0} queries/s, {} answers)",
         batch.stats.queries,

@@ -87,13 +87,17 @@ fn main() {
         // The engine-agnostic spec asks both engines the same question; the
         // outcome already arrives ranked by qualification probability.
         let spec = QuerySpec::point(q);
-        let out = index.run(&spec);
-        let rt_out = baseline.run(&spec);
+        let out = index.run(&spec).expect("query");
+        let rt_out = baseline.run(&spec).expect("query");
         println!(
             "\nprobe '{label}' ({t_c} °C, {h_pct} %RH, {w_ms} m/s): {} possible nearest sensors",
             out.answers.len()
         );
-        for (id, p) in index.run(&spec.clone().top_k(3)).answers {
+        for (id, p) in index
+            .run(&spec.clone().with_top_k(3))
+            .expect("query")
+            .answers
+        {
             println!("  sensor {:>5}  P(closest reading) = {:.4}", id, p);
         }
         println!(

@@ -26,7 +26,7 @@ fn main() {
     );
     let db = synthetic(&cfg);
     let qs = queries::uniform(&db.domain, 50, 7);
-    let spec = QuerySpec::new().top_k(5);
+    let spec = QuerySpec::new().with_top_k(5);
     let path = std::env::temp_dir().join("pv_warm_restart.pvix");
 
     // --- Cold start: pay the full SE construction once. ---
@@ -45,7 +45,10 @@ fn main() {
         path.display()
     );
 
-    let cold_answers: Vec<_> = qs.iter().map(|q| index.execute(q, &spec).answers).collect();
+    let cold_answers: Vec<_> = qs
+        .iter()
+        .map(|q| index.execute(q, &spec).expect("query").answers)
+        .collect();
     drop(index); // "the process exits"
 
     // --- Warm restart: no SE, no octree construction — just a file read. ---
@@ -62,7 +65,7 @@ fn main() {
     // --- The restored index serves byte-identical answers. ---
     let mut identical = 0usize;
     for (q, want) in qs.iter().zip(&cold_answers) {
-        let got = restored.execute(q, &spec).answers;
+        let got = restored.execute(q, &spec).expect("query").answers;
         assert_eq!(&got, want, "restored index diverged at {q:?}");
         identical += 1;
     }

@@ -23,33 +23,49 @@
 //!
 //! Every engine (PV-index, R-tree baseline, UV-index, linear scan) answers
 //! queries through the same [`core::QuerySpec`] / [`core::ProbNnEngine`]
-//! API:
+//! API, and any of them can be served concurrently through the
+//! [`core::db::Db`] facade — readers pin immutable snapshots, a single
+//! writer publishes copy-on-write successors, and bad requests come back
+//! as typed errors instead of panics:
 //!
 //! ```
-//! use pv_suite::core::{ProbNnEngine, PvIndex, PvParams, QuerySpec};
+//! use pv_suite::core::db::Db;
+//! use pv_suite::core::{PvIndex, PvParams, QuerySpec, QueryError};
+//! use pv_suite::uncertain::UncertainObject;
+//! use pv_suite::geom::HyperRect;
 //! use pv_suite::workload::{synthetic, queries, SyntheticConfig};
 //!
-//! // A small 3-D uncertain database, paper-style.
-//! let db = synthetic(&SyntheticConfig { n: 300, dim: 3, samples: 50, ..Default::default() });
-//! let index = PvIndex::build(&db, PvParams::default());
+//! // A small 3-D uncertain database, paper-style, behind a shared handle.
+//! let data = synthetic(&SyntheticConfig { n: 300, dim: 3, samples: 50, ..Default::default() });
+//! let db = Db::new(PvIndex::build(&data, PvParams::default()));
 //!
 //! // A probabilistic nearest-neighbor query: answers arrive sorted by
 //! // qualification probability, with per-phase statistics.
-//! let q = queries::uniform(&db.domain, 1, 1)[0].clone();
-//! let outcome = index.run(&QuerySpec::point(q));
+//! let q = queries::uniform(&data.domain, 1, 1)[0].clone();
+//! let outcome = db.query(&q, &QuerySpec::new())?;
 //! let total: f64 = outcome.answers.iter().map(|(_, p)| p).sum();
 //! assert!((total - 1.0).abs() < 1e-6);
 //! assert!(outcome.stats.total_io() > 0);
 //!
+//! // Writes publish new snapshots; concurrent readers never block on them.
+//! db.insert(UncertainObject::uniform(
+//!     10_000,
+//!     HyperRect::new(vec![1.0; 3], vec![2.0; 3]),
+//!     50,
+//! )).expect("fresh id");
+//! assert_eq!(db.len(), 301);
+//!
 //! // Richer answer semantics and batching ride on the same spec:
-//! let qs = queries::uniform(&db.domain, 16, 2);
-//! let batch = index.query_batch(&qs, &QuerySpec::new().top_k(3).threshold(0.05));
+//! let qs = queries::uniform(&data.domain, 16, 2);
+//! let batch = db.query_batch(&qs, &QuerySpec::new().with_top_k(3).with_threshold(0.05))?;
 //! assert_eq!(batch.outcomes.len(), 16);
 //! assert!(batch.outcomes.iter().all(|o| o.answers.len() <= 3));
+//! # Ok::<(), QueryError>(())
 //! ```
 //!
-//! See `examples/` for runnable scenarios and `crates/bench` for the
-//! experiment harness reproducing every figure of the paper's evaluation.
+//! See `examples/` for runnable scenarios (`concurrent_serving` drives the
+//! facade from multiple threads) and `crates/bench` for the experiment
+//! harness reproducing every figure of the paper's evaluation.
 
 #![deny(missing_docs)]
 

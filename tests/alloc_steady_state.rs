@@ -5,12 +5,16 @@
 //! must perform **zero** heap allocations — the whole Step-1 descent,
 //! secondary-record fetch, instance sampling and merged-CDF sweep run out
 //! of reused buffers. This is asserted with a counting global allocator
-//! around real PV-index and linear-scan batches.
+//! around real PV-index and linear-scan batches, and — since PR 5 — around
+//! the concurrent `Db` facade's `Session` path: pinning a published
+//! snapshot is an `Arc` clone and the session pools its scratch, so the
+//! contract survives the API redesign.
 //!
 //! Everything lives in one `#[test]` because the counter is process-global:
 //! a sibling test allocating concurrently would poison the delta.
 
 use pv_bench::alloc_counter::{allocations, CountingAllocator};
+use pv_suite::core::db::Db;
 use pv_suite::core::{BatchSlots, LinearScan, ProbNnEngine, PvIndex, PvParams, QuerySpec};
 use pv_suite::workload::{queries, synthetic, SyntheticConfig};
 
@@ -24,14 +28,42 @@ fn measure_steady_state<E: ProbNnEngine + Sync>(
 ) -> u64 {
     let mut slots = BatchSlots::new();
     // Warm-up: grow outcome vectors and per-worker scratches.
-    engine.query_batch_into(points, spec, &mut slots);
-    engine.query_batch_into(points, spec, &mut slots);
+    engine.query_batch_into(points, spec, &mut slots).unwrap();
+    engine.query_batch_into(points, spec, &mut slots).unwrap();
     let before = allocations();
-    let stats = engine.query_batch_into(points, spec, &mut slots);
+    let stats = engine.query_batch_into(points, spec, &mut slots).unwrap();
     let delta = allocations() - before;
     assert_eq!(stats.queries, points.len());
     assert!(stats.answers > 0, "workload produced no answers");
     delta
+}
+
+/// Same contract through the `Db` facade: a warmed `Session` batch, and a
+/// warmed single-query loop, both at zero allocations per query.
+fn measure_db_steady_state(
+    db: &Db<PvIndex>,
+    points: &[pv_suite::geom::Point],
+    spec: &QuerySpec,
+) -> (u64, u64) {
+    let mut session = db.session();
+    session.query_batch(points, spec).unwrap();
+    session.query_batch(points, spec).unwrap();
+    let before = allocations();
+    let stats = session.query_batch(points, spec).unwrap();
+    let batch_delta = allocations() - before;
+    assert_eq!(stats.queries, points.len());
+
+    for q in points {
+        session.query(q, spec).unwrap();
+    }
+    let before = allocations();
+    let mut answers = 0usize;
+    for q in points {
+        answers += session.query(q, spec).unwrap().answers.len();
+    }
+    let single_delta = allocations() - before;
+    assert!(answers > 0);
+    (batch_delta, single_delta)
 }
 
 #[test]
@@ -46,7 +78,7 @@ fn steady_state_query_batch_allocates_nothing() {
     let points = queries::uniform(&db.domain, 48, 3);
     // Sequential: parallel batches still allocate per worker spawn; the
     // per-query hot path itself is what must stay allocation-free.
-    let spec = QuerySpec::new().batch_threads(1);
+    let spec = QuerySpec::new().with_batch_threads(1);
 
     let index = PvIndex::build(&db, PvParams::default());
     let pv_allocs = measure_steady_state(&index, &points, &spec);
@@ -63,10 +95,23 @@ fn steady_state_query_batch_allocates_nothing() {
     );
 
     // Pruning specs share the same buffers: still allocation-free.
-    let pruned_spec = QuerySpec::new().top_k(3).batch_threads(1);
+    let pruned_spec = QuerySpec::new().with_top_k(3).with_batch_threads(1);
     let pruned = measure_steady_state(&index, &points, &pruned_spec);
     assert_eq!(
         pruned, 0,
         "pv-index steady-state top-k batch performed {pruned} heap allocations"
+    );
+
+    // The Db facade: snapshot pinning (Arc clone) plus the pooled Session
+    // scratch keep the hot path allocation-free through the redesigned API.
+    let facade = Db::new(index);
+    let (batch_allocs, single_allocs) = measure_db_steady_state(&facade, &points, &pruned_spec);
+    assert_eq!(
+        batch_allocs, 0,
+        "Db session steady-state batch performed {batch_allocs} heap allocations"
+    );
+    assert_eq!(
+        single_allocs, 0,
+        "Db session steady-state queries performed {single_allocs} heap allocations"
     );
 }

@@ -34,11 +34,14 @@ fn workload(db: &UncertainDb, m: usize, seed: u64) -> Vec<Point> {
 /// The internal laws every engine must satisfy, exact or not.
 fn check_internal_laws<E: ProbNnEngine + Sync>(engine: &E, qs: &[Point]) {
     for q in qs {
-        let default = engine.execute(q, &QuerySpec::new());
+        let default = engine.execute(q, &QuerySpec::new()).expect("query");
         let mut prev = default.answers.clone();
         prev.retain(|&(_, p)| p > 0.0);
         for tau in TAUS {
-            let cur = engine.execute(q, &QuerySpec::new().threshold(tau)).answers;
+            let cur = engine
+                .execute(q, &QuerySpec::new().with_threshold(tau))
+                .expect("query")
+                .answers;
             assert!(
                 cur.iter().all(|a| prev.contains(a)),
                 "{}: threshold({tau}) is not a subset at {q:?}",
@@ -48,7 +51,10 @@ fn check_internal_laws<E: ProbNnEngine + Sync>(engine: &E, qs: &[Point]) {
         }
         let mut prefix: Vec<(u64, f64)> = Vec::new();
         for k in 1..=6 {
-            let cur = engine.execute(q, &QuerySpec::new().top_k(k)).answers;
+            let cur = engine
+                .execute(q, &QuerySpec::new().with_top_k(k))
+                .expect("query")
+                .answers;
             assert!(cur.len() <= k);
             assert_eq!(
                 &cur[..prefix.len()],
@@ -64,7 +70,9 @@ fn check_internal_laws<E: ProbNnEngine + Sync>(engine: &E, qs: &[Point]) {
             prefix = cur;
         }
         // early termination may skip payloads but never changes probabilities
-        let pruned = engine.execute(q, &QuerySpec::new().threshold(0.0));
+        let pruned = engine
+            .execute(q, &QuerySpec::new().with_threshold(0.0))
+            .expect("query");
         for &(id, p) in &pruned.answers {
             assert_eq!(
                 default.answers.iter().find(|&&(aid, _)| aid == id),
@@ -86,7 +94,9 @@ fn check_against_ground_truth<E: ProbNnEngine + Sync>(
 ) {
     for q in qs {
         let want_ids = verify::possible_nn(db.objects.iter(), q);
-        let step1 = engine.execute(q, &QuerySpec::new().step1_only());
+        let step1 = engine
+            .execute(q, &QuerySpec::new().with_step1_only())
+            .expect("query");
         assert_eq!(
             step1.candidates,
             want_ids,
@@ -95,25 +105,25 @@ fn check_against_ground_truth<E: ProbNnEngine + Sync>(
         );
         assert!(step1.answers.is_empty());
         assert_eq!(
-            engine.execute(q, &QuerySpec::new()).answers,
-            scan.execute(q, &QuerySpec::new()).answers,
+            engine.execute(q, &QuerySpec::new()).expect("query").answers,
+            scan.execute(q, &QuerySpec::new()).expect("query").answers,
             "{}: default answers differ at {q:?}",
             engine.engine_name()
         );
         for tau in TAUS {
-            let spec = QuerySpec::new().threshold(tau);
+            let spec = QuerySpec::new().with_threshold(tau);
             assert_eq!(
-                engine.execute(q, &spec).answers,
-                scan.execute(q, &spec).answers,
+                engine.execute(q, &spec).expect("query").answers,
+                scan.execute(q, &spec).expect("query").answers,
                 "{}: threshold({tau}) differs at {q:?}",
                 engine.engine_name()
             );
         }
         for k in [1usize, 3, 5] {
-            let spec = QuerySpec::new().top_k(k);
+            let spec = QuerySpec::new().with_top_k(k);
             assert_eq!(
-                engine.execute(q, &spec).answers,
-                scan.execute(q, &spec).answers,
+                engine.execute(q, &spec).expect("query").answers,
+                scan.execute(q, &spec).expect("query").answers,
                 "{}: top_k({k}) differs at {q:?}",
                 engine.engine_name()
             );
@@ -123,13 +133,17 @@ fn check_against_ground_truth<E: ProbNnEngine + Sync>(
 
 /// Batched execution must equal per-query execution, at any thread count.
 fn check_batch<E: ProbNnEngine + Sync>(engine: &E, qs: &[Point]) {
-    let spec = QuerySpec::new().top_k(4);
-    let seq = engine.query_batch(qs, &spec.clone().batch_threads(1));
-    let par = engine.query_batch(qs, &spec.clone().batch_threads(4));
+    let spec = QuerySpec::new().with_top_k(4);
+    let seq = engine
+        .query_batch(qs, &spec.clone().with_batch_threads(1))
+        .expect("batch");
+    let par = engine
+        .query_batch(qs, &spec.clone().with_batch_threads(4))
+        .expect("batch");
     assert_eq!(seq.stats.queries, qs.len());
     assert_eq!(par.stats.threads, 4.min(qs.len()));
     for (i, q) in qs.iter().enumerate() {
-        let single = engine.execute(q, &spec);
+        let single = engine.execute(q, &spec).expect("query");
         assert_eq!(seq.outcomes[i].answers, single.answers);
         assert_eq!(par.outcomes[i].answers, single.answers);
         assert_eq!(seq.outcomes[i].candidates, single.candidates);
@@ -173,12 +187,12 @@ fn uv_index_satisfies_laws_with_high_recall() {
 
     // The ray-marched UV cells are approximate; its thresholded answers
     // must still recall ≈ all of the ground truth's.
-    let spec = QuerySpec::new().threshold(0.02);
+    let spec = QuerySpec::new().with_threshold(0.02);
     let mut found = 0usize;
     let mut expected = 0usize;
     for q in &qs {
-        let want = scan.execute(q, &spec).answer_ids();
-        let got = uv.execute(q, &spec).answer_ids();
+        let want = scan.execute(q, &spec).expect("query").answer_ids();
+        let got = uv.execute(q, &spec).expect("query").answer_ids();
         expected += want.len();
         found += want.iter().filter(|id| got.contains(id)).count();
     }
@@ -197,8 +211,10 @@ fn early_termination_saves_payload_io_somewhere() {
     let mut io_pruned = 0u64;
     let mut io_full = 0u64;
     for q in workload(&db, 40, 7) {
-        let full = index.execute(&q, &QuerySpec::new());
-        let pruned = index.execute(&q, &QuerySpec::new().top_k(3));
+        let full = index.execute(&q, &QuerySpec::new()).expect("query");
+        let pruned = index
+            .execute(&q, &QuerySpec::new().with_top_k(3))
+            .expect("query");
         skipped += pruned.skipped_payloads;
         io_full += full.stats.pc_io_reads;
         io_pruned += pruned.stats.pc_io_reads;

@@ -1,0 +1,262 @@
+//! Concurrency contract of the `Db` facade.
+//!
+//! * **Snapshot isolation**: while a writer streams inserts/removes,
+//!   readers running full PNNQ batches must always observe a state that
+//!   equals *some* published snapshot — never a half-applied update. The
+//!   writer's operation sequence is deterministic, so every published
+//!   version `v` has a precomputed expected object set; each observation is
+//!   checked against a `LinearScan` ground truth built over exactly that
+//!   set.
+//! * **Non-blocking reads**: readers run concurrently with the writer for
+//!   the whole test (no lock ordering can starve them — the only shared
+//!   critical section is a pointer swap) and observe multiple versions in
+//!   monotone order.
+//! * **Drop ordering**: superseded snapshots stay alive exactly as long as
+//!   a reader pins them, and are freed the moment the last pin drops.
+
+use pv_suite::core::db::Db;
+use pv_suite::core::{LinearScan, ProbNnEngine, PvIndex, PvParams, QuerySpec};
+use pv_suite::geom::HyperRect;
+use pv_suite::uncertain::{UncertainDb, UncertainObject};
+use pv_suite::workload::{queries, synthetic, SyntheticConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// One deterministic churn step: inserts get fresh ids, every third step
+/// removes the oldest still-present object.
+enum Op {
+    Insert(UncertainObject),
+    Remove(u64),
+}
+
+fn build_script(db: &UncertainDb, steps: usize) -> (Vec<Op>, Vec<Vec<UncertainObject>>) {
+    let fresh = synthetic(&SyntheticConfig {
+        n: steps,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 999,
+    });
+    let mut ops = Vec::with_capacity(steps);
+    let mut shadow: Vec<UncertainObject> = db.objects.clone();
+    // states[v] = the object set published as version v (v = 0 is the seed).
+    let mut states = vec![shadow.clone()];
+    let mut remove_cursor = 0u64;
+    for (k, mut o) in fresh.objects.into_iter().enumerate() {
+        if k % 3 == 2 {
+            let id = remove_cursor;
+            remove_cursor += 1;
+            shadow.retain(|x| x.id != id);
+            ops.push(Op::Remove(id));
+        } else {
+            o.id = 10_000 + k as u64;
+            shadow.push(o.clone());
+            ops.push(Op::Insert(o));
+        }
+        states.push(shadow.clone());
+    }
+    (ops, states)
+}
+
+#[test]
+fn readers_always_observe_a_published_snapshot() {
+    let seed_db = synthetic(&SyntheticConfig {
+        n: 90,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 4,
+    });
+    let steps = 30;
+    let (ops, states) = build_script(&seed_db, steps);
+    // Ground truth per version, built once and shared read-only.
+    let scans: Vec<LinearScan> = states
+        .iter()
+        .map(|objs| LinearScan::new(&UncertainDb::new(seed_db.domain.clone(), objs.clone())))
+        .collect();
+    let expected_ids: Vec<Vec<u64>> = states
+        .iter()
+        .map(|objs| {
+            let mut ids: Vec<u64> = objs.iter().map(|o| o.id).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+
+    let db = Db::new(PvIndex::build(&seed_db, PvParams::default()));
+    let qs = queries::uniform(&seed_db.domain, 5, 17);
+    let spec = QuerySpec::new().with_top_k(4);
+    let done = AtomicBool::new(false);
+    let start = Barrier::new(4); // 3 readers + 1 writer
+    let mut versions_seen: Vec<Vec<u64>> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut reader_handles = Vec::new();
+        for _ in 0..3 {
+            reader_handles.push(scope.spawn(|| {
+                start.wait();
+                let mut seen = Vec::new();
+                let mut last_version = 0u64;
+                while !done.load(Ordering::Relaxed) || seen.len() < 5 {
+                    let reader = db.reader();
+                    let v = reader.version();
+                    assert!(
+                        v >= last_version,
+                        "reader went back in time: {v} after {last_version}"
+                    );
+                    last_version = v;
+                    seen.push(v);
+                    let v = v as usize;
+                    assert!(v < expected_ids.len(), "unknown version {v}");
+                    // The pinned state is exactly the set published as v —
+                    // no torn mix of two updates.
+                    assert_eq!(
+                        reader.engine().ids(),
+                        expected_ids[v],
+                        "snapshot {v} does not match its published object set"
+                    );
+                    // And full PNNQ answers over the pinned snapshot match
+                    // the ground truth over that exact object set.
+                    for q in &qs {
+                        let got = reader.engine().execute(q, &spec).expect("pinned query");
+                        let want = scans[v].execute(q, &spec).expect("ground truth");
+                        assert_eq!(
+                            got.answers, want.answers,
+                            "answers at version {v} diverge from its ground truth"
+                        );
+                    }
+                }
+                seen
+            }));
+        }
+        scope.spawn(|| {
+            start.wait();
+            for op in &ops {
+                match op {
+                    Op::Insert(o) => {
+                        db.insert(o.clone()).expect("scripted insert");
+                    }
+                    Op::Remove(id) => {
+                        db.remove(*id).expect("scripted remove");
+                    }
+                }
+                // Give readers a window to overlap every publication.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        for h in reader_handles {
+            versions_seen.push(h.join().expect("reader panicked"));
+        }
+    });
+
+    assert_eq!(
+        db.version(),
+        steps as u64,
+        "every op published exactly once"
+    );
+    let distinct: std::collections::BTreeSet<u64> =
+        versions_seen.iter().flatten().copied().collect();
+    assert!(
+        distinct.len() >= 2,
+        "readers only ever saw one version — no concurrency was exercised"
+    );
+    // Final state equals the scripted end state.
+    assert_eq!(db.reader().engine().ids(), *expected_ids.last().unwrap());
+}
+
+#[test]
+fn sessions_under_write_load_answer_from_consistent_states() {
+    // The pooled-session path: outcomes of a batch must all come from one
+    // snapshot even while versions churn underneath.
+    let seed_db = synthetic(&SyntheticConfig {
+        n: 60,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 5,
+    });
+    let steps = 12;
+    let (ops, states) = build_script(&seed_db, steps);
+    let scans: Vec<LinearScan> = states
+        .iter()
+        .map(|objs| LinearScan::new(&UncertainDb::new(seed_db.domain.clone(), objs.clone())))
+        .collect();
+    let db = Db::new(PvIndex::build(&seed_db, PvParams::default()));
+    let qs = queries::uniform(&seed_db.domain, 8, 23);
+    let spec = QuerySpec::new().with_top_k(3).with_batch_threads(1);
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let mut session = db.session();
+            let mut batches = 0usize;
+            while !done.load(Ordering::Relaxed) || batches < 4 {
+                session.query_batch(&qs, &spec).expect("session batch");
+                // Every outcome of this batch must match a single published
+                // state's ground truth.
+                let matched = scans.iter().any(|scan| {
+                    qs.iter().zip(session.outcomes()).all(|(q, out)| {
+                        scan.execute(q, &spec).expect("ground truth").answers == out.answers
+                    })
+                });
+                assert!(matched, "a batch mixed answers from different snapshots");
+                batches += 1;
+            }
+        });
+        scope.spawn(|| {
+            for op in &ops {
+                match op {
+                    Op::Insert(o) => {
+                        db.insert(o.clone()).expect("scripted insert");
+                    }
+                    Op::Remove(id) => {
+                        db.remove(*id).expect("scripted remove");
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        reader.join().expect("session reader panicked");
+    });
+}
+
+#[test]
+fn superseded_snapshots_are_freed_once_unpinned() {
+    let domain = HyperRect::cube(2, 0.0, 100.0);
+    let objects: Vec<UncertainObject> = (0..6u64)
+        .map(|i| {
+            UncertainObject::uniform(
+                i,
+                HyperRect::new(vec![i as f64 * 10.0, 0.0], vec![i as f64 * 10.0 + 3.0, 3.0]),
+                8,
+            )
+        })
+        .collect();
+    let db = Db::new(LinearScan::new(&UncertainDb::new(domain, objects)));
+
+    let pinned = db.reader();
+    let weak = Arc::downgrade(pinned.pinned());
+    let extra = UncertainObject::uniform(50, HyperRect::new(vec![1.0, 1.0], vec![2.0, 2.0]), 8);
+    db.insert(extra).expect("fresh id");
+
+    // Superseded, but still pinned: alive.
+    assert!(weak.upgrade().is_some(), "pinned snapshot must stay alive");
+    let second_pin = pinned.clone();
+    drop(pinned);
+    assert!(
+        weak.upgrade().is_some(),
+        "a cloned pin must keep the snapshot alive"
+    );
+    drop(second_pin);
+    assert!(
+        weak.upgrade().is_none(),
+        "the superseded snapshot must be freed when the last pin drops"
+    );
+
+    // The current snapshot is kept alive by the Db itself.
+    let current = Arc::downgrade(db.reader().pinned());
+    assert!(current.upgrade().is_some());
+}

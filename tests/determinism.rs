@@ -22,8 +22,8 @@ fn identical_builds_identical_answers() {
         assert_eq!(a.ubr(o.id), b.ubr(o.id));
     }
     for q in queries::uniform(&db1.domain, 20, 7) {
-        let pa = a.execute(&q, &QuerySpec::new()).answers;
-        let pb = b.execute(&q, &QuerySpec::new()).answers;
+        let pa = a.execute(&q, &QuerySpec::new()).expect("query").answers;
+        let pb = b.execute(&q, &QuerySpec::new()).expect("query").answers;
         assert_eq!(pa, pb, "probabilities must be bit-identical");
     }
 }

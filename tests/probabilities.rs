@@ -22,7 +22,7 @@ fn probabilities_sum_to_one_across_queries() {
     let db = db(250, 2, 41);
     let index = PvIndex::build(&db, PvParams::default());
     for q in queries::uniform(&db.domain, 15, 1) {
-        let out = index.execute(&q, &QuerySpec::new());
+        let out = index.execute(&q, &QuerySpec::new()).expect("query");
         let total: f64 = out.answers.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-6, "sum {total} at {q:?}");
     }
@@ -34,8 +34,11 @@ fn pv_and_rtree_probabilities_agree() {
     let index = PvIndex::build(&db, PvParams::default());
     let baseline = RTreeBaseline::build(&db, 100, 4096);
     for q in queries::uniform(&db.domain, 10, 2) {
-        let mut a = index.execute(&q, &QuerySpec::new()).answers;
-        let mut b = baseline.execute(&q, &QuerySpec::new()).answers;
+        let mut a = index.execute(&q, &QuerySpec::new()).expect("query").answers;
+        let mut b = baseline
+            .execute(&q, &QuerySpec::new())
+            .expect("query")
+            .answers;
         a.sort_by_key(|&(id, _)| id);
         b.sort_by_key(|&(id, _)| id);
         assert_eq!(a.len(), b.len());
@@ -69,7 +72,7 @@ fn step2_io_scales_with_answer_count() {
     let db = db(300, 2, 44);
     let index = PvIndex::build(&db, PvParams::default());
     for q in queries::uniform(&db.domain, 10, 4) {
-        let out = index.execute(&q, &QuerySpec::new());
+        let out = index.execute(&q, &QuerySpec::new()).expect("query");
         // every answer costs at least one secondary read + payload pages
         assert!(out.stats.pc_io_reads >= out.answers.len() as u64);
     }
@@ -80,7 +83,7 @@ fn query_stats_accumulate_sanely() {
     let db = db(300, 2, 45);
     let index = PvIndex::build(&db, PvParams::default());
     let q = &queries::uniform(&db.domain, 1, 5)[0];
-    let out = index.execute(q, &QuerySpec::new());
+    let out = index.execute(q, &QuerySpec::new()).expect("query");
     let stats = &out.stats;
     assert!(stats.total_time() >= stats.step1.time);
     assert!(stats.total_io() >= stats.step1.io_reads);

@@ -35,19 +35,19 @@ fn db2d(n: usize, seed: u64) -> UncertainDb {
 fn specs() -> Vec<QuerySpec> {
     vec![
         QuerySpec::new(),
-        QuerySpec::new().step1_only(),
-        QuerySpec::new().threshold(0.02),
-        QuerySpec::new().threshold(0.3),
-        QuerySpec::new().top_k(1),
-        QuerySpec::new().top_k(5),
+        QuerySpec::new().with_step1_only(),
+        QuerySpec::new().with_threshold(0.02),
+        QuerySpec::new().with_threshold(0.3),
+        QuerySpec::new().with_top_k(1),
+        QuerySpec::new().with_top_k(5),
     ]
 }
 
 fn assert_identical<E: ProbNnEngine>(built: &E, loaded: &E, qs: &[Point]) {
     for q in qs {
         for spec in specs() {
-            let a = built.execute(q, &spec);
-            let b = loaded.execute(q, &spec);
+            let a = built.execute(q, &spec).expect("query");
+            let b = loaded.execute(q, &spec).expect("query");
             assert_eq!(
                 a.candidates,
                 b.candidates,

@@ -22,7 +22,7 @@ fn queries_read_but_never_write() {
     let index = PvIndex::build(&db, PvParams::default());
     let s0 = index.pager().stats().snapshot();
     for q in queries::uniform(&db.domain, 20, 1) {
-        let _ = index.execute(&q, &QuerySpec::new());
+        let _ = index.execute(&q, &QuerySpec::new()).expect("query");
     }
     let s1 = index.pager().stats().snapshot();
     let delta = s1.since(&s0);

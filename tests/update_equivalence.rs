@@ -63,7 +63,7 @@ fn insertion_storm() {
         let mut o = o;
         o.id = 70_000 + round as u64;
         shadow.push(o.clone());
-        index.insert(o);
+        index.insert(o).expect("fresh id");
         if round % 20 == 19 {
             check(&index, &shadow, 200 + round as u64, 8);
         }
@@ -95,7 +95,7 @@ fn mixed_churn_3d() {
             let o = UncertainObject::uniform(next_id, HyperRect::new(lo, hi), 8);
             next_id += 1;
             shadow.push(o.clone());
-            index.insert(o);
+            index.insert(o).expect("fresh id");
         }
         if round % 6 == 5 {
             check(&index, &shadow, 300 + round, 6);
@@ -126,7 +126,7 @@ fn incremental_matches_rebuild_after_churn() {
             let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(1.0..250.0)).collect();
             let o = UncertainObject::uniform(80_000 + i, HyperRect::new(lo, hi), 8);
             shadow.push(o.clone());
-            index.insert(o);
+            index.insert(o).expect("fresh id");
         }
     }
     // fresh rebuild over the same final object set
@@ -154,7 +154,7 @@ fn delete_then_reinsert_round_trip() {
         index.remove(v.id).unwrap();
     }
     for v in &victims {
-        index.insert(v.clone());
+        index.insert(v.clone()).expect("re-insert");
     }
     check(&index, &db.objects, 555, 25);
 }
@@ -178,7 +178,7 @@ fn update_stats_report_work() {
         HyperRect::new(vec![5_000.0, 5_000.0], vec![5_100.0, 5_100.0]),
         8,
     );
-    let st = index.insert(o);
+    let st = index.insert(o).expect("fresh id");
     assert!(st.se.slab_tests > 0, "insertion must run SE");
 }
 

@@ -15,15 +15,23 @@
 //! says must be `0`.
 //!
 //! The `serve` workload measures what the PR-5 redesign is for: read QPS
-//! while a single writer publishes copy-on-write snapshots at 0, 1 and
-//! 10 writes/sec. Readers pin snapshots through pooled [`Session`]s and
-//! never block on the writer's forking/SE work, so read throughput should
-//! stay in the same band across the three rates.
+//! while a single writer publishes copy-on-write snapshots at 0, 1, 10 —
+//! and, since the PR-6 page-level COW commits made single-object writes
+//! O(k·log n) instead of O(index), 100 and 1000 — writes/sec. Readers pin
+//! snapshots through pooled [`Session`]s and never block on the writer's
+//! forking work, so read throughput should stay in the same band across
+//! all rates; each point also records the writer's commit-latency p50/p99.
+//! A separate `commit` workload times a single-object `Db` commit against
+//! the legacy write path (snapshot-codec fork + eager neighbour refresh,
+//! implementation) to pin down the speedup the COW fork buys.
 
 use crate::alloc_counter;
 use crate::Ctx;
 use pv_core::db::{Db, Session};
-use pv_core::{BatchSlots, ProbNnEngine, PvIndex, QueryOutcome, QueryScratch, QuerySpec};
+use pv_core::snapshot::{pv_index_from_bytes, pv_index_to_bytes};
+use pv_core::{
+    BatchSlots, ProbNnEngine, PvIndex, QueryOutcome, QueryScratch, QuerySpec, WritableEngine,
+};
 use pv_geom::{HyperRect, Point};
 use pv_uncertain::UncertainObject;
 use pv_workload::queries;
@@ -31,7 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The PR number this snapshot file belongs to.
-pub const TRAJECTORY_PR: u32 = 5;
+pub const TRAJECTORY_PR: u32 = 6;
 
 /// One measured per-query workload: a name plus its median cost. (The build
 /// workload reports whole-build wall time separately — its unit is
@@ -57,11 +65,24 @@ pub struct ServePoint {
     pub read_qps: f64,
     /// Snapshot publications the writer actually committed.
     pub writes_applied: u64,
+    /// Median commit latency (fork + update + publish), nanoseconds.
+    pub write_p50_ns: u64,
+    /// 99th-percentile commit latency, nanoseconds.
+    pub write_p99_ns: u64,
 }
 
 fn median(mut v: Vec<u64>) -> u64 {
     v.sort_unstable();
     v[v.len() / 2]
+}
+
+/// Nearest-rank percentile (`p` in 0..=100); 0 for an empty sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Runs readers (pooled sessions over `db`) for `duration` while one writer
@@ -95,7 +116,7 @@ fn serve_point(
                 }
             });
         }
-        if writes_per_sec > 0 {
+        let writer = (writes_per_sec > 0).then(|| {
             scope.spawn(|| {
                 let interval = Duration::from_secs_f64(1.0 / writes_per_sec as f64);
                 // A small object at the domain centre, fresh id per write.
@@ -105,9 +126,11 @@ fn serve_point(
                 let region = HyperRect::new(lo, hi);
                 let mut next_id = 1_000_000_000u64;
                 let mut live: Option<u64> = None;
+                let mut latencies = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     // Alternate insert/remove so the database size stays
                     // put while every tick publishes a new snapshot.
+                    let t = Instant::now();
                     match live.take() {
                         Some(id) => {
                             db.remove(id).expect("serve remove");
@@ -119,11 +142,17 @@ fn serve_point(
                             next_id += 1;
                         }
                     }
+                    latencies.push(t.elapsed().as_nanos() as u64);
                     writes.fetch_add(1, Ordering::Relaxed);
-                    // Sleep in short slices so the stop flag is honoured.
+                    // Sleep in short slices so the stop flag is honoured
+                    // even at the slow rates.
                     let wake = Instant::now() + interval;
-                    while Instant::now() < wake && !stop.load(Ordering::Relaxed) {
-                        std::thread::sleep(Duration::from_millis(5));
+                    loop {
+                        let now = Instant::now();
+                        if now >= wake || stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep((wake - now).min(Duration::from_millis(5)));
                     }
                 }
                 // Leave the database exactly as found, so consecutive
@@ -132,21 +161,79 @@ fn serve_point(
                 if let Some(id) = live {
                     db.remove(id).expect("serve cleanup");
                 }
-            });
-        }
+                latencies
+            })
+        });
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
         // Sample the window at the instant the flag flips: scope join still
-        // waits for the writer's in-flight fork (O(index)), and counting
-        // that tail against only the nonzero-write points would fake a read
-        // slowdown the readers never experienced.
+        // waits for the writer's in-flight commit, and counting that tail
+        // against only the nonzero-write points would fake a read slowdown
+        // the readers never experienced.
         let elapsed = t0.elapsed().as_secs_f64();
+        let mut latencies = writer
+            .map(|h| h.join().expect("serve writer panicked"))
+            .unwrap_or_default();
+        latencies.sort_unstable();
         ServePoint {
             writes_per_sec,
             read_qps: reads.load(Ordering::Relaxed) as f64 / elapsed.max(1e-9),
             writes_applied: writes.load(Ordering::Relaxed),
+            write_p50_ns: percentile(&latencies, 50.0),
+            write_p99_ns: percentile(&latencies, 99.0),
         }
     })
+}
+
+/// Times a single-object `Db::commit` (fork + insert/remove + publish) and
+/// the legacy write path it replaced — a snapshot-codec round trip plus an
+/// eager build-grade refresh of every affected neighbour, which is
+/// what `WritableEngine::fork` did before the PR-6 page-level COW pager.
+/// Returns `(commit_median_ns, legacy_write_median_ns)`.
+fn commit_workload(index: &PvIndex, domain: &HyperRect, rounds: usize) -> (u64, u64) {
+    let c = domain.center();
+    let lo: Vec<f64> = c.coords().iter().map(|x| x - 0.5).collect();
+    let hi: Vec<f64> = c.coords().iter().map(|x| x + 0.5).collect();
+    let region = HyperRect::new(lo, hi);
+
+    let db = Db::new(index.fork());
+    let mut commit_ns = Vec::with_capacity(rounds * 2);
+    for k in 0..rounds as u64 {
+        let o = UncertainObject::uniform(2_000_000_000 + k, region.clone(), 16);
+        let t = Instant::now();
+        db.insert(o).expect("commit bench insert");
+        commit_ns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        db.remove(2_000_000_000 + k).expect("commit bench remove");
+        commit_ns.push(t.elapsed().as_nanos() as u64);
+    }
+
+    // The pre-COW write path, replayed faithfully: fork was a snapshot-codec
+    // round trip of the whole index, and every commit eagerly re-tightened
+    // each affected neighbour with the build-grade candidate set (the policy
+    // `update_cset = cset, update_budget = MAX` reproduces exactly).
+    let mut legacy_ns = Vec::with_capacity(rounds.min(3) * 2);
+    for k in 0..rounds.min(3) as u64 {
+        let t = Instant::now();
+        let mut forked = pv_index_from_bytes(&pv_index_to_bytes(index)).expect("legacy fork");
+        forked.set_update_policy(forked.params().cset, usize::MAX);
+        forked
+            .insert(UncertainObject::uniform(
+                2_100_000_000 + k,
+                region.clone(),
+                16,
+            ))
+            .expect("legacy bench insert");
+        legacy_ns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        let mut forked = pv_index_from_bytes(&pv_index_to_bytes(&forked)).expect("legacy fork");
+        forked.set_update_policy(forked.params().cset, usize::MAX);
+        forked
+            .remove(2_100_000_000 + k)
+            .expect("legacy bench remove");
+        legacy_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    (median(commit_ns), median(legacy_ns))
 }
 
 /// Runs the trajectory workloads and writes `path` (JSON). Also prints a
@@ -239,14 +326,20 @@ pub fn report(ctx: &Ctx, path: &str) {
     let allocs_per_query = allocs as f64 / qs.len() as f64;
     let alloc_counter_active = alloc_counter::is_registered();
 
+    // --- commit workload (single-object COW commit vs legacy write path) ---
+    let commit_rounds = 10;
+    let (commit_median_ns, legacy_write_median_ns) =
+        commit_workload(&index, &db.domain, commit_rounds);
+    let commit_speedup = legacy_write_median_ns as f64 / (commit_median_ns as f64).max(1.0);
+
     // --- serve workload (mixed read/write on the Db facade) ---
     let serve_db = Db::new(index);
-    // Long enough that at least one COW fork (O(index), ~0.5 s for the tiny
-    // preset on a 1-core CI box) completes inside every nonzero-write
-    // window.
+    // The page-level COW fork made commits cheap enough that a 1-second
+    // window holds hundreds of publications even at the 1000 writes/sec
+    // point on a 1-core CI box.
     let serve_duration = Duration::from_millis(1_000);
     let reader_threads = 2;
-    let serve: Vec<ServePoint> = [0u32, 1, 10]
+    let serve: Vec<ServePoint> = [0u32, 1, 10, 100, 1_000]
         .iter()
         .map(|&w| serve_point(&serve_db, &qs, w, serve_duration, reader_threads))
         .collect();
@@ -256,8 +349,9 @@ pub fn report(ctx: &Ctx, path: &str) {
         .iter()
         .map(|p| {
             format!(
-                "    \"writes_per_sec_{}\": {{ \"read_qps\": {:.0}, \"writes_applied\": {} }}",
-                p.writes_per_sec, p.read_qps, p.writes_applied
+                "    \"writes_per_sec_{}\": {{ \"read_qps\": {:.0}, \"writes_applied\": {}, \
+                 \"write_p50_ns\": {}, \"write_p99_ns\": {} }}",
+                p.writes_per_sec, p.read_qps, p.writes_applied, p.write_p50_ns, p.write_p99_ns
             )
         })
         .collect::<Vec<_>>()
@@ -267,6 +361,9 @@ pub fn report(ctx: &Ctx, path: &str) {
          \"objects\": {n},\n  \"dim\": {dim},\n  \"samples_per_object\": {samples},\n  \
          \"batch_threads\": {threads},\n  \
          \"workloads\": {{\n{workloads}\n  }},\n  \
+         \"commit\": {{\n    \"single_object_median_ns\": {commit_median_ns},\n    \
+         \"legacy_write_median_ns\": {legacy_write_median_ns},\n    \
+         \"speedup_vs_legacy_write\": {commit_speedup:.1},\n    \"rounds\": {commit_rounds}\n  }},\n  \
          \"serve\": {{\n    \"duration_ms\": {serve_ms},\n    \"reader_threads\": {reader_threads},\n{serve_json}\n  }},\n  \
          \"allocs_per_query_steady_state\": {allocs_per_query},\n  \
          \"alloc_counter_active\": {alloc_counter_active}\n}}\n",
@@ -305,10 +402,14 @@ pub fn report(ctx: &Ctx, path: &str) {
         "{:>12}: median {:>12} ns/build ({n} objects x {build_rounds} rounds)",
         "build", build_median_ns
     );
+    println!(
+        "{:>12}: median {:>12} ns/commit (legacy write path {legacy_write_median_ns} ns, {commit_speedup:.0}x)",
+        "commit", commit_median_ns
+    );
     for p in &serve {
         println!(
-            "{:>12}: {:>8.0} read qps at {:>2} writes/sec ({} published)",
-            "serve", p.read_qps, p.writes_per_sec, p.writes_applied
+            "{:>12}: {:>8.0} read qps at {:>4} writes/sec ({} published, write p50 {} ns p99 {} ns)",
+            "serve", p.read_qps, p.writes_per_sec, p.writes_applied, p.write_p50_ns, p.write_p99_ns
         );
     }
     println!(

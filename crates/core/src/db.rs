@@ -39,12 +39,14 @@
 //!   (v3 freed when the last pin drops)
 //! ```
 //!
-//! Forking is O(index): correctness-first copy-on-write at engine
-//! granularity (the PV-index forks through its canonical snapshot codec,
-//! which is 2–3 orders of magnitude cheaper than rebuilding). Writers that
-//! apply many operations should batch them in one [`Db::commit`] closure —
-//! one fork, one publication. Readers are wait-free with respect to all of
-//! that work: the only shared critical section is the pointer swap itself.
+//! Forking is *page-level copy-on-write* (since PR 6): the PV-index forks
+//! its simulated disk by cloning the page-pointer table, and a commit
+//! touching k objects physically copies only the O(k·log n) pages it
+//! writes — untouched pages stay shared with every pinned older snapshot.
+//! Writers that apply many operations can still batch them in one
+//! [`Db::commit`] closure — one fork, one publication. Readers are
+//! wait-free with respect to all of that work: the only shared critical
+//! section is the pointer swap itself.
 //!
 //! # Example
 //!
@@ -277,13 +279,16 @@ impl<'db, E: ProbNnEngine> Session<'db, E> {
 /// facade: fork an independent successor, apply fallible updates to it,
 /// publish atomically.
 ///
-/// The contract of [`WritableEngine::fork`] is *full independence*: no
-/// mutation of the fork may be observable through the original (shared
-/// pagers must be deep-copied, not handle-cloned). `Db` relies on this for
-/// snapshot isolation.
+/// The contract of [`WritableEngine::fork`] is *observational
+/// independence*: no mutation of the fork may be observable through the
+/// original, and vice versa. Sharing immutable state (`Arc`-shared pages,
+/// persistent-structure arenas) is encouraged — that is what makes commits
+/// cheap — as long as every write path copies before mutating anything a
+/// sibling can still reach. `Db` relies on this for snapshot isolation;
+/// `tests/cow_sharing.rs` checks it over randomized commit sequences.
 pub trait WritableEngine: ProbNnEngine {
-    /// A deep, fully independent copy of the engine to apply the next
-    /// update batch against.
+    /// An observationally independent copy of the engine to apply the next
+    /// update batch against (copy-on-write sharing with `self` is fine).
     fn fork(&self) -> Self
     where
         Self: Sized;

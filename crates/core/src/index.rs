@@ -24,7 +24,7 @@
 use crate::cset::{build_mean_tree, choose_cset};
 use crate::db::{PersistentEngine, WritableEngine};
 use crate::error::DbError;
-use crate::params::PvParams;
+use crate::params::{CSetStrategy, PvParams};
 use crate::prob::{payload_pages, pdf_payload_pages};
 use crate::query::{FetchScratch, ProbNnEngine, Step1Engine};
 use crate::se::{compute_ubr, compute_ubr_with_bounds, SeBounds};
@@ -35,7 +35,7 @@ use pv_octree::{decode_leaf_record, encode_leaf_record, leaf_record_dists_sq, Oc
 use pv_rtree::RTree;
 use pv_storage::{codec, MemPager, Pager};
 use pv_uncertain::{UncertainDb, UncertainObject};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
@@ -64,6 +64,12 @@ pub struct PvIndex {
     pub(crate) mean_tree: RTree,
     /// Construction statistics.
     pub(crate) build_stats: BuildStats,
+    /// Tightness-maintenance queue (PR 6): ids whose UBRs are conservative
+    /// but possibly loose after deferred §VI-B recomputation. Drained at
+    /// [`PvParams::update_budget`] warm-started SE runs per commit. Purely
+    /// an in-memory hint — not serialised (a loaded index starts with an
+    /// empty queue; its stored UBRs are sound either way).
+    pub(crate) stale: BTreeSet<u64>,
 }
 
 /// Encodes a secondary-index record: a tag selecting the UBR
@@ -236,6 +242,7 @@ impl PvIndex {
             ubrs: HashMap::with_capacity(db.len()),
             mean_tree,
             build_stats: BuildStats::default(),
+            stale: BTreeSet::new(),
         };
         for (id, ubr) in ubr_list {
             let ubr = index.maybe_quantize(ubr);
@@ -292,6 +299,22 @@ impl PvIndex {
     /// Construction statistics of the initial build.
     pub fn build_stats(&self) -> &BuildStats {
         &self.build_stats
+    }
+
+    /// Reconfigures the update path: the `chooseCSet` strategy commit-time
+    /// SE runs use and how many deferred UBR refreshes each commit pays.
+    /// `budget = usize::MAX` with the build-grade strategy recovers the
+    /// legacy eager behaviour (every affected neighbour re-tightened inside
+    /// the commit); the defaults keep commits in the low-millisecond range.
+    pub fn set_update_policy(&mut self, cset: CSetStrategy, budget: usize) {
+        self.params.update_cset = cset;
+        self.params.update_budget = budget;
+    }
+
+    /// Number of objects whose UBRs are queued for deferred re-tightening.
+    /// Purely a freshness metric: queries are exact regardless of backlog.
+    pub fn maintenance_backlog(&self) -> usize {
+        self.stale.len()
     }
 
     /// Applies the optional §VIII compression: snap a UBR outward onto the
@@ -361,17 +384,18 @@ impl PvIndex {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
-    /// Recomputes and stores the UBR of `id` with the given SE bounds.
-    /// Returns its old and new UBRs.
+    /// Recomputes and stores the UBR of `id` with the given SE bounds and
+    /// candidate-set strategy. Returns its old and new UBRs.
     fn refresh_ubr(
         &mut self,
         id: u64,
+        strategy: CSetStrategy,
         bounds: SeBounds,
         se_total: &mut SeStats,
     ) -> (HyperRect, HyperRect) {
         let o = self.objects[&id].clone();
         let t_cset = Instant::now();
-        let cset = choose_cset(&o, self.params.cset, &self.mean_tree, &self.regions);
+        let cset = choose_cset(&o, strategy, &self.mean_tree, &self.regions);
         let cset_time = t_cset.elapsed();
         let (new_ubr, mut st) = compute_ubr_with_bounds(
             &o,
@@ -409,7 +433,15 @@ impl PvIndex {
             .collect()
     }
 
-    /// Incrementally inserts a new object (§VI-B "Insertion").
+    /// Incrementally inserts a new object (§VI-B "Insertion", with the PR-6
+    /// commit-path deferral).
+    ///
+    /// A new object can only *shrink* PV-cells (Lemma 9), so the UBRs of
+    /// affected neighbours remain conservative as they stand — eager SE
+    /// recomputation is pure tightness maintenance. The commit path
+    /// therefore pays exactly one SE run (the new object's own UBR, with the
+    /// leaner [`PvParams::update_cset`]) and queues the affected ids for
+    /// deferred maintenance, instead of the paper's `1 + |A|` eager runs.
     ///
     /// # Errors
     /// [`DbError::DuplicateId`] if the id already exists,
@@ -434,7 +466,7 @@ impl PvIndex {
 
         // Step 1: B(S', o') by a fresh SE run.
         let t_cset = Instant::now();
-        let cset = choose_cset(&o, self.params.cset, &self.mean_tree, &self.regions);
+        let cset = choose_cset(&o, self.params.update_cset, &self.mean_tree, &self.regions);
         let cset_time = t_cset.elapsed();
         let (new_ubr, mut st) =
             compute_ubr(&o, &self.domain, &cset, self.params.delta, self.params.mmax);
@@ -445,14 +477,11 @@ impl PvIndex {
         let affected = self.affected_candidates(&new_ubr, &o);
         let scanned = affected.len();
 
-        // Step 3: shrink affected UBRs, warm-starting from the old UBR.
-        for id in &affected {
-            let old = self.ubrs[id].clone();
-            let (_, shrunk) =
-                self.refresh_ubr(*id, SeBounds::after_insertion(old.clone()), &mut se_total);
-            // Step 4 (per object): drop leaf registrations in N − N'.
-            self.octree.remove_delta(&old, &shrunk, *id);
-        }
+        // Step 3, deferred: their UBRs stay sound (cells only shrink), so
+        // queue the tightening instead of paying |A| SE runs here.
+        self.stale.extend(affected.iter().copied());
+        // The leaner commit-path C-set may leave o's own UBR tightenable too.
+        self.stale.insert(o.id);
 
         // Step 4 (new object): register o' everywhere.
         let new_ubr = self.maybe_quantize(new_ubr);
@@ -464,6 +493,8 @@ impl PvIndex {
         let lookup = move |i: u64| ubrs[&i].clone();
         self.octree.insert(&new_ubr, &record, &lookup);
 
+        self.maintain(&mut se_total);
+
         Ok(UpdateStats {
             time: t0.elapsed(),
             scanned,
@@ -472,7 +503,19 @@ impl PvIndex {
         })
     }
 
-    /// Incrementally removes an object (§VI-B "Deletion").
+    /// Incrementally removes an object (§VI-B "Deletion", with the PR-6
+    /// commit-path deferral).
+    ///
+    /// Growing each affected UBR with SE on the commit path is what made
+    /// deletions O(|A|) SE runs. A deletion admits a cheap sound bound
+    /// instead: any point a neighbour `a` newly wins was previously a
+    /// possible-NN location of the deleted `o'` (removing an object only
+    /// raises the pruning distance τ at points where `o'` attained it, and
+    /// there `distmin(o') ≤ distmax(o') = τ`), hence lies inside `B(S,o')`.
+    /// So `V(S',a) ⊆ B(S,a) ∪ B(S,o')` and the rectangle union of the two
+    /// old UBRs is a valid new bound, at the cost of a rectangle op instead
+    /// of an SE run. The grown ids are queued for deferred maintenance to
+    /// re-tighten.
     ///
     /// # Errors
     /// [`DbError::UnknownId`] if the id is not indexed (previously `None`).
@@ -495,19 +538,45 @@ impl PvIndex {
         self.regions.remove(&id);
         self.mean_tree
             .remove(&HyperRect::from_point(&o.region.center()), id);
+        self.stale.remove(&id);
 
-        // Step 3: grow affected UBRs, warm-starting l from the old UBR.
+        // Step 3, deferred: every point a neighbour newly wins lies inside
+        // B(S, o') — the deleted object was a possible NN there. So the
+        // neighbour's *catalog* UBR grows by the sound rectangle union (a
+        // bounding box, cheap, possibly loose), while its *leaf records*
+        // are extended over B(S, o') only (`insert_covering` dedups), never
+        // over the box. Registering under the box instead compounds across
+        // deletion storms until every UBR covers the domain and octree
+        // leaves split to max depth; keeping leaf coverage tight makes the
+        // loose catalog box cost only Lemma-8 filter precision, which the
+        // queued re-tightening recovers. The invariant is: an object's
+        // records cover at least the leaves its PV-cell touches and at most
+        // the leaves its catalog UBR touches.
+        let mut leaf_records: Vec<Vec<u8>> = Vec::with_capacity(affected.len());
         for aid in &affected {
             let old = self.ubrs[aid].clone();
-            let (_, grown) =
-                self.refresh_ubr(*aid, SeBounds::after_deletion(old.clone()), &mut se_total);
-            // Step 4b: register in the new leaves N' − N.
-            let region = self.objects[aid].region.clone();
-            let record = encode_leaf_record(*aid, &region);
-            let ubrs = &self.ubrs;
-            let lookup = move |i: u64| ubrs[&i].clone();
-            self.octree.insert_delta(&old, &grown, &record, &lookup);
+            let grown = self.maybe_quantize(old.union(&old_ubr));
+            let other = self.objects[aid].clone();
+            if grown != old {
+                let record =
+                    encode_secondary(&grown, &other, &self.domain, self.params.ubr_quantize_steps);
+                self.secondary.put(*aid, &record);
+                self.ubrs.insert(*aid, grown);
+            }
+            // Even when the box did not move (B(S, o') inside it), the
+            // leaf coverage may not reach all of B(S, o') yet — extend it
+            // unconditionally; the dedup scan makes re-covering a no-op.
+            leaf_records.push(encode_leaf_record(*aid, &other.region));
+            self.stale.insert(*aid);
         }
+        // One batched traversal of the leaves under B(S, o') for the whole
+        // affected set, instead of one tree walk per neighbour.
+        let record_refs: Vec<&[u8]> = leaf_records.iter().map(Vec::as_slice).collect();
+        let ubrs = &self.ubrs;
+        let lookup = move |i: u64| ubrs[&i].clone();
+        self.octree.insert_covering(&old_ubr, &record_refs, &lookup);
+
+        self.maintain(&mut se_total);
 
         Ok(UpdateStats {
             time: t0.elapsed(),
@@ -515,6 +584,33 @@ impl PvIndex {
             affected: affected.len(),
             se: se_total,
         })
+    }
+
+    /// Amortized tightness maintenance (PR 6): re-tightens up to
+    /// [`PvParams::update_budget`] queued UBRs per commit with warm-started,
+    /// build-grade SE runs. Draining the queue is never needed for
+    /// correctness — every queued UBR is already conservative — it only
+    /// recovers query-time pruning quality, so a commit touching k objects
+    /// stays O(k·log n) index work instead of O(k) SE runs.
+    fn maintain(&mut self, se_total: &mut SeStats) {
+        for _ in 0..self.params.update_budget {
+            let Some(id) = self.stale.pop_first() else {
+                break;
+            };
+            if !self.objects.contains_key(&id) {
+                continue; // deleted while queued
+            }
+            let old = self.ubrs[&id].clone();
+            // The current (loose) UBR seeds the upper bound: h only ever
+            // shrinks from a rectangle already proven conservative.
+            let (_, tight) = self.refresh_ubr(
+                id,
+                self.params.update_cset,
+                SeBounds::after_insertion(old.clone()),
+                se_total,
+            );
+            self.octree.remove_delta(&old, &tight, id);
+        }
     }
 
     /// Rebuilds the index from its current object catalog (the paper's
@@ -640,17 +736,41 @@ impl ProbNnEngine for PvIndex {
 
 /// Copy-on-write support for the [`crate::db::Db`] facade.
 ///
-/// [`WritableEngine::fork`] round-trips the index through its canonical
-/// snapshot codec ([`crate::snapshot`]): the only deep-copy path that is
-/// already proven byte-exact by `tests/snapshot_roundtrip.rs`, and — unlike
-/// a field-wise `Clone` — one that cannot accidentally *share* the
-/// simulated disk between the fork and the published original (both index
-/// structures hold handles to one pager; sharing it would let a writer
-/// mutate pages a pinned reader is concurrently serving from).
+/// [`WritableEngine::fork`] is *page-level copy-on-write* (since PR 6; it
+/// used to round-trip the whole index through the snapshot codec, which made
+/// every commit O(index)):
+///
+/// * the simulated disk is forked with [`MemPager::fork`] — page bytes stay
+///   physically shared and are copied only when the writer overwrites them;
+/// * the octree arena and the hash directory fork structurally
+///   ([`Octree::fork`], [`ExtHash::fork`]), cloning along mutation paths
+///   only;
+/// * the in-memory catalogs (objects, regions, UBRs, mean tree) are cloned —
+///   they are small (no sample data; pdfs are `(n, seed)` descriptors), so
+///   this is microseconds, not the 0.4 s the codec round-trip cost.
+///
+/// The fork is observationally independent: no mutation on either side is
+/// visible to the other, which `tests/cow_sharing.rs` proves over randomized
+/// commit sequences against a `LinearScan` ground truth. Canonical
+/// serialisation is unaffected — [`crate::snapshot::pv_index_to_bytes`]
+/// dumps page *contents*, never sharing metadata.
 impl WritableEngine for PvIndex {
     fn fork(&self) -> Self {
-        crate::snapshot::pv_index_from_bytes(&crate::snapshot::pv_index_to_bytes(self))
-            .expect("snapshot round-trip of a live index cannot fail")
+        let pager = self.pager.fork();
+        Self {
+            params: self.params,
+            domain: self.domain.clone(),
+            dim: self.dim,
+            octree: self.octree.fork(pager.clone()),
+            secondary: self.secondary.fork(pager.clone()),
+            pager,
+            objects: self.objects.clone(),
+            regions: self.regions.clone(),
+            ubrs: self.ubrs.clone(),
+            mean_tree: self.mean_tree.clone(),
+            build_stats: self.build_stats.clone(),
+            stale: self.stale.clone(),
+        }
     }
 
     fn apply_insert(&mut self, o: UncertainObject) -> Result<UpdateStats, DbError> {

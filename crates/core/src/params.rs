@@ -60,6 +60,21 @@ pub struct PvParams {
     /// Step 1 stays exact (enlargement preserves `B(o) ⊇ V(o)`; the min/max
     /// filter removes the extra candidates) at a small I/O premium.
     pub ubr_quantize_steps: Option<u16>,
+    /// `chooseCSet` strategy for commit-path SE runs (PR 6). Updates run SE
+    /// with a leaner candidate set than builds: by Lemma 7 any non-empty
+    /// C-set keeps `B(o) ⊇ V(o)`, so the only cost is a slightly looser
+    /// rectangle — which the amortized maintenance queue later tightens.
+    /// This is what lets a single-object commit finish in ~1 ms instead of
+    /// paying the build-grade candidate set on the serving path.
+    pub update_cset: CSetStrategy,
+    /// Deferred UBR refreshes paid per commit (PR 6). Insertions leave
+    /// neighbour UBRs untouched (a new object only shrinks PV-cells, so old
+    /// rectangles stay conservative) and deletions grow them by a cheap
+    /// rectangle union; the affected ids are queued and up to this many are
+    /// re-tightened by warm-started SE per subsequent commit. Correctness
+    /// never depends on the queue draining — only query-time pruning
+    /// tightness does.
+    pub update_budget: usize,
 }
 
 impl Default for PvParams {
@@ -73,6 +88,11 @@ impl Default for PvParams {
             rtree_fanout: 100,
             build_threads: 1,
             ubr_quantize_steps: None,
+            update_cset: CSetStrategy::Incremental {
+                k_partition: 2,
+                k_global: 16,
+            },
+            update_budget: 1,
         }
     }
 }

@@ -49,7 +49,7 @@ pub const PV_INDEX_KIND: [u8; 4] = *b"PVIX";
 pub const RTREE_KIND: [u8; 4] = *b"PVRT";
 /// Highest PV-index snapshot version this build reads and the version it
 /// writes.
-pub const PV_INDEX_VERSION: u16 = 1;
+pub const PV_INDEX_VERSION: u16 = 2;
 /// Highest R-tree baseline snapshot version this build reads/writes.
 /// Version 2 (PR 5) added the stored domain; version-1 files (no domain,
 /// different byte layout) are rejected rather than mis-decoded.
@@ -197,7 +197,25 @@ fn try_objects(r: &mut codec::Reader) -> Result<Vec<UncertainObject>, DecodeErro
 fn put_params(out: &mut Vec<u8>, p: &PvParams) {
     codec::put_f64(out, p.delta);
     codec::put_u32(out, p.mmax as u32);
-    match p.cset {
+    put_cset(out, p.cset);
+    codec::put_u32(out, p.page_size as u32);
+    codec::put_u64(out, p.mem_budget as u64);
+    codec::put_u32(out, p.rtree_fanout as u32);
+    codec::put_u32(out, p.build_threads as u32);
+    match p.ubr_quantize_steps {
+        None => codec::put_u16(out, 0),
+        Some(steps) => {
+            codec::put_u16(out, 1);
+            codec::put_u16(out, steps);
+        }
+    }
+    // Snapshot v2 (PR 6): commit-path maintenance tuning.
+    put_cset(out, p.update_cset);
+    codec::put_u32(out, p.update_budget as u32);
+}
+
+fn put_cset(out: &mut Vec<u8>, strategy: CSetStrategy) {
+    match strategy {
         CSetStrategy::All => codec::put_u16(out, 0),
         CSetStrategy::Fixed { k } => {
             codec::put_u16(out, 1);
@@ -212,23 +230,10 @@ fn put_params(out: &mut Vec<u8>, p: &PvParams) {
             codec::put_u32(out, k_global as u32);
         }
     }
-    codec::put_u32(out, p.page_size as u32);
-    codec::put_u64(out, p.mem_budget as u64);
-    codec::put_u32(out, p.rtree_fanout as u32);
-    codec::put_u32(out, p.build_threads as u32);
-    match p.ubr_quantize_steps {
-        None => codec::put_u16(out, 0),
-        Some(steps) => {
-            codec::put_u16(out, 1);
-            codec::put_u16(out, steps);
-        }
-    }
 }
 
-fn try_params(r: &mut codec::Reader) -> Result<PvParams, DecodeError> {
-    let delta = r.try_f64()?;
-    let mmax = r.try_u32()? as usize;
-    let cset = match r.try_u16()? {
+fn try_cset(r: &mut codec::Reader) -> Result<CSetStrategy, DecodeError> {
+    Ok(match r.try_u16()? {
         0 => CSetStrategy::All,
         1 => CSetStrategy::Fixed {
             k: r.try_u32()? as usize,
@@ -243,7 +248,13 @@ fn try_params(r: &mut codec::Reader) -> Result<PvParams, DecodeError> {
                 tag: t,
             })
         }
-    };
+    })
+}
+
+fn try_params(r: &mut codec::Reader) -> Result<PvParams, DecodeError> {
+    let delta = r.try_f64()?;
+    let mmax = r.try_u32()? as usize;
+    let cset = try_cset(r)?;
     let page_size = r.try_u32()? as usize;
     let mem_budget = r.try_u64()? as usize;
     let rtree_fanout = r.try_u32()? as usize;
@@ -258,6 +269,8 @@ fn try_params(r: &mut codec::Reader) -> Result<PvParams, DecodeError> {
             })
         }
     };
+    let update_cset = try_cset(r)?;
+    let update_budget = r.try_u32()? as usize;
     Ok(PvParams {
         delta,
         mmax,
@@ -267,6 +280,8 @@ fn try_params(r: &mut codec::Reader) -> Result<PvParams, DecodeError> {
         rtree_fanout,
         build_threads,
         ubr_quantize_steps,
+        update_cset,
+        update_budget,
     })
 }
 
@@ -351,6 +366,9 @@ pub fn pv_index_from_bytes(bytes: &[u8]) -> Result<PvIndex, DecodeError> {
         ubrs,
         mean_tree,
         build_stats,
+        // The maintenance queue is a runtime tightness hint, not logical
+        // state: a loaded index starts with nothing queued.
+        stale: Default::default(),
     })
 }
 

@@ -103,6 +103,22 @@ impl<P: Pager> ExtHash<P> {
         id
     }
 
+    /// Forks the table onto `pager` — typically a copy-on-write fork of
+    /// this table's device (see [`pv_storage::MemPager::fork`]). Bucket and
+    /// overflow pages stay physically shared until one side writes them;
+    /// only the in-memory directory, counters and length cache are copied,
+    /// so a fork costs O(directory) pointer copies, not O(table).
+    pub fn fork(&self, pager: P) -> Self {
+        Self {
+            pager,
+            directory: self.directory.clone(),
+            global_depth: self.global_depth,
+            entries: self.entries,
+            overflow_values: self.overflow_values,
+            len_cache: self.len_cache.clone(),
+        }
+    }
+
     /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.entries
@@ -640,6 +656,44 @@ mod tests {
         let mut bad = snap.clone();
         bad[0] = 60; // directory of 2^60 slots
         assert!(ExtHash::<MemPager>::from_snapshot(pager, &bad).is_err());
+    }
+
+    #[test]
+    fn fork_shares_buckets_and_diverges_on_write() {
+        let pager = MemPager::new(256);
+        let mut h = ExtHash::new(pager.clone());
+        for k in 0..600u64 {
+            h.put(k, format!("value-{k}").as_bytes());
+        }
+        let fork_pager = pager.fork();
+        let mut f = h.fork(fork_pager.clone());
+        f.check_invariants();
+
+        // Mutate only the fork.
+        assert!(f.remove(17));
+        f.put(9001, b"fork-only");
+        f.put(3, b"rewritten");
+
+        // The original is untouched.
+        assert_eq!(h.get(17).unwrap(), b"value-17");
+        assert!(h.get(9001).is_none());
+        assert_eq!(h.get(3).unwrap(), b"value-3");
+        assert_eq!(h.len(), 600);
+        h.check_invariants();
+
+        // The fork sees its own writes…
+        assert!(f.get(17).is_none());
+        assert_eq!(f.get(9001).unwrap(), b"fork-only");
+        assert_eq!(f.get(3).unwrap(), b"rewritten");
+        f.check_invariants();
+
+        // …and copied only the few bucket pages it touched.
+        assert!(
+            (fork_pager.cow_copies() as usize) < pager.live_pages() / 4,
+            "fork copied {} of {} pages — not structural sharing",
+            fork_pager.cow_copies(),
+            pager.live_pages()
+        );
     }
 
     #[test]

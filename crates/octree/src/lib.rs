@@ -29,6 +29,7 @@
 
 use pv_geom::{HyperRect, Point};
 use pv_storage::{codec, PageId, PageList, Pager};
+use std::sync::Arc;
 
 /// Per-node main-memory cost model (bytes) used against the budget `M`.
 ///
@@ -42,7 +43,7 @@ fn leaf_node_cost() -> usize {
     32
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum ONode {
     /// Child arena indices, one per octant (always exactly `2^d`).
     Internal(Vec<u32>),
@@ -78,11 +79,16 @@ pub struct PointQueryScratch {
 }
 
 /// A `2^d`-ary space-partitioning tree with disk-resident leaves.
+///
+/// The node arena holds one `Arc` per node so [`Octree::fork`] can share the
+/// whole structure with a sibling tree; a fork's mutations clone only the
+/// nodes along the mutated path ([`Arc::make_mut`]) and leave every untouched
+/// subtree physically shared.
 pub struct Octree<P: Pager> {
     pager: P,
     domain: HyperRect,
     dim: usize,
-    nodes: Vec<ONode>,
+    nodes: Vec<Arc<ONode>>,
     root: u32,
     mem_budget: usize,
     mem_used: usize,
@@ -120,11 +126,28 @@ impl<P: Pager> Octree<P> {
     fn alloc_leaf(&mut self) -> u32 {
         self.mem_used += leaf_node_cost();
         let id = self.nodes.len() as u32;
-        self.nodes.push(ONode::Leaf {
+        self.nodes.push(Arc::new(ONode::Leaf {
             list: PageList::new(),
             entries: 0,
-        });
+        }));
         id
+    }
+
+    /// Forks the tree onto `pager` — typically a copy-on-write fork of this
+    /// tree's device (see [`pv_storage::MemPager::fork`]). The node arena is
+    /// shared per-node: the fork clones only `Arc` pointers here, and later
+    /// mutations on either side copy just the nodes along the mutated path.
+    pub fn fork(&self, pager: P) -> Self {
+        Self {
+            pager,
+            domain: self.domain.clone(),
+            dim: self.dim,
+            nodes: self.nodes.clone(),
+            root: self.root,
+            mem_budget: self.mem_budget,
+            mem_used: self.mem_used,
+            split_threshold: self.split_threshold,
+        }
     }
 
     /// Domain covered by the tree.
@@ -173,7 +196,7 @@ impl<P: Pager> Octree<P> {
         ubr_lookup: &dyn Fn(u64) -> HyperRect,
         depth: usize,
     ) {
-        match &self.nodes[node as usize] {
+        match self.nodes[node as usize].as_ref() {
             ONode::Internal(children) => {
                 let children = children.clone();
                 for (i, child_region) in region.octants().into_iter().enumerate() {
@@ -203,7 +226,7 @@ impl<P: Pager> Octree<P> {
         ubr_lookup: &dyn Fn(u64) -> HyperRect,
         depth: usize,
     ) {
-        let entries = match &self.nodes[node as usize] {
+        let entries = match self.nodes[node as usize].as_ref() {
             ONode::Leaf { entries, .. } => *entries,
             ONode::Internal(_) => unreachable!(),
         };
@@ -211,10 +234,38 @@ impl<P: Pager> Octree<P> {
         // allows) or chain a page — `PageList::append` chains automatically,
         // so the only decision made here is the split. The depth guard stops
         // subdividing once cells approach float resolution.
-        let should_split =
+        let mut should_split =
             entries as usize >= self.split_threshold && self.can_split() && depth < 40;
+        if should_split {
+            // Splitting can only resolve the overflow if the records that
+            // would land in *every* child — those whose UBR contains the
+            // split point (the octants' shared corner) — fit in a leaf by
+            // themselves. Otherwise every descendant inherits the full
+            // overflow and the redistribution recursion cascades towards the
+            // depth cap (each level copying the core into 2^d children).
+            // That happens under deletion storms, where deferred maintenance
+            // leaves many catalog UBRs temporarily loose; chaining pages
+            // keeps those leaves flat until `maintain` re-tightens the boxes
+            // and `remove_delta` shrinks the chains back.
+            let center = region.center();
+            let core = {
+                let list = match self.nodes[node as usize].as_ref() {
+                    ONode::Leaf { list, .. } => list,
+                    ONode::Internal(_) => unreachable!(),
+                };
+                let mut core = 0usize;
+                list.for_each_record(&self.pager, &mut Vec::new(), |rec: &[u8]| {
+                    let id = u64::from_le_bytes(rec[0..8].try_into().expect("record has id"));
+                    if ubr_lookup(id).contains_point(&center) {
+                        core += 1;
+                    }
+                });
+                core
+            };
+            should_split = core < self.split_threshold;
+        }
         if !should_split {
-            match &mut self.nodes[node as usize] {
+            match Arc::make_mut(&mut self.nodes[node as usize]) {
                 ONode::Leaf { list, entries } => {
                     list.append(&self.pager, record);
                     *entries += 1;
@@ -225,7 +276,7 @@ impl<P: Pager> Octree<P> {
         }
         // Split: convert the leaf into an internal node with 2^d leaf
         // children and re-route all resident records by their UBRs.
-        let old_records = match &mut self.nodes[node as usize] {
+        let old_records = match Arc::make_mut(&mut self.nodes[node as usize]) {
             ONode::Leaf { list, .. } => {
                 let recs = list.read_all(&self.pager);
                 list.clear(&self.pager);
@@ -236,7 +287,7 @@ impl<P: Pager> Octree<P> {
         self.mem_used -= leaf_node_cost();
         self.mem_used += internal_node_cost(self.dim);
         let children: Vec<u32> = (0..(1 << self.dim)).map(|_| self.alloc_leaf()).collect();
-        self.nodes[node as usize] = ONode::Internal(children.clone());
+        self.nodes[node as usize] = Arc::new(ONode::Internal(children.clone()));
         let child_regions = region.octants();
         for rec in old_records.iter().map(Vec::as_slice).chain([record]) {
             let id = u64::from_le_bytes(rec[0..8].try_into().expect("record has id"));
@@ -263,7 +314,7 @@ impl<P: Pager> Octree<P> {
         let mut node = self.root;
         let mut region = self.domain.clone();
         loop {
-            match &self.nodes[node as usize] {
+            match self.nodes[node as usize].as_ref() {
                 ONode::Internal(children) => {
                     let oct = region.octant_of(q);
                     node = children[oct];
@@ -292,7 +343,7 @@ impl<P: Pager> Octree<P> {
         scratch.hi.extend_from_slice(self.domain.hi());
         let mut node = self.root;
         loop {
-            match &self.nodes[node as usize] {
+            match self.nodes[node as usize].as_ref() {
                 ONode::Internal(children) => {
                     // In-place equivalent of `octant_of` + `octants()[oct]`:
                     // same midpoints, same tie rule (ties go to the upper
@@ -339,7 +390,7 @@ impl<P: Pager> Octree<P> {
         range: &HyperRect,
         sink: &mut dyn FnMut(&[u8]),
     ) {
-        match &self.nodes[node as usize] {
+        match self.nodes[node as usize].as_ref() {
             ONode::Internal(children) => {
                 for (i, child_region) in region.octants().into_iter().enumerate() {
                     if child_region.intersects(range) {
@@ -362,7 +413,7 @@ impl<P: Pager> Octree<P> {
     }
 
     fn remove_rec(&mut self, node: u32, region: HyperRect, ubr: &HyperRect, id: u64) -> usize {
-        match &self.nodes[node as usize] {
+        match self.nodes[node as usize].as_ref() {
             ONode::Internal(children) => {
                 let children = children.clone();
                 let mut removed = 0;
@@ -373,7 +424,7 @@ impl<P: Pager> Octree<P> {
                 }
                 removed
             }
-            ONode::Leaf { .. } => match &mut self.nodes[node as usize] {
+            ONode::Leaf { .. } => match Arc::make_mut(&mut self.nodes[node as usize]) {
                 ONode::Leaf { list, entries } => {
                     let removed = list.retain(&self.pager, |rec| {
                         u64::from_le_bytes(rec[0..8].try_into().expect("record has id")) != id
@@ -383,6 +434,90 @@ impl<P: Pager> Octree<P> {
                 }
                 ONode::Internal(_) => unreachable!(),
             },
+        }
+    }
+
+    /// Registers each record in every leaf overlapping `cover` that does
+    /// not already hold a record of the same id (dedup by scanning the
+    /// leaf once for the whole batch).
+    ///
+    /// Unlike [`Octree::insert_delta`] this makes no assumption about where
+    /// the records currently live, so a caller can extend objects' leaf
+    /// coverage by an arbitrary rectangle. The deletion-maintenance path
+    /// uses it to register all affected neighbours exactly where they can
+    /// newly win — the removed object's UBR — instead of everywhere under
+    /// the (potentially huge) bounding box of each neighbour's union, and
+    /// in one traversal instead of one per neighbour.
+    pub fn insert_covering(
+        &mut self,
+        cover: &HyperRect,
+        records: &[&[u8]],
+        ubr_lookup: &dyn Fn(u64) -> HyperRect,
+    ) {
+        self.insert_covering_rec(
+            self.root,
+            self.domain.clone(),
+            cover,
+            records,
+            ubr_lookup,
+            0,
+        );
+    }
+
+    fn insert_covering_rec(
+        &mut self,
+        node: u32,
+        region: HyperRect,
+        cover: &HyperRect,
+        records: &[&[u8]],
+        ubr_lookup: &dyn Fn(u64) -> HyperRect,
+        depth: usize,
+    ) {
+        match self.nodes[node as usize].as_ref() {
+            ONode::Internal(children) => {
+                let children = children.clone();
+                for (i, child_region) in region.octants().into_iter().enumerate() {
+                    if child_region.intersects(cover) {
+                        self.insert_covering_rec(
+                            children[i],
+                            child_region,
+                            cover,
+                            records,
+                            ubr_lookup,
+                            depth + 1,
+                        );
+                    }
+                }
+            }
+            ONode::Leaf { list, .. } => {
+                fn rec_id(rec: &[u8]) -> u64 {
+                    u64::from_le_bytes(rec[0..8].try_into().expect("record has id"))
+                }
+                let mut present: Vec<u64> = Vec::with_capacity(records.len());
+                list.for_each_record(&self.pager, &mut Vec::new(), |rec: &[u8]| {
+                    present.push(rec_id(rec));
+                });
+                for (i, record) in records.iter().enumerate() {
+                    if present.contains(&rec_id(record)) {
+                        continue;
+                    }
+                    // An insert can split the leaf; re-descend with the
+                    // remaining batch (the dedup scan makes re-visiting the
+                    // just-inserted record a no-op).
+                    if matches!(self.nodes[node as usize].as_ref(), ONode::Internal(_)) {
+                        self.insert_covering_rec(
+                            node,
+                            region,
+                            cover,
+                            &records[i..],
+                            ubr_lookup,
+                            depth,
+                        );
+                        return;
+                    }
+                    self.leaf_insert(node, region.clone(), record, ubr_lookup, depth);
+                }
+            }
         }
     }
 
@@ -419,7 +554,7 @@ impl<P: Pager> Octree<P> {
         ubr_lookup: &dyn Fn(u64) -> HyperRect,
         depth: usize,
     ) {
-        match &self.nodes[node as usize] {
+        match self.nodes[node as usize].as_ref() {
             ONode::Internal(children) => {
                 let children = children.clone();
                 for (i, child_region) in region.octants().into_iter().enumerate() {
@@ -460,7 +595,7 @@ impl<P: Pager> Octree<P> {
         new_ubr: &HyperRect,
         id: u64,
     ) -> usize {
-        match &self.nodes[node as usize] {
+        match self.nodes[node as usize].as_ref() {
             ONode::Internal(children) => {
                 let children = children.clone();
                 let mut removed = 0;
@@ -476,7 +611,7 @@ impl<P: Pager> Octree<P> {
                 if region.intersects(new_ubr) {
                     return 0; // stays registered here
                 }
-                match &mut self.nodes[node as usize] {
+                match Arc::make_mut(&mut self.nodes[node as usize]) {
                     ONode::Leaf { list, entries } => {
                         let removed = list.retain(&self.pager, |rec| {
                             u64::from_le_bytes(rec[0..8].try_into().expect("record has id")) != id
@@ -503,7 +638,7 @@ impl<P: Pager> Octree<P> {
 
     fn stats_rec(&self, node: u32, depth: usize, st: &mut OctreeStats) {
         st.depth = st.depth.max(depth);
-        match &self.nodes[node as usize] {
+        match self.nodes[node as usize].as_ref() {
             ONode::Internal(children) => {
                 st.internal_nodes += 1;
                 for &c in children {
@@ -541,7 +676,7 @@ impl<P: Pager> Octree<P> {
         codec::put_u32(&mut out, self.split_threshold as u32);
         codec::put_u32(&mut out, self.nodes.len() as u32);
         for node in &self.nodes {
-            match node {
+            match node.as_ref() {
                 ONode::Internal(children) => {
                     codec::put_u16(&mut out, 0);
                     for &c in children {
@@ -597,15 +732,15 @@ impl<P: Pager> Octree<P> {
                     {
                         return Err(invalid("octree snapshot child index"));
                     }
-                    nodes.push(ONode::Internal(children));
+                    nodes.push(Arc::new(ONode::Internal(children)));
                 }
                 1 => {
                     let head = PageId(r.try_u64()?);
                     let entries = r.try_u32()?;
-                    nodes.push(ONode::Leaf {
+                    nodes.push(Arc::new(ONode::Leaf {
                         list: PageList::from_head(head),
                         entries,
-                    });
+                    }));
                 }
                 t => {
                     return Err(codec::DecodeError::UnknownTag {
@@ -995,6 +1130,61 @@ mod tests {
         let mut bad = snap.clone();
         bad[0] = 0xFF; // absurd dimensionality
         assert!(Octree::<MemPager>::from_snapshot(pager, &bad).is_err());
+    }
+
+    #[test]
+    fn fork_shares_structure_and_diverges_on_write() {
+        let pager = MemPager::new(512);
+        let mut tree = Octree::new(pager.clone(), domain2d(), 1 << 20, 40);
+        let objs = random_objects(400, 47);
+        insert_all(&mut tree, &objs);
+        let before = tree.stats();
+
+        let fork_pager = pager.fork();
+        let mut fork = tree.fork(fork_pager.clone());
+        assert_eq!(fork.stats(), before);
+
+        // Mutate only the fork: remove one object and insert a fresh one.
+        let lookup_src: std::collections::HashMap<u64, HyperRect> = objs.iter().cloned().collect();
+        let (gone_id, gone_ubr) = objs[7].clone();
+        fork.remove(&gone_ubr, gone_id);
+        let fresh = HyperRect::new(vec![48.0, 48.0], vec![52.0, 52.0]);
+        let lookup = {
+            let fresh = fresh.clone();
+            move |i: u64| {
+                if i == 7777 {
+                    fresh.clone()
+                } else {
+                    lookup_src[&i].clone()
+                }
+            }
+        };
+        fork.insert(&fresh, &encode_leaf_record(7777, &fresh), &lookup);
+
+        // The original tree is bit-for-bit unaffected.
+        assert_eq!(tree.stats(), before);
+        let probe = gone_ubr.center();
+        let orig_ids: Vec<u64> = tree
+            .point_query(&probe)
+            .iter()
+            .map(|r| decode_leaf_record(r, 2).0)
+            .collect();
+        assert!(orig_ids.contains(&gone_id), "original must keep the object");
+        let fork_ids: Vec<u64> = fork
+            .point_query(&probe)
+            .iter()
+            .map(|r| decode_leaf_record(r, 2).0)
+            .collect();
+        assert!(!fork_ids.contains(&gone_id), "fork must have removed it");
+
+        // The fork copied only the pages it touched, not the whole device.
+        assert!(
+            (fork_pager.cow_copies() as usize) < pager.live_pages() / 2,
+            "fork copied {} of {} pages — not structural sharing",
+            fork_pager.cow_copies(),
+            pager.live_pages()
+        );
+        assert!(fork_pager.shared_pages() > 0, "no page stayed shared");
     }
 
     #[test]

@@ -77,13 +77,13 @@ pub(crate) struct ChildRef {
     pub node: NodeId,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum NodeKind {
     Leaf(Vec<Entry>),
     Internal(Vec<ChildRef>),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub kind: NodeKind,
     /// Height above the leaves: 0 for leaf nodes.
@@ -127,6 +127,24 @@ pub struct RTree {
     pub(crate) reinserted_levels: Vec<bool>,
     /// Query/maintenance statistics.
     pub stats: RTreeStats,
+}
+
+impl Clone for RTree {
+    /// Deep-copies the arena; the clone starts with fresh (zeroed)
+    /// statistics, since `RTreeStats` counters describe one handle's query
+    /// traffic, not tree shape.
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            params: self.params,
+            dim: self.dim,
+            len: self.len,
+            free: self.free.clone(),
+            reinserted_levels: self.reinserted_levels.clone(),
+            stats: RTreeStats::default(),
+        }
+    }
 }
 
 impl RTree {

@@ -9,6 +9,7 @@
 use crate::pager::{IoStats, PageId, Pager};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Hit/miss counters for the pool.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -22,7 +23,13 @@ pub struct BufferStats {
 }
 
 struct Frame {
-    data: Vec<u8>,
+    /// Cached page bytes. `Arc`-shared so [`BufferPool::frame`] can hand out
+    /// zero-copy views; a later write copy-on-writes the frame rather than
+    /// mutating bytes under an outstanding view — the same page discipline
+    /// as [`MemPager::fork`](crate::MemPager::fork). When a `BufferPool`
+    /// fronts a [`FilePager`](crate::FilePager), this *is* the file pager's
+    /// in-memory layer.
+    data: Arc<[u8]>,
     dirty: bool,
     /// Logical clock of last use (for LRU eviction).
     last_used: u64,
@@ -84,6 +91,19 @@ impl<P: Pager> BufferPool<P> {
         &self.inner
     }
 
+    /// Zero-copy view of a cached page, if resident. The returned `Arc` is a
+    /// stable snapshot: a subsequent [`Pager::write`] to the same id
+    /// copy-on-writes the frame instead of mutating the shared bytes.
+    pub fn frame(&self, id: PageId) -> Option<Arc<[u8]>> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        st.frames.get_mut(&id).map(|f| {
+            f.last_used = tick;
+            Arc::clone(&f.data)
+        })
+    }
+
     fn evict_if_full(&self, st: &mut PoolState) {
         if st.frames.len() < self.capacity {
             return;
@@ -117,7 +137,7 @@ impl<P: Pager> Pager for BufferPool<P> {
         let tick = st.tick;
         if let Some(frame) = st.frames.get_mut(&id) {
             frame.last_used = tick;
-            let data = frame.data.clone();
+            let data = frame.data.to_vec();
             st.stats.hits += 1;
             return data;
         }
@@ -130,7 +150,7 @@ impl<P: Pager> Pager for BufferPool<P> {
         st.frames.insert(
             id,
             Frame {
-                data: data.clone(),
+                data: Arc::from(&data[..]),
                 dirty: false,
                 last_used: tick,
             },
@@ -144,8 +164,12 @@ impl<P: Pager> Pager for BufferPool<P> {
         st.tick += 1;
         let tick = st.tick;
         if let Some(frame) = st.frames.get_mut(&id) {
-            frame.data.clear();
-            frame.data.extend_from_slice(data);
+            match Arc::get_mut(&mut frame.data) {
+                Some(bytes) => bytes.copy_from_slice(data),
+                // A `frame()` view is outstanding: copy-on-write so the
+                // view keeps seeing the bytes it pinned.
+                None => frame.data = Arc::from(data),
+            }
             frame.dirty = true;
             frame.last_used = tick;
             return;
@@ -154,7 +178,7 @@ impl<P: Pager> Pager for BufferPool<P> {
         st.frames.insert(
             id,
             Frame {
-                data: data.to_vec(),
+                data: Arc::from(data),
                 dirty: true,
                 last_used: tick,
             },
@@ -230,6 +254,23 @@ mod tests {
         assert_eq!(pool.buffer_stats().misses, misses0 + 1);
         pool.read(b); // miss again
         assert_eq!(pool.buffer_stats().misses, misses0 + 2);
+    }
+
+    #[test]
+    fn frame_views_are_stable_across_writes() {
+        let pool = BufferPool::new(MemPager::new(128), 4);
+        let id = pool.alloc();
+        pool.write(id, &[1u8; 128]);
+        let view = pool.frame(id).expect("frame resident after write");
+        assert_eq!(&view[..], &[1u8; 128]);
+        // The write copy-on-writes the frame; the pinned view is unchanged.
+        pool.write(id, &[2u8; 128]);
+        assert_eq!(&view[..], &[1u8; 128]);
+        assert_eq!(pool.read(id), vec![2u8; 128]);
+        // With the view dropped, writes go back to mutating in place.
+        drop(view);
+        pool.write(id, &[3u8; 128]);
+        assert_eq!(&pool.frame(id).unwrap()[..], &[3u8; 128]);
     }
 
     #[test]

@@ -145,6 +145,13 @@ pub trait Pager {
 /// Cloning a `MemPager` is cheap and yields a handle to the *same* disk
 /// (pages and counters are shared), which lets multiple index structures
 /// (octree + hash table) live on one "device" as in the paper's setup.
+///
+/// [`MemPager::fork`] instead yields an *independent* disk whose pages are
+/// structurally shared with the original: each page is an `Arc<[u8]>`, the
+/// fork clones only the page-pointer table, and the first write to a shared
+/// page in either handle copies that one page (copy-on-write). This is what
+/// makes incremental `Db::commit` cheap — a commit touching k objects copies
+/// O(k·log n) pages instead of the whole device.
 #[derive(Clone)]
 pub struct MemPager {
     inner: Arc<PagerInner>,
@@ -154,12 +161,15 @@ struct PagerInner {
     page_size: usize,
     latency: LatencyModel,
     stats: IoStats,
+    /// Pages physically duplicated because a write hit a page whose bytes
+    /// are still shared with a forked pager. See [`MemPager::cow_copies`].
+    cow_copies: AtomicU64,
     state: Mutex<PagerState>,
 }
 
 #[derive(Default)]
 struct PagerState {
-    pages: Vec<Option<Box<[u8]>>>,
+    pages: Vec<Option<Arc<[u8]>>>,
     free_list: Vec<PageId>,
 }
 
@@ -182,6 +192,7 @@ impl MemPager {
                 page_size,
                 latency,
                 stats: IoStats::default(),
+                cow_copies: AtomicU64::new(0),
                 state: Mutex::new(PagerState::default()),
             }),
         }
@@ -191,6 +202,50 @@ impl MemPager {
     pub fn live_pages(&self) -> usize {
         let st = self.inner.state.lock();
         st.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Forks the disk: the new pager sees exactly the same page contents,
+    /// but the two devices evolve independently from here on. Only the
+    /// page-pointer table and free list are copied — page *bytes* stay
+    /// shared until one side overwrites them (each such overwrite bumps
+    /// [`MemPager::cow_copies`] on the writing side).
+    ///
+    /// The fork starts with zeroed I/O counters and a zeroed copy counter.
+    pub fn fork(&self) -> Self {
+        let st = self.inner.state.lock();
+        Self {
+            inner: Arc::new(PagerInner {
+                page_size: self.inner.page_size,
+                latency: self.inner.latency,
+                stats: IoStats::default(),
+                cow_copies: AtomicU64::new(0),
+                state: Mutex::new(PagerState {
+                    pages: st.pages.clone(),
+                    free_list: st.free_list.clone(),
+                }),
+            }),
+        }
+    }
+
+    /// Pages physically copied by this handle because a write landed on a
+    /// page whose bytes were still shared with a fork. Monotonic; starts at
+    /// zero on construction and on every [`MemPager::fork`].
+    ///
+    /// This is the structural-sharing witness used by the COW test harness:
+    /// after a fork, `cow_copies()` bounds how much of the device a writer
+    /// actually duplicated.
+    pub fn cow_copies(&self) -> u64 {
+        self.inner.cow_copies.load(Ordering::Relaxed)
+    }
+
+    /// Number of live pages whose bytes are still shared with at least one
+    /// other pager (fork) or an outstanding snapshot handle.
+    pub fn shared_pages(&self) -> usize {
+        let st = self.inner.state.lock();
+        st.pages
+            .iter()
+            .filter(|p| p.as_ref().is_some_and(|a| Arc::strong_count(a) > 1))
+            .count()
     }
 
     /// Copies the full disk image — one entry per page slot, `None` for
@@ -225,7 +280,7 @@ impl MemPager {
                 .map(|slot| {
                     slot.map(|p| {
                         assert_eq!(p.len(), page_size, "image page has the wrong size");
-                        p.into_boxed_slice()
+                        Arc::from(p.into_boxed_slice())
                     })
                 })
                 .collect();
@@ -247,13 +302,13 @@ impl Pager for MemPager {
     fn alloc(&self) -> PageId {
         self.inner.stats.allocs.fetch_add(1, Ordering::Relaxed);
         let mut st = self.inner.state.lock();
+        let zeroed: Arc<[u8]> = vec![0u8; self.inner.page_size].into();
         if let Some(id) = st.free_list.pop() {
-            st.pages[id.0 as usize] = Some(vec![0u8; self.inner.page_size].into_boxed_slice());
+            st.pages[id.0 as usize] = Some(zeroed);
             return id;
         }
         let id = PageId(st.pages.len() as u64);
-        st.pages
-            .push(Some(vec![0u8; self.inner.page_size].into_boxed_slice()));
+        st.pages.push(Some(zeroed));
         id
     }
 
@@ -291,7 +346,18 @@ impl Pager for MemPager {
             .get_mut(id.0 as usize)
             .unwrap_or_else(|| panic!("write of unallocated page {id:?}"));
         match slot {
-            Some(p) => p.copy_from_slice(data),
+            Some(p) => match Arc::get_mut(p) {
+                // Uniquely owned: overwrite in place.
+                Some(bytes) => bytes.copy_from_slice(data),
+                // Shared with a fork or snapshot: copy-on-write. The write
+                // covers the whole page, so "copying" is materialising a
+                // private page from `data`; the shared original stays
+                // untouched for every other holder.
+                None => {
+                    self.inner.cow_copies.fetch_add(1, Ordering::Relaxed);
+                    *p = Arc::from(data);
+                }
+            },
             None => panic!("write of freed page {id:?}"),
         }
     }
@@ -418,5 +484,84 @@ mod tests {
         // the freed slot is recycled before the array grows
         assert_eq!(restored.alloc(), b);
         assert_eq!(restored.alloc(), PageId(3));
+    }
+
+    #[test]
+    fn fork_sees_the_same_pages_but_diverges_on_write() {
+        let pager = MemPager::new(128);
+        let a = pager.alloc();
+        let b = pager.alloc();
+        pager.write(a, &[1u8; 128]);
+        pager.write(b, &[2u8; 128]);
+
+        let fork = pager.fork();
+        assert_eq!(fork.read(a), vec![1u8; 128]);
+        assert_eq!(fork.read(b), vec![2u8; 128]);
+        assert_eq!(fork.shared_pages(), 2);
+
+        // Writing through the fork leaves the original untouched…
+        fork.write(a, &[9u8; 128]);
+        assert_eq!(fork.read(a), vec![9u8; 128]);
+        assert_eq!(pager.read(a), vec![1u8; 128]);
+        // …and through the original leaves the fork untouched.
+        pager.write(b, &[7u8; 128]);
+        assert_eq!(fork.read(b), vec![2u8; 128]);
+    }
+
+    #[test]
+    fn cow_copies_counts_only_writes_to_shared_pages() {
+        let pager = MemPager::new(128);
+        for _ in 0..8 {
+            let id = pager.alloc();
+            pager.write(id, &[5u8; 128]);
+        }
+        assert_eq!(pager.cow_copies(), 0, "no fork yet, nothing shared");
+
+        let fork = pager.fork();
+        assert_eq!(fork.cow_copies(), 0, "fork starts with a zeroed counter");
+        fork.write(PageId(0), &[1u8; 128]);
+        fork.write(PageId(1), &[1u8; 128]);
+        assert_eq!(fork.cow_copies(), 2);
+        // A second write to an already-private page copies nothing.
+        fork.write(PageId(0), &[2u8; 128]);
+        assert_eq!(fork.cow_copies(), 2);
+        // The other 6 pages stay physically shared.
+        assert_eq!(fork.shared_pages(), 6);
+        assert_eq!(pager.cow_copies(), 0, "the parent never wrote");
+    }
+
+    #[test]
+    fn fork_alloc_and_free_are_independent() {
+        let pager = MemPager::new(128);
+        let a = pager.alloc();
+        let fork = pager.fork();
+
+        // Freeing in the fork must not free the parent's page.
+        fork.free(a);
+        assert_eq!(pager.read(a), vec![0u8; 128]);
+        assert_eq!(fork.live_pages(), 0);
+        assert_eq!(pager.live_pages(), 1);
+
+        // Both sides may now allocate the "same" id in their own space.
+        let fa = fork.alloc();
+        let pa = pager.alloc();
+        fork.write(fa, &[3u8; 128]);
+        pager.write(pa, &[4u8; 128]);
+        assert_eq!(fork.read(fa), vec![3u8; 128]);
+        assert_eq!(pager.read(pa), vec![4u8; 128]);
+    }
+
+    #[test]
+    fn image_is_identical_across_fork_history() {
+        // Canonical serialisation must not depend on sharing: a fork that
+        // never wrote produces a byte-identical image.
+        let pager = MemPager::new(128);
+        for i in 0..5u8 {
+            let id = pager.alloc();
+            pager.write(id, &[i; 128]);
+        }
+        pager.free(PageId(2));
+        let fork = pager.fork();
+        assert_eq!(pager.image(), fork.image());
     }
 }

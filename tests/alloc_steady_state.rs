@@ -114,4 +114,24 @@ fn steady_state_query_batch_allocates_nothing() {
         single_allocs, 0,
         "Db session steady-state queries performed {single_allocs} heap allocations"
     );
+
+    // Since PR 6 the published engine after a commit is a page-level COW
+    // fork, not a rebuilt index: its pages are Arc-shared with the previous
+    // version. Reads on a forked engine must stay allocation-free too —
+    // sharing may never force a copy or a fresh buffer on the read path.
+    let extra = pv_suite::uncertain::UncertainObject::uniform(
+        90_000,
+        pv_suite::geom::HyperRect::new(vec![40.0, 40.0], vec![44.0, 44.0]),
+        8,
+    );
+    facade.insert(extra).expect("fresh id");
+    let (cow_batch, cow_single) = measure_db_steady_state(&facade, &points, &pruned_spec);
+    assert_eq!(
+        cow_batch, 0,
+        "COW-forked engine steady-state batch performed {cow_batch} heap allocations"
+    );
+    assert_eq!(
+        cow_single, 0,
+        "COW-forked engine steady-state queries performed {cow_single} heap allocations"
+    );
 }

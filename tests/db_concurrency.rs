@@ -224,6 +224,113 @@ fn sessions_under_write_load_answer_from_consistent_states() {
 }
 
 #[test]
+fn pinned_snapshots_survive_many_later_cow_commits_intact() {
+    // COW torture (PR 6): readers pin snapshots and *hold* them while the
+    // writer churns through many page-level copy-on-write commits, then
+    // verify the pinned state only after the full history has been written
+    // on top of it. Any commit that mutates a page shared with an older
+    // version corrupts that version retroactively — this test fails loudly
+    // if it does, where `readers_always_observe_a_published_snapshot`
+    // (which verifies each snapshot immediately) could race past it.
+    let seed_db = synthetic(&SyntheticConfig {
+        n: 80,
+        dim: 2,
+        max_side: 150.0,
+        samples: 8,
+        seed: 6,
+    });
+    let steps = 40;
+    let (ops, states) = build_script(&seed_db, steps);
+    let scans: Vec<LinearScan> = states
+        .iter()
+        .map(|objs| LinearScan::new(&UncertainDb::new(seed_db.domain.clone(), objs.clone())))
+        .collect();
+    let expected_ids: Vec<Vec<u64>> = states
+        .iter()
+        .map(|objs| {
+            let mut ids: Vec<u64> = objs.iter().map(|o| o.id).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+
+    let db = Db::new(PvIndex::build(&seed_db, PvParams::default()));
+    let qs = queries::uniform(&seed_db.domain, 5, 29);
+    let spec = QuerySpec::new().with_top_k(4);
+    let done = AtomicBool::new(false);
+    let start = Barrier::new(3); // 2 pinning readers + 1 writer
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            handles.push(scope.spawn(|| {
+                start.wait();
+                // Pin snapshots as versions fly by and hold every one of
+                // them until the writer has finished.
+                let mut pinned = vec![db.reader()];
+                while !done.load(Ordering::Relaxed) {
+                    let reader = db.reader();
+                    if reader.version() > pinned.last().unwrap().version() {
+                        pinned.push(reader);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                pinned.push(db.reader()); // the final state too
+                pinned
+            }));
+        }
+        scope.spawn(|| {
+            start.wait();
+            for op in &ops {
+                match op {
+                    Op::Insert(o) => {
+                        db.insert(o.clone()).expect("scripted insert");
+                    }
+                    Op::Remove(id) => {
+                        db.remove(*id).expect("scripted remove");
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+
+        let mut audited = std::collections::BTreeSet::new();
+        for h in handles {
+            for reader in h.join().expect("pinning reader panicked") {
+                // Only now — after all 40 commits have landed — does anyone
+                // look at the old snapshots.
+                let v = reader.version() as usize;
+                assert!(v < expected_ids.len(), "unknown version {v}");
+                assert_eq!(
+                    reader.engine().ids(),
+                    expected_ids[v],
+                    "pinned snapshot {v} was corrupted by later commits"
+                );
+                for q in &qs {
+                    let got = reader.engine().execute(q, &spec).expect("pinned query");
+                    let want = scans[v].execute(q, &spec).expect("ground truth");
+                    assert_eq!(
+                        got.answers, want.answers,
+                        "pinned snapshot {v} answers diverged after later commits"
+                    );
+                }
+                audited.insert(v);
+            }
+        }
+        assert!(
+            audited.len() >= 4,
+            "only {} distinct versions were pinned — torture too weak",
+            audited.len()
+        );
+        assert!(
+            audited.contains(&steps),
+            "the final version must be audited"
+        );
+    });
+}
+
+#[test]
 fn superseded_snapshots_are_freed_once_unpinned() {
     let domain = HyperRect::cube(2, 0.0, 100.0);
     let objects: Vec<UncertainObject> = (0..6u64)

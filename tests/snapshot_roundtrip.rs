@@ -73,6 +73,58 @@ fn pv_index_roundtrips_identically() {
 }
 
 #[test]
+fn save_bytes_are_canonical_across_cow_fork_history() {
+    // Since PR 6, `WritableEngine::fork` shares pages between versions via
+    // copy-on-write instead of round-tripping through the codec. The saved
+    // byte stream must stay canonical regardless: sharing is a physical
+    // artifact, never a logical one.
+    use pv_suite::core::WritableEngine;
+    use pv_suite::geom::HyperRect;
+    use pv_suite::uncertain::UncertainObject;
+
+    let db = db2d(250, 71);
+    let index = PvIndex::build(&db, PvParams::default());
+    let bytes0 = pv_index_to_bytes(&index);
+
+    // An unmutated fork serializes byte-identically to its parent — the
+    // shared pages dump the same image.
+    let untouched = index.fork();
+    assert_eq!(
+        pv_index_to_bytes(&untouched),
+        bytes0,
+        "an unmutated COW fork must serialize byte-identically to its parent"
+    );
+
+    // Commit mutations on a fork: the parent's save bytes must not move —
+    // no COW write may leak through a shared page into the old version.
+    let mut forked = index.fork();
+    forked
+        .insert(UncertainObject::uniform(
+            80_000,
+            HyperRect::new(vec![30.0, 30.0], vec![34.0, 34.0]),
+            16,
+        ))
+        .expect("fresh id");
+    forked.remove(3).expect("seed id");
+    assert_eq!(
+        pv_index_to_bytes(&index),
+        bytes0,
+        "committing on a fork altered the parent's save bytes"
+    );
+
+    // Rollback-equivalent sequence: undo the mutations on the fork and the
+    // *logical* state round-trips — the reloaded fork answers identically
+    // to the pristine index (physical page layout may differ, so we compare
+    // semantics, the contract the codec actually promises).
+    forked.remove(80_000).expect("just inserted");
+    forked
+        .insert(db.objects.iter().find(|o| o.id == 3).unwrap().clone())
+        .expect("restoring the seed object");
+    let reloaded = pv_index_from_bytes(&pv_index_to_bytes(&forked)).unwrap();
+    assert_identical(&index, &reloaded, &queries::uniform(&db.domain, 25, 5));
+}
+
+#[test]
 fn rtree_baseline_roundtrips_identically() {
     let db = db2d(250, 71);
     let params = PvParams::default();

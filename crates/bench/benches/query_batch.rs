@@ -16,9 +16,7 @@ fn bench_query_batch(c: &mut Criterion) {
     let index = PvIndex::build(&db, params);
     let baseline = RTreeBaseline::build(&db, params.rtree_fanout, params.page_size);
     let qs = queries::uniform(&db.domain, 128, 11);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     for (label, threads) in [("seq", 1usize), ("par", cores)] {
         let spec = QuerySpec::new().with_top_k(5).with_batch_threads(threads);

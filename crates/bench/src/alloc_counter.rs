@@ -25,29 +25,41 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static REGISTERED: AtomicBool = AtomicBool::new(false);
 
 /// System-allocator wrapper counting every allocation and reallocation.
+#[derive(Debug)]
 pub struct CountingAllocator;
 
 // SAFETY: defers every operation to `System`, only adding relaxed counter
 // bumps, which are allocation-free and reentrancy-safe.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: pure pass-through — the caller's obligations are `System`'s.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         REGISTERED.store(true, Ordering::Relaxed);
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: `layout` is forwarded unchanged, so `System`'s contract is
+        // the caller's contract; the counter bumps cannot allocate or unwind.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: pure pass-through — the caller's obligations are `System`'s.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr`/`layout` come from the caller's matching `alloc`,
+        // which this wrapper served from `System` with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: pure pass-through — the caller's obligations are `System`'s.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr` was allocated by `System` via this wrapper with
+        // `layout`; the `new_size` obligations transfer verbatim.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: pure pass-through — the caller's obligations are `System`'s.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
+        // SAFETY: `layout` is forwarded unchanged to `System.alloc_zeroed`.
+        unsafe { System.alloc_zeroed(layout) }
     }
 }
 

@@ -9,6 +9,7 @@
 //!   fig10a fig10b fig10c fig10d fig10e fig10f fig10g fig10hi
 //!   params updquality engines snapshot
 //!   report   (bench-trajectory snapshot -> BENCH_pr<N>.json)
+//!   lint     (pv-lint static-invariant pass; non-zero exit on violations)
 //!   fig9     (all of figure 9)    fig10   (all of figure 10)
 //!   all      (everything)
 //! ```
@@ -93,6 +94,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "snapshot" => figures::snapshot(ctx),
         "updquality" => figures::update_quality(ctx),
         "report" => trajectory::report(ctx, &format!("BENCH_pr{}.json", trajectory::TRAJECTORY_PR)),
+        "lint" => run_lint(),
         "fig9" => {
             figures::fig9a(ctx);
             figures::fig9b(ctx);
@@ -130,6 +132,33 @@ fn run(ctx: &Ctx, cmd: &str) {
     eprintln!("[{cmd} done in {:?}]", t0.elapsed());
 }
 
+/// `experiments lint`: run the pv-lint static-invariant pass over the
+/// workspace (same engine as `cargo run -p pv-lint`), so a perf session can
+/// check the hot-path/unsafe/COW discipline without leaving the harness.
+fn run_lint() {
+    // Walk up from the CWD to the nearest lint.toml, like the standalone
+    // binary does, so this works from any subdirectory of the checkout.
+    let mut root = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    while !root.join("lint.toml").is_file() {
+        if !root.pop() {
+            eprintln!("experiments lint: no lint.toml above the current directory");
+            std::process::exit(2);
+        }
+    }
+    match pv_lint::lint_root(&root) {
+        Ok(report) => {
+            print!("{}", report.to_text());
+            if !report.clean() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("experiments lint: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn print_help() {
     println!(
         "experiments — regenerate the tables/figures of the ICDE'13 PV-index paper\n\
@@ -137,6 +166,6 @@ fn print_help() {
          usage: experiments [--preset tiny|small|paper] [--threads N] <command>...\n\
          \n\
          commands: table1, fig9a..fig9h, fig9efg, fig10a..fig10i, fig10hi,\n\
-         params, updquality, space, engines, snapshot, report, fig9, fig10, all"
+         params, updquality, space, engines, snapshot, report, lint, fig9, fig10, all"
     );
 }

@@ -193,7 +193,7 @@ pub fn fig9efg(ctx: &Ctx) {
             d.to_string(),
             Table::ms(rt.tq),
             Table::ms(pv.tq),
-            uv_tq.map(Table::ms).unwrap_or_else(|| "-".into()),
+            uv_tq.map_or_else(|| "-".into(), Table::ms),
         ]);
         tf.row(vec![
             d.to_string(),
@@ -1007,7 +1007,7 @@ pub fn snapshot(ctx: &Ctx) {
         let t0 = Instant::now();
         save(&built, &path);
         let save_time = t0.elapsed();
-        let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let file_bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
         let t0 = Instant::now();
         let loaded = load(&path);
         let load_time = t0.elapsed();

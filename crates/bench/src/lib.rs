@@ -112,9 +112,7 @@ impl Ctx {
     pub fn new(preset: Preset) -> Self {
         Self {
             preset,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         }
     }
 

@@ -6,6 +6,7 @@ use std::path::PathBuf;
 
 /// A simple result table: header row + data rows, printed aligned and
 /// mirrored to `results/<name>.csv`.
+#[derive(Debug)]
 pub struct Table {
     name: String,
     title: String,
@@ -19,7 +20,7 @@ impl Table {
         Self {
             name: name.to_string(),
             title: title.to_string(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -42,7 +43,7 @@ impl Table {
 
     /// Prints the aligned table to stdout and writes the CSV.
     pub fn finish(self) {
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());

@@ -28,6 +28,16 @@ pub struct RTreeBaseline {
     pub(crate) domain: HyperRect,
 }
 
+impl std::fmt::Debug for RTreeBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RTreeBaseline")
+            .field("objects", &self.objects.len())
+            .field("fanout", &self.fanout)
+            .field("page_size", &self.page_size)
+            .finish_non_exhaustive()
+    }
+}
+
 impl RTreeBaseline {
     /// Bulk-loads the R*-tree over the database's uncertainty regions.
     pub fn build(db: &UncertainDb, fanout: usize, page_size: usize) -> Self {

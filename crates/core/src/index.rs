@@ -72,6 +72,16 @@ pub struct PvIndex {
     pub(crate) stale: BTreeSet<u64>,
 }
 
+impl std::fmt::Debug for PvIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PvIndex")
+            .field("dim", &self.dim)
+            .field("objects", &self.objects.len())
+            .field("stale", &self.stale.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Encodes a secondary-index record: a tag selecting the UBR
 /// representation — `0`: raw `2d × f64` corners; `1`: grid-quantized
 /// corners (`steps: u16` then `2d × u16` cell indices, the §VIII

@@ -148,6 +148,9 @@ pub struct BatchSlots {
     /// Per-query outcomes of the latest run, in input order.
     pub outcomes: Vec<QueryOutcome>,
     scratches: Vec<QueryScratch>,
+    /// One error slot per worker, reused across runs so the parallel path
+    /// can report a worker failure without allocating a channel.
+    errors: Vec<Option<QueryError>>,
 }
 
 impl BatchSlots {
@@ -589,8 +592,7 @@ pub trait ProbNnEngine: Step1Engine {
         let mut pc_io = 0u64;
         scratch.spans.clear();
         scratch.dists.clear();
-        for i in 0..scratch.order.len() {
-            let (id, mind_sq) = scratch.order[i];
+        for (i, &(id, mind_sq)) in scratch.order.iter().enumerate() {
             if prune && mind_sq > cutoff_sq {
                 // Sorted ascending: every remaining candidate is proven
                 // irrelevant too (see the module-level soundness argument).
@@ -606,9 +608,14 @@ pub trait ProbNnEngine: Step1Engine {
             }
             let start = scratch.dists.len() as u32;
             pc_io += self.fetch_dists_sq(id, q, &mut scratch.dists, &mut scratch.fetch);
-            scratch.dists[start as usize..].sort_unstable_by(f64::total_cmp);
-            if scratch.dists.len() as u32 > start {
-                cutoff_sq = cutoff_sq.min(*scratch.dists.last().expect("non-empty"));
+            // `start ≤ len` always holds (the fetch only appends), so the
+            // slice is `Some`; its sorted last element is the candidate's
+            // farthest instance, which tightens the prune cutoff.
+            if let Some(new_dists) = scratch.dists.get_mut(start as usize..) {
+                new_dists.sort_unstable_by(f64::total_cmp);
+                if let Some(&farthest_sq) = new_dists.last() {
+                    cutoff_sq = cutoff_sq.min(farthest_sq);
+                }
             }
             scratch
                 .spans
@@ -683,8 +690,11 @@ pub trait ProbNnEngine: Step1Engine {
     /// threads only the worker spawns allocate.
     ///
     /// # Errors
-    /// Validated up front like [`ProbNnEngine::query_batch`]; on error
-    /// `slots` is left untouched.
+    /// Validated up front like [`ProbNnEngine::query_batch`]; on a
+    /// validation error `slots` is left untouched. A per-query failure
+    /// during execution (defensive — up-front validation covers every
+    /// current [`QueryError`]) is propagated too, with the outcomes written
+    /// so far left in place.
     fn query_batch_into(
         &self,
         points: &[Point],
@@ -701,9 +711,7 @@ pub trait ProbNnEngine: Step1Engine {
         let threads = spec
             .batch_threads()
             .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
             })
             .clamp(1, points.len().max(1));
         // Chunk rounding can need fewer workers than requested (e.g. 10
@@ -718,26 +726,36 @@ pub trait ProbNnEngine: Step1Engine {
             slots.scratches.resize_with(workers, QueryScratch::default);
         }
         if workers <= 1 {
-            let scratch = &mut slots.scratches[0];
-            for (q, out) in points.iter().zip(slots.outcomes.iter_mut()) {
-                self.execute_into(q, spec, scratch, out)
-                    .expect("points validated before dispatch");
+            // `scratches` was just resized to at least one entry, so
+            // `first_mut` is `Some`; errors propagate directly.
+            if let Some(scratch) = slots.scratches.first_mut() {
+                for (q, out) in points.iter().zip(slots.outcomes.iter_mut()) {
+                    self.execute_into(q, spec, scratch, out)?;
+                }
             }
         } else {
+            slots.errors.clear();
+            slots.errors.resize_with(workers, || None);
             std::thread::scope(|scope| {
-                for ((ps, outs), scratch) in points
+                for (((ps, outs), scratch), err) in points
                     .chunks(chunk)
                     .zip(slots.outcomes.chunks_mut(chunk))
                     .zip(slots.scratches.iter_mut())
+                    .zip(slots.errors.iter_mut())
                 {
                     scope.spawn(move || {
                         for (q, out) in ps.iter().zip(outs.iter_mut()) {
-                            self.execute_into(q, spec, scratch, out)
-                                .expect("points validated before dispatch");
+                            if let Err(e) = self.execute_into(q, spec, scratch, out) {
+                                *err = Some(e);
+                                return;
+                            }
                         }
                     });
                 }
             });
+            if let Some(e) = slots.errors.iter_mut().find_map(Option::take) {
+                return Err(e);
+            }
         }
         Ok(BatchStats {
             queries: points.len(),

@@ -126,7 +126,7 @@ pub fn try_build_stats(r: &mut codec::Reader) -> Result<BuildStats, DecodeError>
 /// freed slots as holes — so page ids survive the round trip.
 pub fn put_pager_image(out: &mut Vec<u8>, pager: &MemPager) {
     let image = pager.image();
-    codec::put_u32(out, pager.page_size() as u32);
+    codec::put_u32_len(out, pager.page_size());
     codec::put_u64(out, image.len() as u64);
     for slot in image {
         match slot {
@@ -161,7 +161,7 @@ pub fn try_pager_image(r: &mut codec::Reader) -> Result<MemPager, DecodeError> {
             t => {
                 return Err(DecodeError::UnknownTag {
                     context: "pager image slot",
-                    tag: t as u16,
+                    tag: t.into(),
                 })
             }
         }
@@ -196,12 +196,12 @@ fn try_objects(r: &mut codec::Reader) -> Result<Vec<UncertainObject>, DecodeErro
 
 fn put_params(out: &mut Vec<u8>, p: &PvParams) {
     codec::put_f64(out, p.delta);
-    codec::put_u32(out, p.mmax as u32);
+    codec::put_u32_len(out, p.mmax);
     put_cset(out, p.cset);
-    codec::put_u32(out, p.page_size as u32);
+    codec::put_u32_len(out, p.page_size);
     codec::put_u64(out, p.mem_budget as u64);
-    codec::put_u32(out, p.rtree_fanout as u32);
-    codec::put_u32(out, p.build_threads as u32);
+    codec::put_u32_len(out, p.rtree_fanout);
+    codec::put_u32_len(out, p.build_threads);
     match p.ubr_quantize_steps {
         None => codec::put_u16(out, 0),
         Some(steps) => {
@@ -211,7 +211,7 @@ fn put_params(out: &mut Vec<u8>, p: &PvParams) {
     }
     // Snapshot v2 (PR 6): commit-path maintenance tuning.
     put_cset(out, p.update_cset);
-    codec::put_u32(out, p.update_budget as u32);
+    codec::put_u32_len(out, p.update_budget);
 }
 
 fn put_cset(out: &mut Vec<u8>, strategy: CSetStrategy) {
@@ -219,15 +219,15 @@ fn put_cset(out: &mut Vec<u8>, strategy: CSetStrategy) {
         CSetStrategy::All => codec::put_u16(out, 0),
         CSetStrategy::Fixed { k } => {
             codec::put_u16(out, 1);
-            codec::put_u32(out, k as u32);
+            codec::put_u32_len(out, k);
         }
         CSetStrategy::Incremental {
             k_partition,
             k_global,
         } => {
             codec::put_u16(out, 2);
-            codec::put_u32(out, k_partition as u32);
-            codec::put_u32(out, k_global as u32);
+            codec::put_u32_len(out, k_partition);
+            codec::put_u32_len(out, k_global);
         }
     }
 }
@@ -294,7 +294,7 @@ pub fn pv_index_to_bytes(index: &PvIndex) -> Vec<u8> {
     let mut w = SnapshotWriter::new(PV_INDEX_KIND, PV_INDEX_VERSION);
     let out = w.buf();
     put_params(out, &index.params);
-    codec::put_u16(out, index.dim as u16);
+    codec::put_u16_len(out, index.dim);
     put_rect(out, &index.domain);
     put_build_stats(out, &index.build_stats);
     let ids = put_objects(out, &index.objects);
@@ -383,9 +383,9 @@ pub fn pv_index_from_bytes(bytes: &[u8]) -> Result<PvIndex, DecodeError> {
 pub fn rtree_baseline_to_bytes(b: &RTreeBaseline) -> Vec<u8> {
     let mut w = SnapshotWriter::new(RTREE_KIND, RTREE_VERSION);
     let out = w.buf();
-    codec::put_u16(out, b.tree.dim() as u16);
-    codec::put_u32(out, b.fanout as u32);
-    codec::put_u32(out, b.page_size as u32);
+    codec::put_u16_len(out, b.tree.dim());
+    codec::put_u32_len(out, b.fanout);
+    codec::put_u32_len(out, b.page_size);
     put_rect(out, &b.domain);
     put_objects(out, &b.objects);
     w.finish()

@@ -63,6 +63,15 @@ pub struct ExtHash<P: Pager> {
     len_cache: HashMap<PageId, usize>,
 }
 
+impl<P: Pager> std::fmt::Debug for ExtHash<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtHash")
+            .field("global_depth", &self.global_depth)
+            .field("entries", &self.entries)
+            .finish_non_exhaustive()
+    }
+}
+
 #[inline]
 fn hash_key(key: u64) -> u64 {
     // Fibonacci hashing: multiply by 2^64 / phi and mix high bits down.

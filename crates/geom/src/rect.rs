@@ -332,7 +332,7 @@ mod tests {
         let a = r(&[0.0, 0.0, 0.0], &[2.0, 4.0, 8.0]);
         let kids = a.octants();
         assert_eq!(kids.len(), 8);
-        let total: f64 = kids.iter().map(|k| k.volume()).sum();
+        let total: f64 = kids.iter().map(HyperRect::volume).sum();
         assert!((total - a.volume()).abs() < 1e-9);
         // child 0 is the all-low corner cell
         assert_eq!(kids[0], r(&[0.0, 0.0, 0.0], &[1.0, 2.0, 4.0]));

@@ -116,7 +116,7 @@ proptest! {
 
     #[test]
     fn octant_volumes_sum(r in arb_rect(4)) {
-        let total: f64 = r.octants().iter().map(|k| k.volume()).sum();
+        let total: f64 = r.octants().iter().map(HyperRect::volume).sum();
         prop_assert!((total - r.volume()).abs() <= 1e-6 * r.volume().max(1.0));
     }
 }

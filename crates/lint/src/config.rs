@@ -1,0 +1,305 @@
+//! `lint.toml` — which rules run where.
+//!
+//! The configuration maps each rule to the module globs it governs, so the
+//! invariants stay *declared in one place* instead of hard-coded in the
+//! engine. The file lives at the workspace root; the format is the small
+//! TOML subset below (parsed by hand — the workspace is offline and vendors
+//! nothing new):
+//!
+//! ```toml
+//! # Global excludes apply to every rule.
+//! [lint]
+//! exclude = ["vendor/**", "target/**"]
+//!
+//! # One table per rule: `include` globs select the files it governs,
+//! # `exclude` carves out exceptions within them.
+//! [rule.hot-path-no-panic]
+//! include = ["crates/core/src/query.rs", "crates/core/src/prob.rs"]
+//! ```
+//!
+//! Supported syntax: `[section]` headers (dotted `rule.<name>` sections),
+//! `key = "string"` and `key = ["array", "of", "strings"]` assignments
+//! (arrays may span lines), `#` comments, and blank lines. Anything else is
+//! a [`ConfigError`] with a line number.
+//!
+//! Globs are path-segment based: `*` matches within a segment, `?` one
+//! character, `**` any number of whole segments (including zero).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse failure in `lint.toml`, with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Per-rule file selection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Globs of files the rule governs (empty ⇒ the rule never fires).
+    pub include: Vec<String>,
+    /// Globs carved out of `include`.
+    pub exclude: Vec<String>,
+}
+
+impl RuleConfig {
+    /// True when `path` (workspace-relative, `/`-separated) is governed.
+    pub fn governs(&self, path: &str) -> bool {
+        self.include.iter().any(|g| glob_match(g, path))
+            && !self.exclude.iter().any(|g| glob_match(g, path))
+    }
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Globs excluded from scanning entirely (vendored code, fixtures).
+    pub exclude: Vec<String>,
+    /// Rule-name → file selection.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Parses the `lint.toml` subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section: Option<String> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim();
+                if name != "lint" && name.strip_prefix("rule.").is_none_or(str::is_empty) {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!(
+                            "unknown section [{name}] (expected [lint] or [rule.<name>])"
+                        ),
+                    });
+                }
+                section = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got {line:?}"),
+                });
+            };
+            let key = key.trim();
+            // Arrays may span lines: keep consuming until the bracket closes.
+            let mut value = value.trim().to_string();
+            while value.starts_with('[') && !value.ends_with(']') {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: "unterminated array".to_string(),
+                    });
+                };
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            let values = parse_value(&value).map_err(|message| ConfigError {
+                line: lineno,
+                message,
+            })?;
+            match section.as_deref() {
+                Some("lint") if key == "exclude" => cfg.exclude = values,
+                Some(rule_section) if rule_section.starts_with("rule.") => {
+                    let rule = rule_section["rule.".len()..].to_string();
+                    let entry = cfg.rules.entry(rule).or_default();
+                    match key {
+                        "include" => entry.include = values,
+                        "exclude" => entry.exclude = values,
+                        _ => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!(
+                                    "unknown rule key {key:?} (expected include/exclude)"
+                                ),
+                            })
+                        }
+                    }
+                }
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("key {key:?} outside a known section"),
+                    })
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// True when `path` is excluded from scanning entirely.
+    pub fn excluded(&self, path: &str) -> bool {
+        self.exclude.iter().any(|g| glob_match(g, path))
+    }
+
+    /// The rules governing `path`, in stable (alphabetical) order.
+    pub fn rules_for<'a>(&'a self, path: &str) -> Vec<&'a str> {
+        self.rules
+            .iter()
+            .filter(|(_, rc)| rc.governs(path))
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+}
+
+/// Strips a trailing `#` comment. The config values are globs — no `#`
+/// inside quoted strings to worry about for our own file, but be safe and
+/// only strip a `#` that is not inside quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"string"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut out = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            out.push(parse_string(part)?);
+        }
+        return Ok(out);
+    }
+    Ok(vec![parse_string(value)?])
+}
+
+fn parse_string(part: &str) -> Result<String, String> {
+    part.strip_prefix('"')
+        .and_then(|p| p.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a double-quoted string, got {part:?}"))
+}
+
+/// Segment-wise glob match: `**` spans whole segments, `*`/`?` match within
+/// a segment. Paths use `/` separators (the scanner normalises).
+pub fn glob_match(glob: &str, path: &str) -> bool {
+    let gsegs: Vec<&str> = glob.split('/').collect();
+    let psegs: Vec<&str> = path.split('/').collect();
+    match_segments(&gsegs, &psegs)
+}
+
+fn match_segments(glob: &[&str], path: &[&str]) -> bool {
+    match glob.first() {
+        None => path.is_empty(),
+        Some(&"**") => {
+            // `**` absorbs zero or more whole segments.
+            (0..=path.len()).any(|skip| match_segments(&glob[1..], &path[skip..]))
+        }
+        Some(seg) => {
+            !path.is_empty()
+                && match_one(seg.as_bytes(), path[0].as_bytes())
+                && match_segments(&glob[1..], &path[1..])
+        }
+    }
+}
+
+/// `*`/`?` matching within one path segment.
+fn match_one(glob: &[u8], seg: &[u8]) -> bool {
+    match glob.first() {
+        None => seg.is_empty(),
+        Some(b'*') => (0..=seg.len()).any(|skip| match_one(&glob[1..], &seg[skip..])),
+        Some(b'?') => !seg.is_empty() && match_one(&glob[1..], &seg[1..]),
+        Some(&c) => seg.first() == Some(&c) && match_one(&glob[1..], &seg[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globs() {
+        assert!(glob_match("crates/**", "crates/core/src/query.rs"));
+        assert!(glob_match("crates/*/src/*.rs", "crates/core/src/query.rs"));
+        assert!(!glob_match("crates/*/src/*.rs", "crates/core/src/sub/x.rs"));
+        assert!(glob_match(
+            "**/fixtures/**",
+            "crates/lint/tests/fixtures/a.rs"
+        ));
+        assert!(glob_match("src/lib.rs", "src/lib.rs"));
+        assert!(!glob_match("src/lib.rs", "crates/src/lib.rs"));
+        assert!(glob_match("**", "anything/at/all.rs"));
+        assert!(glob_match(
+            "crates/core/src/quer?.rs",
+            "crates/core/src/query.rs"
+        ));
+    }
+
+    #[test]
+    fn parse_minimal_config() {
+        let cfg = Config::parse(
+            r#"
+            # comment
+            [lint]
+            exclude = ["vendor/**"] # trailing comment
+
+            [rule.hot-path-no-panic]
+            include = [
+                "crates/core/src/query.rs",
+                "crates/core/src/prob.rs",
+            ]
+            exclude = ["crates/core/src/prob_test.rs"]
+            "#,
+        )
+        .unwrap();
+        assert!(cfg.excluded("vendor/rand/src/lib.rs"));
+        assert!(!cfg.excluded("crates/core/src/query.rs"));
+        let rc = &cfg.rules["hot-path-no-panic"];
+        assert!(rc.governs("crates/core/src/query.rs"));
+        assert!(!rc.governs("crates/core/src/db.rs"));
+        assert!(!rc.governs("crates/core/src/prob_test.rs"));
+        assert_eq!(
+            cfg.rules_for("crates/core/src/prob.rs"),
+            vec!["hot-path-no-panic"]
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let err = Config::parse("[lint]\nbogus").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(Config::parse("[wat]\n").is_err());
+        assert!(Config::parse("[rule.x]\ninclude = unquoted").is_err());
+        assert!(Config::parse("[rule.x]\nwhatever = \"v\"").is_err());
+    }
+
+    #[test]
+    fn single_string_values_and_multiline_arrays() {
+        let cfg = Config::parse("[rule.r]\ninclude = \"a/b.rs\"").unwrap();
+        assert!(cfg.rules["r"].governs("a/b.rs"));
+        let cfg = Config::parse("[rule.r]\ninclude = [\n \"x.rs\",\n \"y.rs\"\n]").unwrap();
+        assert_eq!(cfg.rules["r"].include, vec!["x.rs", "y.rs"]);
+    }
+}

@@ -1,0 +1,467 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! `pv-lint` needs just enough lexical structure to tell code from comments
+//! and strings, match identifiers and punctuation, and attach line numbers
+//! to findings. Pulling in `syn` would mean vendoring it (the build
+//! environment is offline), so this module implements the subset of the
+//! Rust lexical grammar the rules require, by hand:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/** … */`);
+//! * cooked strings with escapes, byte strings (`b"…"`), C strings
+//!   (`c"…"`), and raw strings with arbitrary hash fences
+//!   (`r#"…"#`, `br##"…"##`);
+//! * char literals vs. lifetimes (`'a'` vs `'a`), including escaped chars;
+//! * raw identifiers (`r#type`), numeric literals with suffixes and
+//!   exponents, and single-character punctuation.
+//!
+//! Two properties matter more than grammatical perfection, and both are
+//! enforced by the proptest suite in `tests/lexer_roundtrip.rs`:
+//!
+//! 1. **Totality** — [`lex`] never panics, on any byte sequence. Malformed
+//!    input (unterminated strings/comments, stray quotes) degrades to a
+//!    best-effort token that runs to end of input.
+//! 2. **Losslessness** — concatenating every token's text reproduces the
+//!    input byte-for-byte, so line numbers and spans are always exact.
+
+/// The lexical class of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` to end of line, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */`, nested, including `/** … */` doc comments.
+    BlockComment,
+    /// Identifiers and keywords, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// A cooked string: `"…"`, `b"…"`, `c"…"`.
+    Str,
+    /// A raw string: `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStr,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// One punctuation character (`::` is two `Punct` tokens).
+    Punct,
+}
+
+/// One lexed token: a classified byte span of the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for whitespace and comments — tokens the rules skip over.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Lexes `src` completely. Total (never panics) and lossless (token texts
+/// concatenate back to `src`); see the module docs.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.whitespace(),
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'\'' => self.quote(),
+                b'"' => self.cooked_string(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct
+                }
+            };
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn whitespace(&mut self) -> TokenKind {
+        while self
+            .peek(0)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.bump();
+        }
+        TokenKind::Whitespace
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1u32;
+        while depth > 0 && self.pos < self.src.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// At a `'`: a lifetime, a char literal, or a stray quote.
+    fn quote(&mut self) -> TokenKind {
+        match self.peek(1) {
+            // `'\…'` — escaped char literal; `char_tail` owns the escape.
+            Some(b'\\') => {
+                self.pos += 1; // opening `'`
+                self.char_tail()
+            }
+            Some(n) if is_ident_start(n) => {
+                // `'a'` is a char; `'a` / `'static` are lifetimes. Scan the
+                // identifier run and decide by the byte that follows it.
+                let mut j = self.pos + 2;
+                while self.src.get(j).copied().is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.src.get(j) == Some(&b'\'') {
+                    self.pos = j + 1;
+                    TokenKind::Char
+                } else {
+                    self.pos = j;
+                    TokenKind::Lifetime
+                }
+            }
+            // `'('` and friends: a char literal iff a quote closes it.
+            Some(_) if self.peek(2) == Some(b'\'') => {
+                self.pos += 3;
+                TokenKind::Char
+            }
+            _ => {
+                self.pos += 1;
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Finishes a char literal whose opening `'` (and any `\`) is consumed.
+    fn char_tail(&mut self) -> TokenKind {
+        // The escape target (or `{…}` of `\u`) runs to the closing quote.
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.pos += 1;
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+                continue;
+            }
+            if b == b'\'' {
+                self.pos += 1;
+                return TokenKind::Char;
+            }
+            if b == b'\n' {
+                // Unterminated; don't swallow the rest of the file.
+                return TokenKind::Char;
+            }
+            self.bump();
+        }
+        TokenKind::Char
+    }
+
+    fn cooked_string(&mut self) -> TokenKind {
+        self.pos += 1; // opening `"`
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return TokenKind::Str;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str // unterminated: runs to EOF
+    }
+
+    /// Raw string with `hashes` fence hashes; `pos` is at the opening `"`.
+    fn raw_string(&mut self, hashes: usize) -> TokenKind {
+        self.pos += 1; // opening `"`
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"'
+                && self.src[self.pos + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&b| b == b'#')
+                    .count()
+                    == hashes
+            {
+                self.pos += 1 + hashes;
+                return TokenKind::RawStr;
+            }
+            self.bump();
+        }
+        TokenKind::RawStr // unterminated: runs to EOF
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part (any base — `0x…`/`0b…` digits are alphanumeric).
+        while self.peek(0).is_some_and(is_ident_continue) {
+            let prev = self.src[self.pos];
+            self.pos += 1;
+            // `1e-5` / `2E+8`: a sign directly after an exponent marker
+            // continues the literal.
+            if matches!(prev, b'e' | b'E')
+                && self.peek(0).is_some_and(|b| b == b'+' || b == b'-')
+                && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+            {
+                self.pos += 1;
+            }
+        }
+        // Fraction: `.` followed by a digit (so `0..n` and `1.max()` stay
+        // separate tokens).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                let prev = self.src[self.pos];
+                self.pos += 1;
+                if matches!(prev, b'e' | b'E')
+                    && self.peek(0).is_some_and(|b| b == b'+' || b == b'-')
+                    && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        TokenKind::Number
+    }
+
+    /// At an identifier-start byte: a plain identifier, a raw identifier,
+    /// or a prefixed literal (`r"…"`, `br#"…"#`, `b"…"`, `b'…'`, `c"…"`).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let b = self.src[self.pos];
+
+        // Raw-string / raw-identifier prefixes.
+        if b == b'r' || b == b'b' || b == b'c' {
+            let mut j = self.pos + 1;
+            let mut saw_r = b == b'r';
+            // `br`/`cr` two-byte prefixes.
+            if !saw_r && self.src.get(j) == Some(&b'r') {
+                saw_r = true;
+                j += 1;
+            }
+            if saw_r {
+                let fence_start = j;
+                while self.src.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                let hashes = j - fence_start;
+                if self.src.get(j) == Some(&b'"') {
+                    self.pos = j;
+                    return self.raw_string(hashes);
+                }
+                if hashes > 0 && self.src.get(j).copied().is_some_and(is_ident_start) {
+                    // Raw identifier `r#match` (only valid with exactly one
+                    // `#`, but lex leniently).
+                    self.pos = j;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.pos += 1;
+                    }
+                    return TokenKind::Ident;
+                }
+            }
+            if (b == b'b' || b == b'c') && self.src.get(self.pos + 1) == Some(&b'"') {
+                self.pos += 1;
+                return self.cooked_string();
+            }
+            if b == b'b' && self.src.get(self.pos + 1) == Some(&b'\'') {
+                self.pos += 2; // `b'` — `char_tail` handles any escape
+                return self.char_tail();
+            }
+        }
+
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        TokenKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src, "lossless lexing of {src:?}");
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let ks = kinds("let x = foo.bar[i] + 0x1f;");
+        assert_eq!(ks[0], (TokenKind::Ident, "let"));
+        assert!(ks.contains(&(TokenKind::Number, "0x1f")));
+        assert!(ks.contains(&(TokenKind::Punct, "[")));
+        roundtrip("let x = foo.bar[i] + 0x1f;");
+    }
+
+    #[test]
+    fn floats_ranges_and_method_calls_split_correctly() {
+        assert!(kinds("1.5e-3f64").iter().any(|k| k.1 == "1.5e-3f64"));
+        let r = kinds("0..10");
+        assert_eq!(r[0].1, "0");
+        assert_eq!(r[3].1, "10");
+        let m = kinds("1.max(2)");
+        assert_eq!(m[0], (TokenKind::Number, "1"));
+        assert_eq!(m[2], (TokenKind::Ident, "max"));
+        roundtrip("a[1.5e-3]..0.5 + 1.max(2)");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(ks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(ks.contains(&(TokenKind::Char, "'x'")));
+        assert!(ks.contains(&(TokenKind::Char, "'\\n'")));
+        assert!(kinds("'static").contains(&(TokenKind::Lifetime, "'static")));
+    }
+
+    #[test]
+    fn strings_raw_strings_and_fences() {
+        assert_eq!(kinds(r#""a \" b""#)[0].0, TokenKind::Str);
+        let raw = "r#\"no \" escape\"#";
+        assert_eq!(kinds(raw), vec![(TokenKind::RawStr, raw)]);
+        let raw2 = "r##\"one \"# inside\"##";
+        assert_eq!(kinds(raw2), vec![(TokenKind::RawStr, raw2)]);
+        assert_eq!(kinds("b\"bytes\"")[0].0, TokenKind::Str);
+        assert_eq!(kinds("br#\"raw bytes\"#")[0].0, TokenKind::RawStr);
+        assert_eq!(kinds("b'\\xff'")[0].0, TokenKind::Char);
+        for s in [r#""a \" b""#, raw, raw2, "b'\\xff'"] {
+            roundtrip(s);
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert_eq!(kinds("r#match")[0], (TokenKind::Ident, "r#match"));
+        // …and a raw string right after a raw-ident-looking prefix.
+        assert_eq!(kinds("r\"s\"")[0].0, TokenKind::RawStr);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[1], (TokenKind::Ident, "b"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated /* nested",
+            "'",
+            "b'",
+            "let x = '\\",
+            "r#",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let src = "a\nbb\n\nccc";
+        let toks: Vec<(u32, &str)> = lex(src)
+            .iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.line, t.text(src)))
+            .collect();
+        assert_eq!(toks, vec![(1, "a"), (2, "bb"), (4, "ccc")]);
+    }
+}

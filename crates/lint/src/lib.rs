@@ -1,0 +1,114 @@
+//! `pv-lint` — the suite's own static-analysis pass.
+//!
+//! The workspace makes guarantees that `rustc` cannot check: the Step-2
+//! query hot path performs **zero allocations** per call, the query/commit
+//! paths are **panic-free** (typed errors only), `pv-storage` mutates page
+//! bytes **only through the copy-on-write helpers**, and the on-disk codec
+//! never silently truncates. Those invariants were previously enforced only
+//! dynamically (the counting allocator, stress tests) — a new code path
+//! that dodges the test matrix regresses them silently. This crate walks
+//! the workspace sources with a hand-rolled lexer (offline build — no
+//! `syn`) and enforces the invariants lexically, on every path, at CI time.
+//!
+//! * [`lexer`] — total, lossless Rust lexer.
+//! * [`config`] — `lint.toml` parsing and glob matching (which rules
+//!   govern which files).
+//! * [`rules`] — the rule registry, file analysis, and inline waivers.
+//! * [`report`] — text and JSON rendering.
+//!
+//! Entry points: [`lint_root`] (workspace scan) and
+//! [`rules::check_file`] (single source, used by the fixture tests).
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::{Config, ConfigError};
+pub use report::LintReport;
+pub use rules::{check_file, Diagnostic, Rule, RULES};
+
+/// Lints every `.rs` file under `root` governed by `cfg`.
+///
+/// Paths in diagnostics are `root`-relative and `/`-separated. Unreadable
+/// files (or non-UTF-8 sources) surface as `io::Error`s.
+pub fn lint_with_config(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, cfg, &mut files)?;
+    files.sort();
+    let mut report = LintReport::default();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let rules = cfg.rules_for(rel);
+        let (active, waived) = rules::check_file(rel, &src, &rules);
+        report.diagnostics.extend(active);
+        report.waived.extend(waived);
+        report.files_scanned += 1;
+    }
+    report.finish();
+    Ok(report)
+}
+
+/// Lints the workspace at `root` using its `lint.toml`.
+pub fn lint_root(root: &Path) -> io::Result<LintReport> {
+    let cfg_text = fs::read_to_string(root.join("lint.toml"))?;
+    let cfg = Config::parse(&cfg_text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    validate_rule_names(&cfg).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    lint_with_config(root, &cfg)
+}
+
+/// Rejects configs naming rules the engine does not implement — a typo in
+/// `lint.toml` must not silently disable an invariant.
+pub fn validate_rule_names(cfg: &Config) -> Result<(), String> {
+    for name in cfg.rules.keys() {
+        if rules::rule_by_name(name).is_none() {
+            return Err(format!(
+                "lint.toml names unknown rule `{name}` (known: {})",
+                RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Recursively gathers workspace-relative `.rs` paths, pruning `.git`,
+/// `target`, and config-excluded subtrees.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if name == ".git" || name == "target" {
+                continue;
+            }
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            if !cfg.excluded(&rel) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,96 @@
+//! The `pv-lint` binary: `cargo run -p pv-lint [-- --format json]`.
+//!
+//! Exit codes: `0` clean, `1` non-waived violations, `2` usage or I/O
+//! error. The workspace root is located by walking up from the current
+//! directory to the nearest `lint.toml` (override with `--root`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pv_lint::{lint_root, RULES};
+
+const USAGE: &str = "\
+pv-lint — static invariants for the pv suite
+
+USAGE:
+    cargo run -p pv-lint [-- OPTIONS]
+
+OPTIONS:
+    --format <text|json>   Output format (default: text)
+    --root <dir>           Workspace root (default: nearest lint.toml upward)
+    --list-rules           Print the rule registry and exit
+    -h, --help             This help
+";
+
+fn main() -> ExitCode {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => return usage_error("--format takes `text` or `json`"),
+            },
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => return usage_error("--root takes a directory"),
+            },
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<28} {}", r.name, r.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("pv-lint: no lint.toml found above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    match lint_root(&root) {
+        Ok(report) => {
+            match format.as_str() {
+                "json" => print!("{}", report.to_json()),
+                _ => print!("{}", report.to_text()),
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("pv-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("pv-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the nearest `lint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Diagnostic aggregation and text/JSON rendering.
+
+use crate::rules::{Diagnostic, RULES};
+
+/// The outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Non-waived violations, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Violations suppressed by a reasoned waiver (kept for the report —
+    /// the waiver inventory is part of the audit trail).
+    pub waived: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when there is nothing to fail CI over.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Sorts both lists into the stable output order.
+    pub fn finish(&mut self) {
+        let key = |d: &Diagnostic| (d.file.clone(), d.line, d.rule);
+        self.diagnostics.sort_by_key(key);
+        self.waived.sort_by_key(key);
+    }
+
+    /// Human-readable rendering: one `file:line: [rule] message` per
+    /// finding, then a summary line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                d.file, d.line, d.rule, d.message
+            ));
+        }
+        if !self.waived.is_empty() {
+            out.push_str(&format!("{} waived finding(s):\n", self.waived.len()));
+            for d in &self.waived {
+                out.push_str(&format!("  {}:{}: [{}] (waived)\n", d.file, d.line, d.rule));
+            }
+        }
+        out.push_str(&format!(
+            "pv-lint: {} file(s) scanned, {} violation(s), {} waived\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.waived.len()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (`--format json`): a single stable-keyed
+    /// object. Hand-rolled — the workspace vendors no serde.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"rules\": [");
+        for (i, r) in RULES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {}, \"description\": {}}}",
+                json_str(r.name),
+                json_str(r.description)
+            ));
+        }
+        out.push_str("],\n  \"diagnostics\": [");
+        push_diags(&mut out, &self.diagnostics);
+        out.push_str("],\n  \"waived\": [");
+        push_diags(&mut out, &self.waived);
+        out.push_str(&format!(
+            "],\n  \"summary\": {{\"files_scanned\": {}, \"violations\": {}, \"waived\": {}}}\n}}\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.waived.len()
+        ));
+        out
+    }
+}
+
+fn push_diags(out: &mut String, diags: &[Diagnostic]) {
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&format!(
+            "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(d.rule),
+            json_str(&d.file),
+            d.line,
+            json_str(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Escapes a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_escaped_and_summarised() {
+        let mut report = LintReport {
+            diagnostics: vec![Diagnostic {
+                rule: "hot-path-no-panic",
+                file: "a/b.rs".to_string(),
+                line: 3,
+                message: "say \"no\"\n".to_string(),
+            }],
+            waived: Vec::new(),
+            files_scanned: 1,
+        };
+        report.finish();
+        let json = report.to_json();
+        assert!(json.contains("\\\"no\\\"\\n"));
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"version\": 1"));
+        assert!(!report.clean());
+        assert!(report.to_text().contains("a/b.rs:3: [hot-path-no-panic]"));
+    }
+}

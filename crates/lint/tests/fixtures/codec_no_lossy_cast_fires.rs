@@ -1,0 +1,15 @@
+//! Fixture: `codec-no-lossy-cast` must flag bare `as` casts to sub-64-bit
+//! numeric types (they silently truncate on-disk values) while allowing
+//! widening casts. Mirrors the `len() as u32` sites fixed in
+//! `crates/core/src/snapshot.rs`.
+
+pub fn encode_header(out: &mut Vec<u8>, dim: usize, pages: usize) {
+    let d = dim as u16; // line 7: usize -> u16 can truncate
+    let p = pages as u32; // line 8: usize -> u32 can truncate
+    out.extend_from_slice(&d.to_le_bytes());
+    out.extend_from_slice(&p.to_le_bytes());
+}
+
+pub fn widening_is_fine(tag: u16, n: u32) -> (u64, usize) {
+    (u64::from(tag), n as usize) // not flagged: widening / as usize
+}

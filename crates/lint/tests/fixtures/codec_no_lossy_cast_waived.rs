@@ -1,0 +1,7 @@
+//! Fixture: a reasoned waiver suppresses `codec-no-lossy-cast` where the
+//! narrowing is provably lossless.
+
+pub fn checksum_low_bits(sum: u64) -> u32 {
+    // pv-lint: allow(codec-no-lossy-cast, reason = "intentional truncation: the format stores the low 32 bits of the checksum by definition")
+    (sum & 0xFFFF_FFFF) as u32
+}

@@ -1,0 +1,17 @@
+//! Fixture: `cow-discipline` must flag `Arc::make_mut` and `Arc::get_mut`
+//! on page bytes — only the designated dirty-copy helpers (which carry
+//! waivers) may touch shared pages in place.
+
+use std::sync::Arc;
+
+pub fn clobber_shared_page(page: &mut Arc<[u8]>, data: &[u8]) {
+    Arc::make_mut(page); // line 8: make_mut bypasses the COW discipline
+    if let Some(bytes) = Arc::get_mut(page) {
+        // line 9 above: get_mut outside a designated helper
+        bytes.copy_from_slice(data);
+    }
+}
+
+pub fn map_get_mut_is_fine(m: &mut std::collections::HashMap<u32, Vec<u8>>) {
+    m.get_mut(&0); // not flagged: an ordinary container method, not Arc
+}

@@ -1,0 +1,16 @@
+//! Fixture: `hot-path-no-alloc` must flag fresh allocations inside
+//! `*_into` kernels (the steady-state zero-allocation contract), while
+//! leaving non-kernel functions and reused-buffer growth alone.
+
+pub fn qualification_into(out: &mut Vec<f64>, data: &[f64]) {
+    let scratch: Vec<f64> = Vec::new(); // line 6: fresh container
+    let copy = data.to_vec(); // line 7: per-call allocation
+    let rendered = format!("{copy:?}"); // line 8: allocating macro
+    let gathered: Vec<f64> = data.iter().copied().collect(); // line 9: collect
+    out.push(gathered.len() as f64 + rendered.len() as f64 + scratch.len() as f64);
+    out.extend_from_slice(data); // allowed: growth of a reused buffer
+}
+
+pub fn build_phase(data: &[f64]) -> Vec<f64> {
+    data.to_vec() // allowed: not a `*_into` kernel
+}

@@ -1,0 +1,23 @@
+//! Fixture: `hot-path-no-panic` must flag `.unwrap()`, `.expect()`, the
+//! panic-macro family, and `[]` indexing outside `#[cfg(test)]`.
+//! Mirrors the `.expect("worker panicked")` sites fixed in
+//! `crates/core/src/query.rs`.
+
+pub fn broken_kernel(dists: &mut Vec<f64>, start: u32) -> f64 {
+    let first = dists.first().unwrap(); // line 7: unwrap
+    let last = dists.last().expect("non-empty"); // line 8: expect
+    if start as usize > dists.len() {
+        panic!("start out of range"); // line 10: panic!
+    }
+    dists[start as usize] // line 12: indexing
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1.0];
+        let _ = v[0]; // not flagged: inside #[cfg(test)]
+        v.first().unwrap(); // not flagged either
+    }
+}

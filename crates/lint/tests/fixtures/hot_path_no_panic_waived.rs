@@ -1,0 +1,16 @@
+//! Fixture: a reasoned waiver suppresses `hot-path-no-panic`, both in
+//! trailing (same-line) and standalone (next-item) position.
+
+pub fn trailing_waiver(dists: &[f64]) -> f64 {
+    dists[0] // pv-lint: allow(hot-path-no-panic, reason = "caller guarantees non-empty; see the doc contract")
+}
+
+// pv-lint: allow(hot-path-no-panic, reason = "every index below is bounded by the resize on entry")
+pub fn fn_scope_waiver(tree: &mut [f64]) {
+    tree[0] = tree[1];
+    tree[2] = tree[3];
+}
+
+pub fn clean(dists: &[f64]) -> f64 {
+    dists.iter().copied().fold(0.0, f64::max)
+}

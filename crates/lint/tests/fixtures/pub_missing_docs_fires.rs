@@ -1,0 +1,18 @@
+//! Fixture: `pub-missing-docs` must flag undocumented `pub` items while
+//! skipping `pub(crate)`, `pub use`, struct fields, and out-of-line
+//! `pub mod x;` (documented by `//!` in their own file).
+
+pub fn undocumented_fn() {} // line 5
+
+pub struct UndocumentedStruct; // line 7
+
+pub const UNDOCUMENTED_CONST: u32 = 7; // line 9
+
+pub const fn undocumented_const_fn() {} // line 11
+
+pub(crate) fn crate_internal() {} // not flagged: restricted visibility
+
+/// Documented — fields are rustc's job, not this rule's.
+pub struct Documented {
+    pub field: u32, // not flagged
+}

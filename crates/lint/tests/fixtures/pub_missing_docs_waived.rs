@@ -1,0 +1,15 @@
+//! Fixture: doc comments and `#[doc]` attributes satisfy the rule; a
+//! reasoned waiver suppresses it for deliberately undocumented items.
+
+/// A documented function.
+pub fn documented() {}
+
+/// Documented even with an attribute between docs and item.
+#[inline]
+pub fn documented_with_attr() {}
+
+#[doc = "Documented via the attribute form."]
+pub fn documented_by_attr() {}
+
+// pv-lint: allow(pub-missing-docs, reason = "pub only for the criterion harness; not part of the API surface")
+pub fn bench_only_hook() {}

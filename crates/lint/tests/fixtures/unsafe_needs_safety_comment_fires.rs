@@ -1,0 +1,17 @@
+//! Fixture: the safety-comment rule must flag `unsafe` tokens that have
+//! no soundness comment on the same line or the three lines above.
+//! (This header deliberately avoids the marker word itself, which would
+//! otherwise satisfy the proximity check for the first function.)
+
+pub unsafe fn undocumented(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+// SAFETY: a comment too far away to count for the function below.
+//
+//
+//
+//
+pub fn too_far(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,13 @@
+//! Fixture: an adjacent `SAFETY` comment satisfies the rule without any
+//! waiver; a reasoned waiver also suppresses it (e.g. for generated code).
+
+// SAFETY: `ptr` is non-null and aligned by the caller's contract.
+pub unsafe fn documented(ptr: *const u8) -> u8 {
+    // SAFETY: forwarded contract — see the function-level comment.
+    unsafe { *ptr }
+}
+
+// pv-lint: allow(unsafe-needs-safety-comment, reason = "macro-generated shim; the soundness argument lives at the macro definition")
+pub unsafe fn generated_shim(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a waiver without a `reason = "..."` suppresses nothing and is
+//! itself reported as the unwaivable `waiver-missing-reason` diagnostic.
+
+pub fn lazy_waiver(dists: &[f64]) -> f64 {
+    // pv-lint: allow(hot-path-no-panic)
+    dists[0]
+}

@@ -1,0 +1,189 @@
+//! Property tests for the pv-lint lexer.
+//!
+//! The lexer's contract (see `pv_lint::lexer`) is totality and
+//! losslessness: `lex` must never panic on any input, and the token texts
+//! must concatenate back to the input byte-for-byte. Both properties are
+//! exercised on three input families of increasing realism: raw byte soup,
+//! spliced Rust-ish snippets engineered to hit every literal/comment edge
+//! (raw strings, nested block comments, lifetimes vs chars, prefixed byte
+//! literals), and mutated copies of this workspace's own sources.
+
+use proptest::prelude::*;
+use pv_lint::lexer::lex;
+
+/// Core property: lexing `src` is lossless and structurally sane.
+fn assert_lossless(src: &str) -> Result<(), TestCaseError> {
+    let tokens = lex(src);
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut pos = 0usize;
+    let mut last_line = 1u32;
+    for t in &tokens {
+        prop_assert_eq!(t.start, pos, "tokens must tile the input with no gaps");
+        prop_assert!(t.end > t.start, "empty token at byte {}", t.start);
+        prop_assert!(t.end <= src.len());
+        prop_assert!(t.line >= last_line, "line numbers must be monotonic");
+        last_line = t.line;
+        pos = t.end;
+        rebuilt.push_str(t.text(src));
+    }
+    prop_assert_eq!(pos, src.len(), "tokens must cover the whole input");
+    prop_assert_eq!(&rebuilt, src);
+    Ok(())
+}
+
+/// Rust-ish source fragments covering every tricky lexer state.
+fn snippets() -> Vec<&'static str> {
+    vec![
+        "fn ",
+        "pub ",
+        "let x = ",
+        "ident",
+        "_u8",
+        "r#match",
+        "'static",
+        "'a>",
+        "'x'",
+        "'\\''",
+        "'\\u{1F600}'",
+        "b'q'",
+        "b\"bytes\"",
+        "br#\"raw bytes\"#",
+        "\"str \\\" esc\"",
+        "r\"raw\"",
+        "r#\"one # deep\"#",
+        "r##\"two \"# deep\"##",
+        "0",
+        "0x1F_u32",
+        "0b1010",
+        "1.5e-3",
+        "1e9",
+        "2.",
+        "0..10",
+        "1..=2",
+        "// line comment\n",
+        "/* block */",
+        "/* nested /* deeper */ still */",
+        "/** doc */",
+        "//! inner\n",
+        "/// outer\n",
+        "#[derive(Debug)]",
+        "#![allow(dead_code)]",
+        "::",
+        "->",
+        "=>",
+        "&mut ",
+        "[0]",
+        "{ } ",
+        "( )",
+        ";\n",
+        ", ",
+        "…",
+        "héllo",
+        "\t",
+        "\r\n",
+        "\n\n",
+        " ",
+        "\\",
+        "\"",
+        "'",
+        "r#\"",
+        "/*",
+        "*/",
+        "#",
+        "🦀",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary (mostly invalid UTF-8) byte soup, lossy-decoded: the lexer
+    /// must neither panic nor drop a byte.
+    #[test]
+    fn byte_soup_roundtrips(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_lossless(&src)?;
+    }
+
+    /// Splices of adversarial Rust fragments — unterminated strings, raw
+    /// fences, nested comments, lone quotes — in random order.
+    #[test]
+    fn snippet_splices_roundtrip(picks in prop::collection::vec(prop::sample::select(snippets()), 0..40)) {
+        let src: String = picks.concat();
+        assert_lossless(&src)?;
+    }
+}
+
+/// Reads a workspace source file by path relative to `crates/lint`.
+fn workspace_source(rel: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The real sources used as mutation seeds: the gnarliest hot-path file,
+/// a storage file with COW waivers, and the lexer itself (whose string
+/// literals contain every quote/fence construct it recognises).
+fn seed_sources() -> Vec<String> {
+    vec![
+        workspace_source("../core/src/query.rs"),
+        workspace_source("../storage/src/pager.rs"),
+        workspace_source("src/lexer.rs"),
+    ]
+}
+
+/// Clamps `i` down to the nearest char boundary of `s`.
+fn snap(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mutated copies of real workspace sources: delete a span, duplicate a
+    /// span, and splice a pathological fragment at a random position. The
+    /// result is no longer valid Rust, but the lexer must stay total and
+    /// lossless on it.
+    #[test]
+    fn mutated_workspace_sources_roundtrip(
+        which in 0usize..3,
+        cut_at in 0.0f64..1.0,
+        cut_len in 0usize..400,
+        dup_at in 0.0f64..1.0,
+        dup_len in 0usize..120,
+        splice_at in 0.0f64..1.0,
+        fragment in prop::sample::select(snippets()),
+    ) {
+        let seeds = seed_sources();
+        let mut src = seeds[which].clone();
+
+        // delete a span
+        let a = snap(&src, (cut_at * src.len() as f64) as usize);
+        let b = snap(&src, a + cut_len);
+        src.replace_range(a..b, "");
+
+        // duplicate a span elsewhere
+        let a = snap(&src, (dup_at * src.len() as f64) as usize);
+        let b = snap(&src, a + dup_len);
+        let dup = src[a..b].to_string();
+        src.insert_str(a, &dup);
+
+        // splice an adversarial fragment
+        let at = snap(&src, (splice_at * src.len() as f64) as usize);
+        src.insert_str(at, fragment);
+
+        assert_lossless(&src)?;
+    }
+}
+
+/// The unmutated workspace seeds round-trip too (a deterministic anchor —
+/// if this fails, the property failures above are not noise).
+#[test]
+fn unmutated_workspace_sources_roundtrip() {
+    for src in seed_sources() {
+        assert_lossless(&src).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+}

@@ -97,6 +97,15 @@ pub struct Octree<P: Pager> {
     split_threshold: usize,
 }
 
+impl<P: Pager> std::fmt::Debug for Octree<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Octree")
+            .field("dim", &self.dim)
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<P: Pager> Octree<P> {
     /// Creates an empty tree over `domain` with a main-memory budget of
     /// `mem_budget` bytes for nodes (the paper uses 5 MB).

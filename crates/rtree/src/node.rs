@@ -129,6 +129,16 @@ pub struct RTree {
     pub stats: RTreeStats,
 }
 
+impl std::fmt::Debug for RTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RTree")
+            .field("dim", &self.dim)
+            .field("len", &self.len)
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Clone for RTree {
     /// Deep-copies the arena; the clone starts with fresh (zeroed)
     /// statistics, since `RTreeStats` counters describe one handle's query

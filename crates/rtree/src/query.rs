@@ -33,6 +33,14 @@ pub struct NnIter<'a> {
     query: Point,
 }
 
+impl std::fmt::Debug for NnIter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NnIter")
+            .field("frontier", &self.heap.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> Iterator for NnIter<'a> {
     type Item = Neighbor;
 

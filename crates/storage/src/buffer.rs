@@ -52,6 +52,14 @@ pub struct BufferPool<P: Pager> {
     state: Mutex<PoolState>,
 }
 
+impl<P: Pager> std::fmt::Debug for BufferPool<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<P: Pager> BufferPool<P> {
     /// Wraps `inner` with a cache of `capacity` pages.
     pub fn new(inner: P, capacity: usize) -> Self {
@@ -164,6 +172,7 @@ impl<P: Pager> Pager for BufferPool<P> {
         st.tick += 1;
         let tick = st.tick;
         if let Some(frame) = st.frames.get_mut(&id) {
+            // pv-lint: allow(cow-discipline, reason = "BufferPool::write is the cache-side designated helper: get_mut overwrites a uniquely-owned frame in place, and an outstanding frame() view forces the Arc::from dirty copy so the view keeps its pinned bytes")
             match Arc::get_mut(&mut frame.data) {
                 Some(bytes) => bytes.copy_from_slice(data),
                 // A `frame()` view is outstanding: copy-on-write so the

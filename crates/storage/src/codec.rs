@@ -112,15 +112,36 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Serialises a `usize` count as a `u32` on-page prefix, checked.
+///
+/// # Panics
+/// If `v` exceeds `u32::MAX`. A count that large means the caller's record
+/// layout is already broken — truncating it silently (what a bare `as u32`
+/// would do) corrupts the page in a way only decode-time checksums might
+/// catch, so the encoder fails loudly instead.
+pub fn put_u32_len(out: &mut Vec<u8>, v: usize) {
+    let v = u32::try_from(v).expect("count exceeds the u32 on-page prefix");
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialises a `usize` count as a `u16` on-page prefix, checked.
+///
+/// # Panics
+/// If `v` exceeds `u16::MAX` — same rationale as [`put_u32_len`].
+pub fn put_u16_len(out: &mut Vec<u8>, v: usize) {
+    let v = u16::try_from(v).expect("count exceeds the u16 on-page prefix");
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Serialises a length-prefixed byte string (u32 length).
 pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
-    put_u32(out, v.len() as u32);
+    put_u32_len(out, v.len());
     out.extend_from_slice(v);
 }
 
 /// Serialises a slice of f64 with a u16 length prefix.
 pub fn put_f64_slice(out: &mut Vec<u8>, v: &[f64]) {
-    put_u16(out, v.len() as u16);
+    put_u16_len(out, v.len());
     for &x in v {
         put_f64(out, x);
     }
@@ -129,6 +150,14 @@ pub fn put_f64_slice(out: &mut Vec<u8>, v: &[f64]) {
 /// Cursor-style decoder over a byte slice.
 pub struct Reader<'a> {
     buf: &'a [u8],
+}
+
+impl std::fmt::Debug for Reader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reader")
+            .field("remaining", &self.buf.len())
+            .finish()
+    }
 }
 
 impl<'a> Reader<'a> {

@@ -157,6 +157,14 @@ pub struct MemPager {
     inner: Arc<PagerInner>,
 }
 
+impl std::fmt::Debug for MemPager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemPager")
+            .field("page_size", &self.inner.page_size)
+            .finish_non_exhaustive()
+    }
+}
+
 struct PagerInner {
     page_size: usize,
     latency: LatencyModel,
@@ -346,6 +354,7 @@ impl Pager for MemPager {
             .get_mut(id.0 as usize)
             .unwrap_or_else(|| panic!("write of unallocated page {id:?}"));
         match slot {
+            // pv-lint: allow(cow-discipline, reason = "this is THE designated dirty-copy helper: MemPager::write owns the get_mut fast path / Arc::from copy slow path that every other page mutation in the workspace must route through")
             Some(p) => match Arc::get_mut(p) {
                 // Uniquely owned: overwrite in place.
                 Some(bytes) => bytes.copy_from_slice(data),

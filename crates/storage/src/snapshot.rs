@@ -61,6 +61,14 @@ pub struct SnapshotWriter {
     buf: Vec<u8>,
 }
 
+impl std::fmt::Debug for SnapshotWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotWriter")
+            .field("bytes", &self.buf.len())
+            .finish()
+    }
+}
+
 impl SnapshotWriter {
     /// Starts an envelope of the given artifact `kind` and format `version`.
     pub fn new(kind: [u8; 4], version: u16) -> Self {

@@ -38,7 +38,7 @@ const MAGIC: &[u8; 8] = b"PVUDB\0\0\x01";
 pub fn to_bytes(db: &UncertainDb) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
-    codec::put_u16(&mut out, db.dim() as u16);
+    codec::put_u16_len(&mut out, db.dim());
     for &x in db.domain.lo() {
         codec::put_f64(&mut out, x);
     }

@@ -144,6 +144,15 @@ pub struct UvIndex {
     build_stats: BuildStats,
 }
 
+impl std::fmt::Debug for UvIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UvIndex")
+            .field("objects", &self.objects.len())
+            .field("page_size", &self.page_size)
+            .finish_non_exhaustive()
+    }
+}
+
 impl UvIndex {
     /// Builds the UV-index over a 2-D database.
     ///

@@ -39,7 +39,7 @@ fn main() {
     let t0 = Instant::now();
     index.save(&path).expect("save snapshot");
     let save_time = t0.elapsed();
-    let file_kib = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) / 1024;
+    let file_kib = std::fs::metadata(&path).map_or(0, |m| m.len()) / 1024;
     println!(
         "  snapshot saved in {save_time:?}  ({file_kib} KiB at {})",
         path.display()

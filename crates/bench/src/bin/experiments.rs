@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--preset tiny|small|paper] [--threads N] <command>...
+//! experiments [--preset tiny|small|large|paper] [--threads N] <command>...
 //!
 //! commands:
 //!   table1   fig9a fig9b fig9c fig9d fig9efg fig9h
@@ -35,7 +35,7 @@ fn main() {
             "--preset" => {
                 let v = it.next().unwrap_or_default();
                 preset = Preset::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown preset '{v}' (tiny|small|paper)");
+                    eprintln!("unknown preset '{v}' (tiny|small|large|paper)");
                     std::process::exit(2);
                 });
             }
@@ -163,7 +163,7 @@ fn print_help() {
     println!(
         "experiments — regenerate the tables/figures of the ICDE'13 PV-index paper\n\
          \n\
-         usage: experiments [--preset tiny|small|paper] [--threads N] <command>...\n\
+         usage: experiments [--preset tiny|small|large|paper] [--threads N] <command>...\n\
          \n\
          commands: table1, fig9a..fig9h, fig9efg, fig10a..fig10i, fig10hi,\n\
          params, updquality, space, engines, snapshot, report, lint, fig9, fig10, all"

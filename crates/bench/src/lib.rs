@@ -26,6 +26,10 @@ pub enum Preset {
     Tiny,
     /// Default for EXPERIMENTS.md (|S| ≤ 10k).
     Small,
+    /// Construction-scaling runs (|S| ≤ 25k): large enough that the PR-8
+    /// build pipeline (work stealing + bulk load) dominates the wall clock,
+    /// small enough to finish in minutes.
+    Large,
     /// The paper's Table-I scale (|S| ≤ 100k). Hours.
     Paper,
 }
@@ -36,6 +40,7 @@ impl Preset {
         match s {
             "tiny" => Some(Self::Tiny),
             "small" => Some(Self::Small),
+            "large" => Some(Self::Large),
             "paper" => Some(Self::Paper),
             _ => None,
         }
@@ -46,6 +51,7 @@ impl Preset {
         match self {
             Self::Tiny => vec![500, 1_000, 1_500, 2_000, 2_500],
             Self::Small => vec![2_000, 4_000, 6_000, 8_000, 10_000],
+            Self::Large => vec![5_000, 10_000, 15_000, 20_000, 25_000],
             Self::Paper => vec![20_000, 40_000, 60_000, 80_000, 100_000],
         }
     }
@@ -55,6 +61,7 @@ impl Preset {
         match self {
             Self::Tiny => 1_500,
             Self::Small => 6_000,
+            Self::Large => 25_000,
             Self::Paper => 100_000,
         }
     }
@@ -64,6 +71,7 @@ impl Preset {
         match self {
             Self::Tiny => 25,
             Self::Small => 50,
+            Self::Large => 50,
             Self::Paper => 50,
         }
     }
@@ -74,6 +82,7 @@ impl Preset {
         match self {
             Self::Tiny => (1_000, 1_200, 700),
             Self::Small => (3_000, 3_600, 2_000),
+            Self::Large => (10_000, 12_000, 7_000),
             Self::Paper => (30_000, 36_000, 20_000),
         }
     }
@@ -83,6 +92,7 @@ impl Preset {
         match self {
             Self::Tiny => 50,
             Self::Small => 150,
+            Self::Large => 500,
             Self::Paper => 1_000,
         }
     }
@@ -154,13 +164,14 @@ mod tests {
     fn preset_parsing() {
         assert_eq!(Preset::parse("tiny"), Some(Preset::Tiny));
         assert_eq!(Preset::parse("small"), Some(Preset::Small));
+        assert_eq!(Preset::parse("large"), Some(Preset::Large));
         assert_eq!(Preset::parse("paper"), Some(Preset::Paper));
         assert_eq!(Preset::parse("huge"), None);
     }
 
     #[test]
     fn sweeps_are_monotone() {
-        for p in [Preset::Tiny, Preset::Small, Preset::Paper] {
+        for p in [Preset::Tiny, Preset::Small, Preset::Large, Preset::Paper] {
             let sweep = p.s_sweep();
             assert!(sweep.windows(2).all(|w| w[0] < w[1]));
         }

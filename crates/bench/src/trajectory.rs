@@ -30,7 +30,8 @@ use crate::Ctx;
 use pv_core::db::{Db, Session};
 use pv_core::snapshot::{pv_index_from_bytes, pv_index_to_bytes};
 use pv_core::{
-    BatchSlots, ProbNnEngine, PvIndex, QueryOutcome, QueryScratch, QuerySpec, WritableEngine,
+    BatchSlots, ProbNnEngine, PvIndex, PvParams, QueryOutcome, QueryScratch, QuerySpec,
+    WritableEngine,
 };
 use pv_geom::{HyperRect, Point};
 use pv_uncertain::UncertainObject;
@@ -39,7 +40,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The PR number this snapshot file belongs to.
-pub const TRAJECTORY_PR: u32 = 6;
+pub const TRAJECTORY_PR: u32 = 8;
 
 /// One measured per-query workload: a name plus its median cost. (The build
 /// workload reports whole-build wall time separately — its unit is
@@ -260,6 +261,45 @@ pub fn report(ctx: &Ctx, path: &str) {
     }
     let build_median_ns = median(build_ns);
 
+    // --- build scaling (PR 8): work-stealing thread sweep + approximate-UBR
+    // point, each a median over fresh builds. On a single-core runner the
+    // thread sweep measures scheduler overhead (the medians should agree);
+    // on real cores it measures the near-linear Phase-1 speedup.
+    let scaling_rounds = 3;
+    let scale_point = |p: PvParams| -> u64 {
+        let mut ns = Vec::with_capacity(scaling_rounds);
+        for _ in 0..scaling_rounds {
+            let t = Instant::now();
+            std::hint::black_box(PvIndex::build(&db, p));
+            ns.push(t.elapsed().as_nanos() as u64);
+        }
+        median(ns)
+    };
+    let build_scaling: Vec<(usize, u64)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|t| {
+            (
+                t,
+                scale_point(PvParams {
+                    build_threads: t,
+                    ..params
+                }),
+            )
+        })
+        .collect();
+    // ε in domain units (domain side 10_000, exact Δ = 1): 10% of a domain
+    // side skips the bulk of SE's refinement passes while the UBRs stay
+    // separable enough for the octree (past ~20% the loose rectangles
+    // overlap everything and leaf chains blow up instead).
+    let approx_epsilon = 1_000.0;
+    let approx_median_ns = scale_point(
+        PvParams {
+            build_threads: 4,
+            ..params
+        }
+        .approx_ubr(approx_epsilon),
+    );
+
     // --- pnnq workload (median per-query latency, scratch reused) ---
     let qs = queries::uniform(&db.domain, ctx.preset.queries().max(32), 77);
     let spec = QuerySpec::new();
@@ -382,7 +422,14 @@ pub fn report(ctx: &Ctx, path: &str) {
                 // Whole-build wall time, deliberately NOT "per op": dividing
                 // by the object count would invite cross-workload comparison
                 // of incomparable units.
-                "    \"build\": {{ \"median_ns\": {build_median_ns}, \"objects\": {n}, \"rounds\": {build_rounds} }}"
+                "    \"build\": {{ \"median_ns\": {build_median_ns}, \"objects\": {n}, \"rounds\": {build_rounds},\n      \
+                 \"scaling\": {{ {scaling_json}, \"approx_epsilon\": {approx_epsilon}, \
+                 \"approx_threads_4_median_ns\": {approx_median_ns}, \"rounds\": {scaling_rounds} }} }}",
+                scaling_json = build_scaling
+                    .iter()
+                    .map(|(t, ns)| format!("\"threads_{t}_median_ns\": {ns}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )))
             .collect::<Vec<_>>()
             .join(",\n"),
@@ -401,6 +448,16 @@ pub fn report(ctx: &Ctx, path: &str) {
     println!(
         "{:>12}: median {:>12} ns/build ({n} objects x {build_rounds} rounds)",
         "build", build_median_ns
+    );
+    for (t, ns) in &build_scaling {
+        println!(
+            "{:>12}: median {:>12} ns/build at {t} thread(s)",
+            "scaling", ns
+        );
+    }
+    println!(
+        "{:>12}: median {:>12} ns/build approx (eps {approx_epsilon}, 4 threads)",
+        "scaling", approx_median_ns
     );
     println!(
         "{:>12}: median {:>12} ns/commit (legacy write path {legacy_write_median_ns} ns, {commit_speedup:.0}x)",

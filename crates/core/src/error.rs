@@ -121,6 +121,36 @@ impl From<std::io::Error> for DbError {
     }
 }
 
+/// A construction failure of [`PvIndex::try_build`](crate::PvIndex::try_build).
+///
+/// Phase-1 SE computation fans out over worker threads; before PR 8 a
+/// panicking worker was re-raised through `.expect("worker")` and took the
+/// whole process down. The work-stealing build instead drains every worker,
+/// captures the first panic payload, and surfaces it as a value — mirroring
+/// the per-worker error slots of the batch query path.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A Phase-1 worker thread panicked while computing UBRs. The payload's
+    /// message (when it is a string) is preserved for diagnosis.
+    WorkerPanicked {
+        /// Panic message, or a placeholder for non-string payloads.
+        message: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::WorkerPanicked { message } => {
+                write!(f, "a UBR construction worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +166,10 @@ mod tests {
         assert!(DbError::DuplicateId(7).to_string().contains('7'));
         assert!(DbError::UnknownId(9).to_string().contains('9'));
         assert!(DbError::OutOfDomain(4).to_string().contains('4'));
+        let b = BuildError::WorkerPanicked {
+            message: "poisoned".into(),
+        };
+        assert!(b.to_string().contains("poisoned"));
     }
 
     #[test]

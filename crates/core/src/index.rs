@@ -170,21 +170,83 @@ pub fn decode_secondary(
     }
 }
 
+/// Number of objects a Phase-1 worker claims per cursor bump. Small enough
+/// that a skewed object (one pathological SE run) cannot leave peers idle
+/// behind a static chunk boundary; large enough that the shared cursor is
+/// touched a few hundred times per million objects, not once per object.
+const BUILD_BATCH: usize = 32;
+
+/// Build fail-point for the worker-panic tests: a Phase-1 worker panics when
+/// it reaches the object with this id. `u64::MAX` (the default) disables it.
+/// Not part of the public API.
+#[doc(hidden)]
+pub static BUILD_POISON_ID: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(u64::MAX);
+
+/// Extracts the human-readable message from a caught panic payload. `panic!`
+/// with a literal yields `&str`, with a formatted message `String`; anything
+/// else gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl PvIndex {
     /// Builds the PV-index for a database: computes every UBR with SE
-    /// (optionally in parallel) and bulk-inserts them.
+    /// (work-stealing parallel when [`PvParams::build_threads`] > 1) and
+    /// bulk-loads both on-disk structures.
+    ///
+    /// # Panics
+    /// If a construction worker panics; serving layers that must survive
+    /// that use [`PvIndex::try_build`].
     pub fn build(db: &UncertainDb, params: PvParams) -> Self {
+        match Self::try_build(db, params) {
+            Ok(index) => index,
+            Err(e) => panic!("PV-index build failed: {e}"),
+        }
+    }
+
+    /// Fallible [`PvIndex::build`]: a panicking Phase-1 worker surfaces as
+    /// [`crate::BuildError::WorkerPanicked`] instead of taking the process down.
+    ///
+    /// The build is deterministic: for a given database and parameters, any
+    /// `build_threads` value yields the same index state — workers steal
+    /// fixed-size object batches off a shared cursor, and the merge reorders
+    /// their results back into object order before Phase 2 runs.
+    ///
+    /// # Errors
+    /// [`crate::BuildError::WorkerPanicked`] with the first captured panic message;
+    /// the remaining workers are drained, not detached.
+    pub fn try_build(db: &UncertainDb, params: PvParams) -> Result<Self, crate::BuildError> {
+        Self::build_inner(db, params, true)
+    }
+
+    /// Legacy per-object insertion build (pre-PR-8 Phase 2): one
+    /// `Octree::insert` and one `ExtHash::put` per object. Kept only as the
+    /// ground truth for the build-equivalence test suite; the bulk path must
+    /// stay logically indistinguishable from it.
+    #[doc(hidden)]
+    pub fn build_legacy(db: &UncertainDb, params: PvParams) -> Self {
+        match Self::build_inner(db, params, false) {
+            Ok(index) => index,
+            Err(e) => panic!("PV-index build failed: {e}"),
+        }
+    }
+
+    fn build_inner(
+        db: &UncertainDb,
+        params: PvParams,
+        bulk: bool,
+    ) -> Result<Self, crate::BuildError> {
         let t_total = Instant::now();
         let dim = db.dim();
         let pager = MemPager::new(params.page_size);
         let leaf_record_len = 8 + dim * 16;
-        let octree = Octree::new(
-            pager.clone(),
-            db.domain.clone(),
-            params.mem_budget,
-            leaf_record_len,
-        );
-        let secondary = ExtHash::new(pager.clone());
         let regions: HashMap<u64, HyperRect> = db
             .objects
             .iter()
@@ -197,49 +259,175 @@ impl PvIndex {
         );
 
         // Phase 1: UBR computation (embarrassingly parallel over objects).
-        let mut se_total = SeStats::default();
-        let mut ubr_list: Vec<(u64, HyperRect)> = Vec::with_capacity(db.len());
+        let delta = params.effective_delta();
         let compute_one = |o: &UncertainObject| -> (u64, HyperRect, SeStats) {
+            if o.id == BUILD_POISON_ID.load(Ordering::Relaxed) {
+                panic!("poisoned object {} reached a build worker", o.id);
+            }
             let t_cset = Instant::now();
             let cset = choose_cset(o, params.cset, &mean_tree, &regions);
             let cset_time = t_cset.elapsed();
-            let (ubr, mut st) = compute_ubr(o, &db.domain, &cset, params.delta, params.mmax);
+            let (ubr, mut st) = compute_ubr(o, &db.domain, &cset, delta, params.mmax);
             st.cset_time = cset_time;
             (o.id, ubr, st)
         };
+        let mut se_total = SeStats::default();
+        let mut ubr_list: Vec<(u64, HyperRect)> = Vec::with_capacity(db.len());
         if params.build_threads <= 1 {
-            for o in &db.objects {
-                let (id, ubr, st) = compute_one(o);
+            // The fail-point must fail the serial path too (same contract),
+            // via the same capture as a worker thread.
+            let objects = &db.objects;
+            let batch = std::thread::scope(|scope| {
+                scope
+                    .spawn(|| objects.iter().map(compute_one).collect::<Vec<_>>())
+                    .join()
+            })
+            .map_err(|p| crate::BuildError::WorkerPanicked {
+                message: panic_message(&*p),
+            })?;
+            for (id, ubr, st) in batch {
                 se_total.absorb(&st);
                 ubr_list.push((id, ubr));
             }
         } else {
-            let threads = params.build_threads;
-            let chunk = db.len().div_ceil(threads).max(1);
-            let compute_one = &compute_one;
-            let results: Vec<Vec<(u64, HyperRect, SeStats)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = db
-                    .objects
-                    .chunks(chunk)
-                    .map(|objs| {
-                        scope.spawn(move || objs.iter().map(compute_one).collect::<Vec<_>>())
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker"))
-                    .collect()
-            });
-            for batch in results {
-                for (id, ubr, st) in batch {
+            // Work stealing: workers pull fixed-size object batches off a
+            // shared cursor until the range is drained, so one expensive
+            // object stalls a single batch, never a static 1/T chunk. Each
+            // claimed batch is returned tagged with its index; the merge
+            // scatters them back into object order, making the result —
+            // and everything downstream of it — independent of scheduling.
+            let n = db.len();
+            let batches = n.div_ceil(BUILD_BATCH);
+            let threads = params.build_threads.min(batches.max(1));
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            type Batch = Vec<(u64, HyperRect, SeStats)>;
+            let worker_out: Vec<std::thread::Result<Vec<(usize, Batch)>>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let cursor = &cursor;
+                            let compute_one = &compute_one;
+                            scope.spawn(move || {
+                                let mut out: Vec<(usize, Batch)> = Vec::new();
+                                loop {
+                                    let start = cursor.fetch_add(BUILD_BATCH, Ordering::Relaxed);
+                                    if start >= n {
+                                        return out;
+                                    }
+                                    let end = (start + BUILD_BATCH).min(n);
+                                    out.push((
+                                        start / BUILD_BATCH,
+                                        db.objects[start..end].iter().map(compute_one).collect(),
+                                    ));
+                                }
+                            })
+                        })
+                        .collect();
+                    // Join every worker before propagating any failure, so
+                    // a panic cannot leave threads running detached.
+                    handles
+                        .into_iter()
+                        .map(std::thread::ScopedJoinHandle::join)
+                        .collect()
+                });
+            let mut merged: Vec<Option<Batch>> = (0..batches).map(|_| None).collect();
+            let mut first_panic: Option<String> = None;
+            for result in worker_out {
+                match result {
+                    Ok(claimed) => {
+                        for (i, batch) in claimed {
+                            debug_assert!(merged[i].is_none(), "batch {i} claimed twice");
+                            merged[i] = Some(batch);
+                        }
+                    }
+                    Err(payload) => {
+                        first_panic.get_or_insert_with(|| panic_message(&*payload));
+                    }
+                }
+            }
+            if let Some(message) = first_panic {
+                return Err(crate::BuildError::WorkerPanicked { message });
+            }
+            for batch in merged {
+                for (id, ubr, st) in batch.expect("all batches claimed by drained workers") {
                     se_total.absorb(&st);
                     ubr_list.push((id, ubr));
                 }
             }
         }
 
-        // Phase 2: insert into primary + secondary indexes.
+        // Phase 2: load the primary + secondary indexes from the completed
+        // catalog. Both paths consume identical inputs in identical order:
+        // secondary records in object order, octree records in ascending-id
+        // order (the octree path must be deterministic — splits consult the
+        // whole catalog, so the insertion sequence shapes the tree).
         let t_insert = Instant::now();
+        let quantize = |ubr: HyperRect| -> HyperRect {
+            match params.ubr_quantize_steps {
+                None => ubr,
+                Some(steps) => pv_geom::snap_outward(&ubr, &db.domain, steps),
+            }
+        };
+        let objects: HashMap<u64, UncertainObject> =
+            db.objects.iter().map(|o| (o.id, o.clone())).collect();
+        let mut ubrs: HashMap<u64, HyperRect> = HashMap::with_capacity(db.len());
+        let secondary_records: Vec<(u64, Vec<u8>)> = ubr_list
+            .into_iter()
+            .map(|(id, ubr)| {
+                let ubr = quantize(ubr);
+                let record =
+                    encode_secondary(&ubr, &objects[&id], &db.domain, params.ubr_quantize_steps);
+                ubrs.insert(id, ubr);
+                (id, record)
+            })
+            .collect();
+        let mut octree_items: Vec<(u64, HyperRect, Vec<u8>)> = ubrs
+            .iter()
+            .map(|(&id, ubr)| {
+                (
+                    id,
+                    ubr.clone(),
+                    encode_leaf_record(id, &objects[&id].region),
+                )
+            })
+            .collect();
+        octree_items.sort_unstable_by_key(|(id, _, _)| *id);
+
+        let (octree, secondary) = if bulk {
+            let items: Vec<(HyperRect, Vec<u8>)> = octree_items
+                .into_iter()
+                .map(|(_, ubr, rec)| (ubr, rec))
+                .collect();
+            let octree = Octree::bulk_load(
+                pager.clone(),
+                db.domain.clone(),
+                params.mem_budget,
+                leaf_record_len,
+                &items,
+            );
+            let secondary = ExtHash::bulk_build(
+                pager.clone(),
+                secondary_records.iter().map(|(id, r)| (*id, r.as_slice())),
+            );
+            (octree, secondary)
+        } else {
+            let mut octree = Octree::new(
+                pager.clone(),
+                db.domain.clone(),
+                params.mem_budget,
+                leaf_record_len,
+            );
+            let mut secondary = ExtHash::new(pager.clone());
+            for (id, record) in &secondary_records {
+                secondary.put(*id, record);
+            }
+            let lookup = |i: u64| ubrs[&i].clone();
+            for (_, ubr, record) in &octree_items {
+                octree.insert(ubr, record, &lookup);
+            }
+            (octree, secondary)
+        };
+
         let mut index = Self {
             params,
             domain: db.domain.clone(),
@@ -247,38 +435,20 @@ impl PvIndex {
             octree,
             secondary,
             pager,
-            objects: db.objects.iter().map(|o| (o.id, o.clone())).collect(),
+            objects,
             regions,
-            ubrs: HashMap::with_capacity(db.len()),
+            ubrs,
             mean_tree,
             build_stats: BuildStats::default(),
             stale: BTreeSet::new(),
         };
-        for (id, ubr) in ubr_list {
-            let ubr = index.maybe_quantize(ubr);
-            let o = &index.objects[&id];
-            let record = encode_secondary(&ubr, o, &index.domain, index.params.ubr_quantize_steps);
-            index.secondary.put(id, &record);
-            index.ubrs.insert(id, ubr);
-        }
-        // Octree insertion after the catalog is complete (splits may look up
-        // any resident object's UBR).
-        let ids: Vec<u64> = index.ubrs.keys().copied().collect();
-        for id in ids {
-            let ubr = index.ubrs[&id].clone();
-            let region = index.objects[&id].region.clone();
-            let record = encode_leaf_record(id, &region);
-            let ubrs = &index.ubrs;
-            let lookup = move |i: u64| ubrs[&i].clone();
-            index.octree.insert(&ubr, &record, &lookup);
-        }
         index.build_stats = BuildStats {
             total_time: t_total.elapsed(),
             se: se_total,
             insert_time: t_insert.elapsed(),
             ubr_count: index.objects.len(),
         };
-        index
+        Ok(index)
     }
 
     /// Number of indexed objects.
@@ -411,7 +581,7 @@ impl PvIndex {
             &o,
             &self.domain,
             &cset,
-            self.params.delta,
+            self.params.effective_delta(),
             self.params.mmax,
             bounds,
         );
@@ -478,8 +648,13 @@ impl PvIndex {
         let t_cset = Instant::now();
         let cset = choose_cset(&o, self.params.update_cset, &self.mean_tree, &self.regions);
         let cset_time = t_cset.elapsed();
-        let (new_ubr, mut st) =
-            compute_ubr(&o, &self.domain, &cset, self.params.delta, self.params.mmax);
+        let (new_ubr, mut st) = compute_ubr(
+            &o,
+            &self.domain,
+            &cset,
+            self.params.effective_delta(),
+            self.params.mmax,
+        );
         st.cset_time = cset_time;
         se_total.absorb(&st);
 

@@ -71,7 +71,7 @@ pub mod stats;
 pub mod verify;
 
 pub use db::{Db, PersistentEngine, Reader, Session, WritableEngine};
-pub use error::{DbError, QueryError};
+pub use error::{BuildError, DbError, QueryError};
 pub use index::PvIndex;
 pub use params::{CSetStrategy, PvParams};
 pub use query::{

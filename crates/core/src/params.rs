@@ -75,6 +75,15 @@ pub struct PvParams {
     /// never depends on the queue draining — only query-time pruning
     /// tightness does.
     pub update_budget: usize,
+    /// Approximate-UBR mode (PR 8): when positive, SE terminates boundary
+    /// refinement once the per-axis uncertainty gap drops below this value
+    /// instead of `delta`, inflating every stored UBR by at most this much
+    /// per axis side. UBRs are conservative by construction (Lemma 7), so a
+    /// looser rectangle stays sound: Step 1 admits a few extra candidates
+    /// and Step-2 qualification — hence every answer — is unchanged, while
+    /// SE pays far fewer partition refinements. `0.0` (the default) is the
+    /// exact mode. Set through [`PvParams::approx_ubr`].
+    pub approx_epsilon: f64,
 }
 
 impl Default for PvParams {
@@ -93,6 +102,7 @@ impl Default for PvParams {
                 k_global: 16,
             },
             update_budget: 1,
+            approx_epsilon: 0.0,
         }
     }
 }
@@ -112,6 +122,32 @@ impl PvParams {
             cset: CSetStrategy::All,
             ..Default::default()
         }
+    }
+
+    /// Opt into approximate-UBR construction: SE stops refining each UBR
+    /// boundary once its uncertainty gap is below `epsilon` (instead of
+    /// `delta`), trading UBR tightness — at most `epsilon` of inflation per
+    /// axis side — for far fewer refinement passes. Answers remain exact;
+    /// see [`PvParams::approx_epsilon`].
+    ///
+    /// # Panics
+    /// If `epsilon` is negative, NaN or infinite (cannot depend on runtime
+    /// data).
+    pub fn approx_ubr(mut self, epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "approx_ubr epsilon must be finite and non-negative"
+        );
+        self.approx_epsilon = epsilon;
+        self
+    }
+
+    /// The SE termination threshold in effect: `delta`, relaxed to
+    /// `approx_epsilon` when the approximate mode dominates it. Every SE
+    /// call site (build and update paths) goes through this, so approx-built
+    /// indexes also maintain their looseness bound across commits.
+    pub fn effective_delta(&self) -> f64 {
+        self.delta.max(self.approx_epsilon)
     }
 }
 
@@ -140,5 +176,22 @@ mod tests {
     fn strategy_constructors() {
         assert_eq!(PvParams::with_fs(50).cset, CSetStrategy::Fixed { k: 50 });
         assert_eq!(PvParams::with_all().cset, CSetStrategy::All);
+    }
+
+    #[test]
+    fn approx_mode_relaxes_effective_delta() {
+        let exact = PvParams::default();
+        assert_eq!(exact.approx_epsilon, 0.0);
+        assert_eq!(exact.effective_delta(), exact.delta);
+        let approx = PvParams::default().approx_ubr(5.0);
+        assert_eq!(approx.effective_delta(), 5.0);
+        // An epsilon below delta never tightens the threshold.
+        assert_eq!(PvParams::default().approx_ubr(0.25).effective_delta(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_epsilon_panics() {
+        let _ = PvParams::default().approx_ubr(-1.0);
     }
 }

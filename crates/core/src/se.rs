@@ -22,10 +22,20 @@
 //! and even an overshooting `l` is harmless because only `h` carries the
 //! correctness guarantee), insertion recomputation starts from
 //! `h = B(S,o)` (the cell can only shrink).
+//!
+//! **Approximate-UBR mode (PR 8).** Callers opting into
+//! [`PvParams::approx_ubr`](crate::PvParams::approx_ubr) simply pass a
+//! relaxed threshold (`effective_delta() = max(Δ, ε)`) — SE itself needs no
+//! code change. The refinement schedule is deterministic and *prefix-closed*
+//! in the threshold: a larger threshold runs the identical sequence of
+//! shrink/expand passes and merely terminates earlier, so the approximate
+//! `h(o)` is a superset of the exact one (soundness is preserved; Lemma 7's
+//! conservatism never depended on Δ), with at most the effective threshold
+//! of slack per boundary side on top of the exact rectangle's own `Δ` bound.
 
 use crate::cset::CandidateSet;
 use crate::stats::SeStats;
-use pv_geom::{region_fully_dominated, DominationStats, HyperRect};
+use pv_geom::{DominationRun, DominationStats, HyperRect};
 use pv_uncertain::UncertainObject;
 use std::time::Instant;
 
@@ -106,6 +116,10 @@ fn se_core(
         ..Default::default()
     };
     let dom_stats = DominationStats::default();
+    // One run per SE invocation: flattens the candidate set once and carries
+    // the move-to-front candidate order across slab tests (see
+    // `DominationRun`); results are identical to the stateless form.
+    let mut dom_run = DominationRun::new(&cset.regions, target);
 
     let mut h = h0;
     let mut l = l0;
@@ -138,6 +152,11 @@ fn se_core(
         if max_gap(&h, &l) < delta {
             break;
         }
+        // Every slab this pass tests is contained in the current `h`, and
+        // `h` only ever shrinks — candidates dominating nowhere in `h` can
+        // never discharge a piece again and are dropped for the whole rest
+        // of the run (result-preserving, see `DominationRun::prune_for`).
+        dom_run.prune_for(&h, Some(&dom_stats));
         for j in 0..d {
             for high in [false, true] {
                 let g = gap(&h, &l, j, high);
@@ -157,8 +176,7 @@ fn se_core(
                     (slab, mid)
                 };
                 stats.slab_tests += 1;
-                let empty =
-                    region_fully_dominated(&slab, &cset.regions, target, mmax, Some(&dom_stats));
+                let empty = dom_run.region_fully_dominated(&slab, mmax, Some(&dom_stats));
                 if empty {
                     // Shrink h: the slab cannot touch V(o).
                     stats.shrinks += 1;

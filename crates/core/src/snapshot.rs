@@ -48,8 +48,13 @@ pub const PV_INDEX_KIND: [u8; 4] = *b"PVIX";
 /// Artifact kind of R-tree baseline snapshots.
 pub const RTREE_KIND: [u8; 4] = *b"PVRT";
 /// Highest PV-index snapshot version this build reads and the version it
-/// writes.
-pub const PV_INDEX_VERSION: u16 = 2;
+/// writes. Version 3 (PR 8) is *canonical*: the disk image is re-emitted
+/// from the logical state at save time, wall-clock durations are zeroed and
+/// `build_threads` is no longer stored, so any two logically equal indexes —
+/// bulk- or legacy-built, at any thread count — serialise to identical
+/// bytes. Version-2 files embedded the build-order-dependent page image and
+/// are rejected rather than mis-decoded (their params layout also differs).
+pub const PV_INDEX_VERSION: u16 = 3;
 /// Highest R-tree baseline snapshot version this build reads/writes.
 /// Version 2 (PR 5) added the stored domain; version-1 files (no domain,
 /// different byte layout) are rejected rather than mis-decoded.
@@ -201,7 +206,9 @@ fn put_params(out: &mut Vec<u8>, p: &PvParams) {
     codec::put_u32_len(out, p.page_size);
     codec::put_u64(out, p.mem_budget as u64);
     codec::put_u32_len(out, p.rtree_fanout);
-    codec::put_u32_len(out, p.build_threads);
+    // Snapshot v3 deliberately omits `build_threads`: the thread count
+    // shapes nothing in the artifact (builds are deterministic across it),
+    // and storing it would make otherwise-identical indexes differ.
     match p.ubr_quantize_steps {
         None => codec::put_u16(out, 0),
         Some(steps) => {
@@ -209,9 +216,14 @@ fn put_params(out: &mut Vec<u8>, p: &PvParams) {
             codec::put_u16(out, steps);
         }
     }
-    // Snapshot v2 (PR 6): commit-path maintenance tuning.
+    // Snapshot v2 (PR 6): commit-path maintenance tuning. The budget is a
+    // full u64 since v3 — `usize::MAX` is a legitimate "unbounded" setting
+    // and must survive a snapshot round trip (the u32 prefix panicked on it).
     put_cset(out, p.update_cset);
-    codec::put_u32_len(out, p.update_budget);
+    codec::put_u64(out, p.update_budget as u64);
+    // Snapshot v3 (PR 8): approximate-UBR threshold, so a loaded index keeps
+    // relaxing SE the same way on its update paths.
+    codec::put_f64(out, p.approx_epsilon);
 }
 
 fn put_cset(out: &mut Vec<u8>, strategy: CSetStrategy) {
@@ -258,7 +270,6 @@ fn try_params(r: &mut codec::Reader) -> Result<PvParams, DecodeError> {
     let page_size = r.try_u32()? as usize;
     let mem_budget = r.try_u64()? as usize;
     let rtree_fanout = r.try_u32()? as usize;
-    let build_threads = r.try_u32()? as usize;
     let ubr_quantize_steps = match r.try_u16()? {
         0 => None,
         1 => Some(r.try_u16()?),
@@ -270,7 +281,13 @@ fn try_params(r: &mut codec::Reader) -> Result<PvParams, DecodeError> {
         }
     };
     let update_cset = try_cset(r)?;
-    let update_budget = r.try_u32()? as usize;
+    let update_budget = r.try_u64()? as usize;
+    let approx_epsilon = r.try_f64()?;
+    if !(approx_epsilon.is_finite() && approx_epsilon >= 0.0) {
+        return Err(DecodeError::Invalid {
+            context: "approx epsilon",
+        });
+    }
     Ok(PvParams {
         delta,
         mmax,
@@ -278,10 +295,13 @@ fn try_params(r: &mut codec::Reader) -> Result<PvParams, DecodeError> {
         page_size,
         mem_budget,
         rtree_fanout,
-        build_threads,
+        // Not stored (v3): the thread count is a build-machine choice, not
+        // index state. A loaded index defaults to serial rebuilds.
+        build_threads: 1,
         ubr_quantize_steps,
         update_cset,
         update_budget,
+        approx_epsilon,
     })
 }
 
@@ -290,20 +310,63 @@ fn try_params(r: &mut codec::Reader) -> Result<PvParams, DecodeError> {
 // ---------------------------------------------------------------------------
 
 /// Serialises a built [`PvIndex`] into snapshot bytes (kind `PVIX`).
+///
+/// The serialisation is **canonical**: instead of dumping the live pager
+/// (whose page ids record the build's allocation history), the octree leaves
+/// and the secondary hash table are re-emitted onto a fresh disk in a fixed
+/// order — leaf records id-sorted, hash records re-encoded from the id
+/// catalogs — and all wall-clock durations are zeroed. Two logically equal
+/// indexes therefore produce identical bytes regardless of how they were
+/// built (bulk vs. per-object insertion, any `build_threads`), which is what
+/// the build-equivalence suite asserts on.
 pub fn pv_index_to_bytes(index: &PvIndex) -> Vec<u8> {
     let mut w = SnapshotWriter::new(PV_INDEX_KIND, PV_INDEX_VERSION);
     let out = w.buf();
     put_params(out, &index.params);
     codec::put_u16_len(out, index.dim);
     put_rect(out, &index.domain);
-    put_build_stats(out, &index.build_stats);
+    let stats = BuildStats {
+        total_time: Duration::ZERO,
+        insert_time: Duration::ZERO,
+        ubr_count: index.build_stats.ubr_count,
+        se: SeStats {
+            cset_time: Duration::ZERO,
+            refine_time: Duration::ZERO,
+            ..index.build_stats.se
+        },
+    };
+    put_build_stats(out, &stats);
     let ids = put_objects(out, &index.objects);
     for id in &ids {
         put_rect(out, &index.ubrs[id]);
     }
-    put_pager_image(out, &index.pager);
-    codec::put_bytes(out, &index.octree.to_snapshot());
-    codec::put_bytes(out, &index.secondary.to_snapshot());
+    // Canonical disk image: octree leaves first (records id-sorted within
+    // each leaf), then the hash table bulk-built from id-sorted re-encoded
+    // records. Allocation order on the fresh pager is thereby a pure
+    // function of the logical state.
+    let fresh = MemPager::new(index.params.page_size);
+    let octree = index.octree.reemit_canonical(fresh.clone());
+    let records: Vec<(u64, Vec<u8>)> = ids
+        .iter()
+        .map(|id| {
+            (
+                *id,
+                crate::index::encode_secondary(
+                    &index.ubrs[id],
+                    &index.objects[id],
+                    &index.domain,
+                    index.params.ubr_quantize_steps,
+                ),
+            )
+        })
+        .collect();
+    let secondary = ExtHash::bulk_build(
+        fresh.clone(),
+        records.iter().map(|(id, r)| (*id, r.as_slice())),
+    );
+    put_pager_image(out, &fresh);
+    codec::put_bytes(out, &octree.to_snapshot());
+    codec::put_bytes(out, &secondary.to_snapshot());
     w.finish()
 }
 
@@ -317,8 +380,18 @@ pub fn pv_index_to_bytes(index: &PvIndex) -> Vec<u8> {
 /// # Errors
 /// Any corruption or version skew as a [`DecodeError`]; never panics.
 pub fn pv_index_from_bytes(bytes: &[u8]) -> Result<PvIndex, DecodeError> {
-    let (mut r, _version) =
+    let (mut r, version) =
         open_snapshot(bytes, PV_INDEX_KIND, "PV-index snapshot", PV_INDEX_VERSION)?;
+    if version < PV_INDEX_VERSION {
+        // Pre-v3 files store `build_threads` inside the params block and a
+        // non-canonical page image; their bytes cannot be decoded by this
+        // layout, so reject cleanly instead of reading garbage.
+        return Err(DecodeError::UnsupportedVersion {
+            context: "PV-index snapshot",
+            found: version,
+            supported: PV_INDEX_VERSION,
+        });
+    }
     let params = try_params(&mut r)?;
     let dim = r.try_u16()? as usize;
     if dim == 0 || dim > 16 {

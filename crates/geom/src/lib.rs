@@ -31,7 +31,9 @@ pub mod quantize;
 pub mod rect;
 
 pub use dist::{max_dist, max_dist_sq, max_dist_sq_rr, min_dist, min_dist_sq, min_dist_sq_rr, sq};
-pub use domination::{dominates, point_dominated, region_fully_dominated, DominationStats};
+pub use domination::{
+    dominates, point_dominated, region_fully_dominated, DominationRun, DominationStats,
+};
 pub use hyperplane::{bisector_side, BisectorSide};
 pub use point::Point;
 pub use quantize::{snap_outward, QuantizedRect};

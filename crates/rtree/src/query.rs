@@ -19,7 +19,15 @@ pub struct Neighbor {
 
 enum HeapItem {
     Node(NodeId),
-    Entry(Neighbor),
+    /// A leaf entry, referenced by (leaf node, slot) — the `Neighbor` (and
+    /// its rectangle clone) is only materialised if the entry is actually
+    /// yielded, which matters to partial consumers like the IS candidate
+    /// selection that browse far fewer entries than the frontier holds.
+    Entry {
+        node: NodeId,
+        slot: u32,
+        dist_sq: f64,
+    },
 }
 
 /// Lazy best-first nearest-neighbor iterator (distance browsing, Hjaltason &
@@ -45,9 +53,27 @@ impl<'a> Iterator for NnIter<'a> {
     type Item = Neighbor;
 
     fn next(&mut self) -> Option<Neighbor> {
+        // The heap is keyed on *squared* distance (with the insertion index
+        // as tie-break): squaring is strictly monotone on non-negative
+        // distances, so the pop order is identical to the sqrt'd form and
+        // the root is only taken once per yielded entry.
         while let Some((Reverse(OrderedF64(_d)), idx)) = self.heap.pop() {
             match std::mem::replace(&mut self.items[idx], HeapItem::Node(u32::MAX)) {
-                HeapItem::Entry(n) => return Some(n),
+                HeapItem::Entry {
+                    node,
+                    slot,
+                    dist_sq,
+                } => {
+                    let NodeKind::Leaf(entries) = &self.tree.nodes[node as usize].kind else {
+                        unreachable!("Entry items always reference leaves");
+                    };
+                    let e = &entries[slot as usize];
+                    return Some(Neighbor {
+                        dist: dist_sq.sqrt(),
+                        rect: e.rect.clone(),
+                        id: e.id,
+                    });
+                }
                 HeapItem::Node(node_id) => {
                     let node = &self.tree.nodes[node_id as usize];
                     match &node.kind {
@@ -56,14 +82,14 @@ impl<'a> Iterator for NnIter<'a> {
                                 .stats
                                 .leaf_visits
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            for e in entries {
-                                let d = min_dist_sq(&e.rect, &self.query).sqrt();
+                            for (slot, e) in entries.iter().enumerate() {
+                                let d = min_dist_sq(&e.rect, &self.query);
                                 let idx = self.items.len();
-                                self.items.push(HeapItem::Entry(Neighbor {
-                                    dist: d,
-                                    rect: e.rect.clone(),
-                                    id: e.id,
-                                }));
+                                self.items.push(HeapItem::Entry {
+                                    node: node_id,
+                                    slot: slot as u32,
+                                    dist_sq: d,
+                                });
                                 self.heap.push((Reverse(OrderedF64(d)), idx));
                             }
                         }
@@ -73,7 +99,7 @@ impl<'a> Iterator for NnIter<'a> {
                                 .internal_visits
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             for c in children {
-                                let d = min_dist_sq(&c.rect, &self.query).sqrt();
+                                let d = min_dist_sq(&c.rect, &self.query);
                                 let idx = self.items.len();
                                 self.items.push(HeapItem::Node(c.node));
                                 self.heap.push((Reverse(OrderedF64(d)), idx));

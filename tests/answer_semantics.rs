@@ -175,6 +175,22 @@ fn exact_engines_satisfy_all_laws() {
     check_batch(&scan, &qs);
 }
 
+/// An approx-built PV-index (PR 8) is a fully *exact* engine: inflated UBRs
+/// only admit extra Step-1 candidates, and Step 2 re-qualifies every one of
+/// them — so it must pass the same laws and ground-truth checks as the
+/// engines built with exact SE, not the UV-index's recall bound.
+#[test]
+fn approx_built_engine_satisfies_exact_laws() {
+    let db = db2d(250, 74);
+    let pv = PvIndex::build(&db, PvParams::default().approx_ubr(20.0));
+    let scan = LinearScan::new(&db);
+    let qs = workload(&db, 25, 8);
+
+    check_internal_laws(&pv, &qs);
+    check_against_ground_truth(&pv, &scan, &db, &qs);
+    check_batch(&pv, &qs);
+}
+
 #[test]
 fn uv_index_satisfies_laws_with_high_recall() {
     let db = db2d(250, 72);

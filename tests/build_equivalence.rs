@@ -1,0 +1,191 @@
+//! Build-equivalence suite for the scalable construction pipeline (PR 8).
+//!
+//! The build has three independently swappable parts — work-stealing Phase-1
+//! parallelism, bottom-up bulk loading of both disk structures, and the
+//! opt-in approximate-UBR mode — and each one is only admissible if it is
+//! *invisible* in the artifact. The lock is byte equality of canonical
+//! snapshots: [`pv_index_to_bytes`] re-emits the disk image from the logical
+//! state, so two builds serialise identically iff they agree on every UBR,
+//! every octree split decision and every stored record.
+//!
+//! * **bulk ≡ legacy** (proptest, dims 2–4): the bottom-up bulk load must
+//!   reproduce the per-object insertion build exactly;
+//! * **parallel ≡ serial** (threads 2/4/8): the work-stealing scheduler's
+//!   batch merge must make thread count unobservable;
+//! * **approx soundness**: `approx_ubr(ε)` may inflate each stored UBR by at
+//!   most ε per axis side, and never changes query answers;
+//! * **worker panics are values**: a poisoned object surfaces as
+//!   [`BuildError::WorkerPanicked`] from `try_build`, at any thread count.
+//!
+//! The vendored proptest runner is deterministic; `PROPTEST_CASES` scales
+//! the case count for the scheduled deep-fuzz job (as in `cow_sharing.rs`).
+
+use proptest::prelude::*;
+use pv_suite::core::snapshot::pv_index_to_bytes;
+use pv_suite::core::{BuildError, LinearScan, ProbNnEngine, PvIndex, PvParams, QuerySpec};
+use pv_suite::uncertain::UncertainDb;
+use pv_suite::workload::{queries, synthetic, SyntheticConfig};
+
+/// Case count: small in the normal CI job (several builds per case), scaled
+/// up by `PROPTEST_CASES` in the scheduled deep-fuzz job.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6)
+}
+
+fn seed_db(n: usize, dim: usize, seed: u64) -> UncertainDb {
+    synthetic(&SyntheticConfig {
+        n,
+        dim,
+        max_side: 120.0,
+        samples: 8,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// The bottom-up bulk load (octree midpoint partitioning + one-shot hash
+    /// directory sizing) must be byte-indistinguishable from the legacy
+    /// per-object insertion build — including under UBR quantization, whose
+    /// shorter records shift every page-fit decision.
+    #[test]
+    fn bulk_load_matches_legacy_insertion_bytes(
+        dim in 2usize..=4,
+        n in 40usize..=160,
+        seed in 0u64..1_000,
+        quantize in any::<bool>(),
+    ) {
+        let db = seed_db(n, dim, 7_000 + seed);
+        let params = PvParams {
+            ubr_quantize_steps: quantize.then_some(2_048u16),
+            ..Default::default()
+        };
+        let bulk = PvIndex::build(&db, params);
+        let legacy = PvIndex::build_legacy(&db, params);
+        prop_assert_eq!(
+            pv_index_to_bytes(&bulk),
+            pv_index_to_bytes(&legacy),
+            "bulk and legacy builds diverge (dim {}, n {}, seed {})",
+            dim, n, seed
+        );
+    }
+
+    /// Work-stealing workers race for object batches, so only the
+    /// deterministic batch merge keeps thread count out of the artifact:
+    /// every thread count must serialise to the serial build's bytes.
+    #[test]
+    fn parallel_build_matches_serial_bytes(
+        dim in 2usize..=4,
+        seed in 0u64..1_000,
+    ) {
+        let db = seed_db(90, dim, 11_000 + seed);
+        let serial = pv_index_to_bytes(&PvIndex::build(&db, PvParams::default()));
+        for threads in [2usize, 4, 8] {
+            let params = PvParams {
+                build_threads: threads,
+                ..Default::default()
+            };
+            prop_assert_eq!(
+                &pv_index_to_bytes(&PvIndex::build(&db, params)),
+                &serial,
+                "{}-thread build diverges from serial (dim {}, seed {})",
+                threads, dim, seed
+            );
+        }
+    }
+
+    /// Approximate-UBR soundness: every approx UBR contains its exact
+    /// counterpart (SE only *stops refining earlier*, it never cuts deeper),
+    /// exceeds it by at most ε per axis side, and — because Step 2
+    /// re-qualifies every candidate — answers stay identical to the ground
+    /// truth on every spec.
+    #[test]
+    fn approx_mode_is_sound_and_answers_exactly(
+        dim in 2usize..=3,
+        seed in 0u64..1_000,
+    ) {
+        let epsilon = 25.0;
+        let db = seed_db(70, dim, 15_000 + seed);
+        let exact = PvIndex::build(&db, PvParams::default());
+        let approx = PvIndex::build(&db, PvParams::default().approx_ubr(epsilon));
+
+        for o in &db.objects {
+            let e = exact.ubr(o.id).unwrap();
+            let a = approx.ubr(o.id).unwrap();
+            for d in 0..dim {
+                prop_assert!(
+                    a.lo()[d] <= e.lo()[d] + 1e-9 && a.hi()[d] >= e.hi()[d] - 1e-9,
+                    "approx B({}) does not contain the exact UBR on axis {d}",
+                    o.id
+                );
+                prop_assert!(
+                    e.lo()[d] - a.lo()[d] <= epsilon + 1e-9
+                        && a.hi()[d] - e.hi()[d] <= epsilon + 1e-9,
+                    "approx B({}) exceeds the ε bound on axis {d}: exact [{}, {}], approx [{}, {}]",
+                    o.id, e.lo()[d], e.hi()[d], a.lo()[d], a.hi()[d]
+                );
+            }
+        }
+
+        let scan = LinearScan::new(&db);
+        let specs = [
+            QuerySpec::new(),
+            QuerySpec::new().with_top_k(3),
+            QuerySpec::new().with_threshold(0.05),
+        ];
+        for q in queries::uniform(&db.domain, 8, 55 + seed) {
+            for spec in &specs {
+                prop_assert_eq!(
+                    &approx.execute(&q, spec).expect("approx query").answers,
+                    &scan.execute(&q, spec).expect("ground truth").answers,
+                    "approx-built index diverges from LinearScan at {:?} under {:?}",
+                    &q, spec
+                );
+            }
+        }
+    }
+}
+
+/// A panicking Phase-1 worker must come back as a typed error from
+/// `try_build` — at every thread count, including the serial path — with the
+/// panic message preserved, and must not leave detached threads running
+/// (thread::scope joins all workers before `build_inner` returns).
+#[test]
+fn poisoned_worker_surfaces_as_build_error() {
+    use pv_suite::core::index::BUILD_POISON_ID;
+    use std::sync::atomic::Ordering;
+
+    // The poison id exists only in this test's database, so the global
+    // fail-point cannot trip concurrently running builds (their ids are
+    // disjoint small integers or 10_000+/20_000+ ranges).
+    let mut db = seed_db(60, 2, 99);
+    let victim = 777_000_777u64;
+    db.objects[30].id = victim;
+
+    BUILD_POISON_ID.store(victim, Ordering::SeqCst);
+    for threads in [1usize, 2, 4] {
+        let params = PvParams {
+            build_threads: threads,
+            ..Default::default()
+        };
+        match PvIndex::try_build(&db, params) {
+            Err(BuildError::WorkerPanicked { message }) => assert!(
+                message.contains("poisoned object 777000777"),
+                "{threads}-thread build lost the panic message: {message:?}"
+            ),
+            Err(e) => panic!("unexpected build error variant: {e}"),
+            Ok(_) => panic!("{threads}-thread build swallowed the worker panic"),
+        }
+    }
+    BUILD_POISON_ID.store(u64::MAX, Ordering::SeqCst);
+
+    // With the fail-point disarmed the same database builds fine.
+    assert_eq!(
+        PvIndex::try_build(&db, PvParams::default()).unwrap().len(),
+        60
+    );
+}

@@ -131,6 +131,49 @@ proptest! {
     }
 }
 
+/// Torture case for PR 8's bottom-up bulk load feeding the COW commit path:
+/// the bulk loader writes each octree leaf page exactly once and sizes the
+/// hash directory up front, producing a page image with a very different
+/// allocation history than incremental insertion. Forked commits on top of
+/// that image must still leave every pinned snapshot exact — including the
+/// approximate-UBR variant, whose looser leaves shift which pages commits
+/// touch.
+#[test]
+fn bulk_loaded_image_survives_commit_torture() {
+    for (label, params) in [
+        ("exact", PvParams::default()),
+        ("approx", PvParams::default().approx_ubr(15.0)),
+    ] {
+        let base = seed_db(120, 3, 57);
+        let db = Db::new(PvIndex::build(&base, params));
+        let mut shadow: Vec<UncertainObject> = base.objects.clone();
+        let mut pinned: Vec<(pv_suite::core::Reader<PvIndex>, Vec<UncertainObject>)> =
+            vec![(db.reader(), shadow.clone())];
+
+        let mut rng = StdRng::seed_from_u64(58);
+        let pool = seed_db(20, 3, 4_580);
+        let mut fresh = pool.objects.into_iter();
+        for k in 0..20usize {
+            if !shadow.is_empty() && rng.gen_bool(0.4) {
+                let victim = shadow[rng.gen_range(0..shadow.len())].id;
+                shadow.retain(|o| o.id != victim);
+                db.remove(victim).expect("scripted remove");
+            } else {
+                let mut o = fresh.next().expect("pool sized to steps");
+                o.id = 40_000 + k as u64;
+                shadow.push(o.clone());
+                db.insert(o).expect("scripted insert");
+            }
+            pinned.push((db.reader(), shadow.clone()));
+        }
+
+        for (reader, objects) in &pinned {
+            assert_snapshot_matches(reader, objects, &base.domain, 59)
+                .unwrap_or_else(|e| panic!("{label}: {e:?}"));
+        }
+    }
+}
+
 #[test]
 fn single_object_commit_copies_a_bounded_number_of_pages() {
     let base = seed_db(500, 3, 9);

@@ -27,7 +27,9 @@
 
 use crate::alloc_counter;
 use crate::Ctx;
-use pv_core::db::{Db, Session};
+use pv_core::baseline::RTreeBaseline;
+use pv_core::db::{Db, PersistentEngine, Session};
+use pv_core::durable::{DurableDb, DurableOptions, SyncPolicy};
 use pv_core::snapshot::{pv_index_from_bytes, pv_index_to_bytes};
 use pv_core::{
     BatchSlots, ProbNnEngine, PvIndex, PvParams, QueryOutcome, QueryScratch, QuerySpec,
@@ -40,7 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The PR number this snapshot file belongs to.
-pub const TRAJECTORY_PR: u32 = 8;
+pub const TRAJECTORY_PR: u32 = 9;
 
 /// One measured per-query workload: a name plus its median cost. (The build
 /// workload reports whole-build wall time separately — its unit is
@@ -237,6 +239,78 @@ fn commit_workload(index: &PvIndex, domain: &HyperRect, rounds: usize) -> (u64, 
     (median(commit_ns), median(legacy_ns))
 }
 
+/// One engine's durable-commit measurement: fsynced write-ahead commit
+/// latency plus the cost of recovering the directory by WAL replay.
+#[derive(Debug, Clone)]
+pub struct DurablePoint {
+    /// Engine identifier (`"pv_index"`, `"rtree_baseline"`).
+    pub engine: &'static str,
+    /// Median fsynced single-object commit latency, nanoseconds.
+    pub commit_p50_ns: u64,
+    /// 99th-percentile fsynced commit latency, nanoseconds.
+    pub commit_p99_ns: u64,
+    /// Commits measured.
+    pub commits: usize,
+    /// Wall time of `DurableDb::open` (snapshot load + full WAL replay).
+    pub recovery_ns: u64,
+    /// Commits the recovery replayed from the log.
+    pub replayed_commits: u64,
+}
+
+/// Times `rounds` insert/remove pairs through a [`DurableDb`] with
+/// per-commit fsync (the durability PR's headline cost: WAL append +
+/// fsync on top of the COW publish), then crashes-by-drop and times the
+/// recovery replay of the full log.
+fn durable_workload<E: WritableEngine + PersistentEngine>(
+    engine: E,
+    name: &'static str,
+    domain: &HyperRect,
+    rounds: usize,
+) -> DurablePoint {
+    let dir = std::env::temp_dir().join(format!("pv_bench_durable_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // No compaction: the whole history stays in the log so the recovery
+    // number below measures a 2×rounds-commit replay.
+    let opts = DurableOptions {
+        sync: SyncPolicy::EveryCommit,
+        compact_after_commits: u64::MAX,
+        compact_after_bytes: u64::MAX,
+        ..DurableOptions::default()
+    };
+    let c = domain.center();
+    let lo: Vec<f64> = c.coords().iter().map(|x| x - 0.5).collect();
+    let hi: Vec<f64> = c.coords().iter().map(|x| x + 0.5).collect();
+    let region = HyperRect::new(lo, hi);
+
+    let db = DurableDb::create(&dir, engine, opts).expect("durable bench create");
+    let mut commit_ns = Vec::with_capacity(rounds * 2);
+    for k in 0..rounds as u64 {
+        let o = UncertainObject::uniform(3_000_000_000 + k, region.clone(), 16);
+        let t = Instant::now();
+        let _ = db.insert(o).expect("durable bench insert");
+        commit_ns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        let _ = db.remove(3_000_000_000 + k).expect("durable bench remove");
+        commit_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    drop(db); // "crash": nothing beyond the fsynced WAL survives
+
+    let t = Instant::now();
+    let (_recovered, report) = DurableDb::<E>::open(&dir, opts).expect("durable bench recovery");
+    let recovery_ns = t.elapsed().as_nanos() as u64;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    commit_ns.sort_unstable();
+    DurablePoint {
+        engine: name,
+        commit_p50_ns: percentile(&commit_ns, 50.0),
+        commit_p99_ns: percentile(&commit_ns, 99.0),
+        commits: commit_ns.len(),
+        recovery_ns,
+        replayed_commits: report.replayed_commits,
+    }
+}
+
 /// Runs the trajectory workloads and writes `path` (JSON). Also prints a
 /// short human-readable summary.
 pub fn report(ctx: &Ctx, path: &str) {
@@ -372,6 +446,21 @@ pub fn report(ctx: &Ctx, path: &str) {
         commit_workload(&index, &db.domain, commit_rounds);
     let commit_speedup = legacy_write_median_ns as f64 / (commit_median_ns as f64).max(1.0);
 
+    // --- durable workload (PR 9): fsynced WAL commit latency and
+    // WAL-replay recovery time, for the PV-index and — now that its fork
+    // is a structural clone rather than an O(index) re-bulk-load — the
+    // R-tree baseline engine too.
+    let durable_rounds = 10;
+    let durable = [
+        durable_workload(index.fork(), "pv_index", &db.domain, durable_rounds),
+        durable_workload(
+            RTreeBaseline::build(&db, params.rtree_fanout, params.page_size),
+            "rtree_baseline",
+            &db.domain,
+            durable_rounds,
+        ),
+    ];
+
     // --- serve workload (mixed read/write on the Db facade) ---
     let serve_db = Db::new(index);
     // The page-level COW fork made commits cheap enough that a 1-second
@@ -385,6 +474,19 @@ pub fn report(ctx: &Ctx, path: &str) {
         .collect();
 
     let preset = format!("{:?}", ctx.preset).to_lowercase();
+    let durable_json =
+        durable
+            .iter()
+            .map(|p| {
+                format!(
+                "    \"{}\": {{ \"commit_p50_ns\": {}, \"commit_p99_ns\": {}, \"commits\": {}, \
+                 \"recovery_ns\": {}, \"replayed_commits\": {} }}",
+                p.engine, p.commit_p50_ns, p.commit_p99_ns, p.commits, p.recovery_ns,
+                p.replayed_commits
+            )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
     let serve_json = serve
         .iter()
         .map(|p| {
@@ -404,6 +506,7 @@ pub fn report(ctx: &Ctx, path: &str) {
          \"commit\": {{\n    \"single_object_median_ns\": {commit_median_ns},\n    \
          \"legacy_write_median_ns\": {legacy_write_median_ns},\n    \
          \"speedup_vs_legacy_write\": {commit_speedup:.1},\n    \"rounds\": {commit_rounds}\n  }},\n  \
+         \"durable\": {{\n    \"sync\": \"every_commit\",\n{durable_json}\n  }},\n  \
          \"serve\": {{\n    \"duration_ms\": {serve_ms},\n    \"reader_threads\": {reader_threads},\n{serve_json}\n  }},\n  \
          \"allocs_per_query_steady_state\": {allocs_per_query},\n  \
          \"alloc_counter_active\": {alloc_counter_active}\n}}\n",
@@ -463,6 +566,17 @@ pub fn report(ctx: &Ctx, path: &str) {
         "{:>12}: median {:>12} ns/commit (legacy write path {legacy_write_median_ns} ns, {commit_speedup:.0}x)",
         "commit", commit_median_ns
     );
+    for p in &durable {
+        println!(
+            "{:>12}: {} commit p50 {} ns p99 {} ns; recovery {} ns over {} replayed commits",
+            "durable",
+            p.engine,
+            p.commit_p50_ns,
+            p.commit_p99_ns,
+            p.recovery_ns,
+            p.replayed_commits
+        );
+    }
     for p in &serve {
         println!(
             "{:>12}: {:>8.0} read qps at {:>4} writes/sec ({} published, write p50 {} ns p99 {} ns)",

@@ -232,12 +232,11 @@ impl ProbNnEngine for RTreeBaseline {
     }
 }
 
-/// Copy-on-write support for the [`crate::db::Db`] facade: the fork
-/// re-runs the deterministic STR bulk load over the id-sorted catalog (the
-/// same reconstruction [`RTreeBaseline::load`] uses), so the successor
-/// shares no state with the published original.
-impl WritableEngine for RTreeBaseline {
-    fn fork(&self) -> Self {
+impl RTreeBaseline {
+    /// Deterministic STR bulk load over the id-sorted catalog — the same
+    /// reconstruction [`RTreeBaseline::load`] uses. This is what a *rebuild*
+    /// means for the baseline; forks no longer pay for it.
+    fn rebulk_loaded(&self) -> Self {
         let mut ids: Vec<u64> = self.objects.keys().copied().collect();
         ids.sort_unstable();
         let entries: Vec<Entry> = ids
@@ -256,12 +255,28 @@ impl WritableEngine for RTreeBaseline {
             domain: self.domain.clone(),
         }
     }
+}
 
-    /// The fork *is* a fresh deterministic bulk load, so a rebuild needs no
-    /// second construction.
+/// Copy-on-write support for the [`crate::db::Db`] facade: the fork is a
+/// structural O(index) clone of the R-tree rather than a re-bulk-load, so
+/// forking preserves the published tree's exact shape and skips the STR
+/// reconstruction. The successor shares no mutable state with the original.
+impl WritableEngine for RTreeBaseline {
+    fn fork(&self) -> Self {
+        Self {
+            tree: self.tree.clone(),
+            objects: self.objects.clone(),
+            page_size: self.page_size,
+            fanout: self.fanout,
+            domain: self.domain.clone(),
+        }
+    }
+
+    /// A rebuild is a fresh deterministic STR bulk load over the catalog
+    /// (unlike [`WritableEngine::fork`], which clones the current shape).
     fn rebuilt(&self) -> (Self, BuildStats) {
         let t0 = Instant::now();
-        let fresh = self.fork();
+        let fresh = self.rebulk_loaded();
         let stats = BuildStats {
             total_time: t0.elapsed(),
             ubr_count: fresh.objects.len(),
@@ -280,7 +295,7 @@ impl WritableEngine for RTreeBaseline {
 
     fn apply_rebuild(&mut self) -> BuildStats {
         let t0 = Instant::now();
-        *self = self.fork();
+        *self = self.rebulk_loaded();
         BuildStats {
             total_time: t0.elapsed(),
             ubr_count: self.objects.len(),
@@ -290,12 +305,13 @@ impl WritableEngine for RTreeBaseline {
 }
 
 impl PersistentEngine for RTreeBaseline {
-    fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        self.save(path)
+    fn snapshot_bytes(&self) -> std::io::Result<Vec<u8>> {
+        Ok(crate::snapshot::rtree_baseline_to_bytes(self))
     }
 
-    fn load_from(path: &std::path::Path) -> std::io::Result<Self> {
-        Self::load(path)
+    fn from_snapshot_bytes(bytes: &[u8]) -> std::io::Result<Self> {
+        crate::snapshot::rtree_baseline_from_bytes(bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 

@@ -328,16 +328,39 @@ pub trait WritableEngine: ProbNnEngine {
     }
 }
 
-/// An engine whose full state round-trips through a snapshot file — the
-/// hook [`Db::save`] / [`Db::open`] persist through, with I/O failures
-/// surfaced as [`DbError::Snapshot`].
+/// An engine whose full state round-trips through a snapshot — the hook
+/// [`Db::save`] / [`Db::open`] persist through, with failures surfaced as
+/// [`DbError::Snapshot`].
+///
+/// The byte-level pair is the required surface: the durable write path
+/// ([`crate::durable::DurableDb`]) routes snapshot bytes through an
+/// injectable filesystem for atomic rotation and fault injection, so it
+/// must be able to obtain them without touching `std::fs` itself. The
+/// path-level pair has default implementations in terms of the bytes.
 pub trait PersistentEngine: Sized {
+    /// The engine's full state as one self-contained snapshot artifact
+    /// (the versioned, checksummed envelope of `pv-storage::snapshot`).
+    fn snapshot_bytes(&self) -> std::io::Result<Vec<u8>>;
+
+    /// Restores an engine from bytes produced by
+    /// [`PersistentEngine::snapshot_bytes`].
+    ///
+    /// # Errors
+    /// Corruption and version skew yield an
+    /// [`std::io::ErrorKind::InvalidData`] error wrapping the precise
+    /// [`pv_storage::codec::DecodeError`].
+    fn from_snapshot_bytes(bytes: &[u8]) -> std::io::Result<Self>;
+
     /// Serialises the engine to a snapshot file at `path`.
-    fn save_to(&self, path: &Path) -> std::io::Result<()>;
+    fn save_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot_bytes()?)
+    }
 
     /// Restores an engine from a snapshot written by
     /// [`PersistentEngine::save_to`].
-    fn load_from(path: &Path) -> std::io::Result<Self>;
+    fn load_from(path: &Path) -> std::io::Result<Self> {
+        Self::from_snapshot_bytes(&std::fs::read(path)?)
+    }
 }
 
 /// A shared, concurrently-usable database handle over any query engine.
@@ -355,8 +378,16 @@ pub struct Db<E> {
 impl<E: ProbNnEngine> Db<E> {
     /// Wraps an engine as publication version 0.
     pub fn new(engine: E) -> Self {
+        Self::at_version(engine, 0)
+    }
+
+    /// Wraps an engine at an explicit starting version — the recovery path
+    /// of [`crate::durable::DurableDb`] uses this so versions survive a
+    /// restart (a reader that recorded "answered at version 7" before a
+    /// crash means the same state after one).
+    pub fn at_version(engine: E, version: u64) -> Self {
         Self {
-            current: ArcSwap::new(Arc::new(Snapshot { version: 0, engine })),
+            current: ArcSwap::new(Arc::new(Snapshot { version, engine })),
             writer: Mutex::new(()),
         }
     }
@@ -498,17 +529,19 @@ impl<E: ProbNnEngine + PersistentEngine> Db<E> {
             .load()
             .engine
             .save_to(path.as_ref())
-            .map_err(DbError::Snapshot)
+            .map_err(DbError::from)
     }
 
     /// Opens a database from an engine snapshot file written by
     /// [`Db::save`] (or the engine's own `save`).
     ///
     /// # Errors
-    /// [`DbError::Snapshot`] wrapping the underlying I/O failure or
-    /// corruption report.
+    /// [`DbError::Snapshot`] wrapping the underlying I/O failure or — for
+    /// a corrupt file — the typed
+    /// [`SnapshotError::Decode`](crate::error::SnapshotError) chain down to
+    /// the codec-level [`pv_storage::codec::DecodeError`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self, DbError> {
-        let engine = E::load_from(path.as_ref()).map_err(DbError::Snapshot)?;
+        let engine = E::load_from(path.as_ref()).map_err(DbError::from)?;
         Ok(Self::new(engine))
     }
 }

@@ -984,12 +984,13 @@ impl WritableEngine for PvIndex {
 }
 
 impl PersistentEngine for PvIndex {
-    fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        self.save(path)
+    fn snapshot_bytes(&self) -> std::io::Result<Vec<u8>> {
+        Ok(crate::snapshot::pv_index_to_bytes(self))
     }
 
-    fn load_from(path: &std::path::Path) -> std::io::Result<Self> {
-        Self::load(path)
+    fn from_snapshot_bytes(bytes: &[u8]) -> std::io::Result<Self> {
+        crate::snapshot::pv_index_from_bytes(bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 

@@ -23,6 +23,10 @@
 //!   immutable engine snapshots through an [`db::ArcSwap`]; readers pin
 //!   them ([`db::Reader`], pooled [`db::Session`]s) and never block on the
 //!   single copy-on-write writer ([`db::WritableEngine`]);
+//! * [`durable`] — **crash-safe durability**: [`durable::DurableDb`]
+//!   write-ahead logs every commit before publication, checkpoints via
+//!   atomic snapshot rotation, and recovers to exactly some
+//!   acknowledged-prefix version after any crash;
 //! * [`error`] — the typed error surface: [`error::QueryError`] (read
 //!   side) and [`error::DbError`] (write/persistence side) replace the
 //!   pre-PR-5 panics;
@@ -60,6 +64,7 @@
 pub mod baseline;
 pub mod cset;
 pub mod db;
+pub mod durable;
 pub mod error;
 pub mod index;
 pub mod params;
@@ -71,7 +76,8 @@ pub mod stats;
 pub mod verify;
 
 pub use db::{Db, PersistentEngine, Reader, Session, WritableEngine};
-pub use error::{BuildError, DbError, QueryError};
+pub use durable::{DbOp, DurableCommit, DurableDb, DurableOptions, RecoveryReport, SyncPolicy};
+pub use error::{BuildError, DbError, QueryError, RecoveryError, SnapshotError};
 pub use index::PvIndex;
 pub use params::{CSetStrategy, PvParams};
 pub use query::{

@@ -13,12 +13,14 @@
 //! and serves as the reference implementation the indexes are validated
 //! against, as well as the recall oracle for the UV-index baseline.
 
-use crate::db::WritableEngine;
+use crate::db::{PersistentEngine, WritableEngine};
 use crate::error::DbError;
 use crate::prob::pdf_payload_pages;
 use crate::query::{FetchScratch, ProbNnEngine, Step1Engine};
 use crate::stats::{BuildStats, Step1Stats, UpdateStats};
 use pv_geom::{max_dist_sq, min_dist_sq, HyperRect, Point};
+use pv_storage::codec::{self, DecodeError};
+use pv_storage::snapshot::{open_snapshot, SnapshotWriter};
 use pv_uncertain::{UncertainDb, UncertainObject};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -241,6 +243,67 @@ impl WritableEngine for LinearScan {
             ubr_count: self.objects.len(),
             ..Default::default()
         }
+    }
+}
+
+/// Snapshot envelope kind for a serialised [`LinearScan`].
+const LINEAR_SCAN_KIND: [u8; 4] = *b"PVLS";
+/// Format version of the [`LinearScan`] snapshot payload.
+const LINEAR_SCAN_VERSION: u16 = 1;
+
+/// The scan *is* its object catalog, so its snapshot is just that catalog
+/// (ascending-id for deterministic bytes) plus the domain and page size —
+/// which makes `LinearScan` a full [`PersistentEngine`] and therefore
+/// usable as the ground-truth engine under
+/// [`DurableDb`](crate::durable::DurableDb) in the crash-consistency
+/// torture tests.
+impl PersistentEngine for LinearScan {
+    fn snapshot_bytes(&self) -> std::io::Result<Vec<u8>> {
+        let mut w = SnapshotWriter::new(LINEAR_SCAN_KIND, LINEAR_SCAN_VERSION);
+        let out = w.buf();
+        codec::put_u32_len(out, self.domain.dim());
+        crate::snapshot::put_rect(out, &self.domain);
+        codec::put_u32_len(out, self.page_size);
+        let mut ids: Vec<u64> = self.by_id.keys().copied().collect();
+        ids.sort_unstable();
+        codec::put_u64(out, ids.len() as u64);
+        for id in &ids {
+            codec::put_bytes(out, &self.object(*id).encode());
+        }
+        Ok(w.finish())
+    }
+
+    fn from_snapshot_bytes(bytes: &[u8]) -> std::io::Result<Self> {
+        let decode = |bytes: &[u8]| -> Result<Self, DecodeError> {
+            let (mut r, _) = open_snapshot(
+                bytes,
+                LINEAR_SCAN_KIND,
+                "linear-scan snapshot",
+                LINEAR_SCAN_VERSION,
+            )?;
+            let dim = r.try_u32()? as usize;
+            if dim == 0 || dim > 64 {
+                return Err(DecodeError::Invalid {
+                    context: "linear-scan snapshot dimensionality",
+                });
+            }
+            let domain = crate::snapshot::try_rect(&mut r, dim)?;
+            let page_size = r.try_u32()? as usize;
+            let n = r.try_u64()? as usize;
+            let mut objects = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let rec = r.try_bytes()?;
+                objects.push(UncertainObject::try_decode(&rec)?);
+            }
+            let by_id = objects.iter().enumerate().map(|(i, o)| (o.id, i)).collect();
+            Ok(Self {
+                objects,
+                by_id,
+                page_size,
+                domain,
+            })
+        };
+        decode(bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 

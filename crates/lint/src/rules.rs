@@ -1,4 +1,4 @@
-//! The rule engine: file analysis, the six project rules, and waivers.
+//! The rule engine: file analysis, the seven project rules, and waivers.
 //!
 //! Each rule is a pure function over a [`FileAnalysis`] — the lexed token
 //! stream plus derived structure (`#[cfg(test)]` regions, `fn` bodies,
@@ -92,6 +92,13 @@ pub const RULES: &[Rule] = &[
         description: "every public item carries a doc comment (static backstop for \
                       #![deny(missing_docs)])",
         check: pub_missing_docs,
+    },
+    Rule {
+        name: "io-no-unwrap",
+        description: "no .unwrap()/.expect() on io::Result values in storage non-test code — \
+                      propagate the error, retry via RetryPolicy, or panic with context via \
+                      unwrap_or_else at a documented infallible boundary",
+        check: io_no_unwrap,
     },
 ];
 
@@ -721,6 +728,94 @@ fn codec_no_lossy_cast(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `io-no-unwrap`: `.unwrap()` / `.expect()` on an `io::Result` outside
+/// tests. An I/O failure is an environment condition, not a logic bug, so
+/// it must surface as a value (the wal/durable layers carry it as
+/// `WalError`/`DbError`, transient kinds retry via `RetryPolicy`) — or, at
+/// a boundary that is infallible by contract (e.g. the `Pager` trait),
+/// convert explicitly with `unwrap_or_else(|e| panic!(...))` so the panic
+/// carries the underlying error.
+///
+/// Heuristic: the unwrap's statement (back to the nearest `;`/`{`/`}`)
+/// contains an I/O-operation call (`open`, `read_exact`, `sync_all`, the
+/// `Fs` trait surface, …). Slice `try_into().unwrap()` and other
+/// infallible conversions in the same files stay unflagged.
+fn io_no_unwrap(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
+    const IO_OPS: &[&str] = &[
+        "read",
+        "read_exact",
+        "read_to_end",
+        "read_to_string",
+        "write",
+        "write_all",
+        "append",
+        "seek",
+        "sync",
+        "sync_all",
+        "sync_data",
+        "sync_dir",
+        "flush",
+        "metadata",
+        "set_len",
+        "open",
+        "create",
+        "create_dir_all",
+        "rename",
+        "remove",
+        "remove_file",
+        "remove_dir",
+        "remove_dir_all",
+        "read_dir",
+        "copy",
+        "truncate",
+    ];
+    for i in 0..a.sig.len() {
+        let t = &a.sig[i];
+        if t.kind != TokenKind::Ident || a.in_test(t.line) {
+            continue;
+        }
+        let name = a.sig_text(i);
+        if name != "unwrap" && name != "expect" {
+            continue;
+        }
+        if !(i > 0 && a.is_punct(i - 1, ".") && i + 1 < a.sig.len() && a.is_punct(i + 1, "(")) {
+            continue;
+        }
+        // Walk back through the statement looking for an I/O-op call.
+        let mut io_op = None;
+        let mut j = i - 1;
+        while j > 0 {
+            j -= 1;
+            let s = &a.sig[j];
+            if s.kind == TokenKind::Punct && matches!(a.sig_text(j), ";" | "{" | "}") {
+                break;
+            }
+            if s.kind == TokenKind::Ident
+                && IO_OPS.contains(&a.sig_text(j))
+                && j + 1 < a.sig.len()
+                && a.is_punct(j + 1, "(")
+            {
+                io_op = Some(a.sig_text(j));
+                break;
+            }
+        }
+        if let Some(op) = io_op {
+            diag(
+                out,
+                "io-no-unwrap",
+                a,
+                t.line,
+                format!(
+                    "`.{name}()` on the result of `{op}(…)` — an I/O error is an environment \
+                 condition, not a bug: propagate it (WalError/DbError, RetryPolicy for \
+                 transient kinds) or convert via `unwrap_or_else(|e| panic!(…))` at a \
+                 documented infallible boundary"
+                ),
+            );
+        }
+    }
+}
+
 /// `pub-missing-docs`: every `pub` item (not `pub(crate)`, not `pub use`)
 /// must be preceded by a doc comment or a `#[doc…]` attribute.
 fn pub_missing_docs(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
@@ -971,6 +1066,23 @@ fn free_fn() { let v = data.to_vec(); }
         let (active, _) = run("pub-missing-docs", mods);
         assert_eq!(active.len(), 1, "{active:?}");
         assert_eq!(active[0].line, 2);
+    }
+
+    #[test]
+    fn io_unwrap_needs_io_call_in_statement() {
+        // unwrap on an I/O call's result fires; slice try_into does not.
+        let src = "fn f(p: &Path) { let f = File::open(p).unwrap(); f.sync_all().expect(\"s\"); }";
+        let (active, _) = run("io-no-unwrap", src);
+        assert_eq!(active.len(), 2, "{active:?}");
+        let clean = "fn g(d: &[u8]) -> u64 { u64::from_le_bytes(d[..8].try_into().unwrap()) }";
+        assert!(run("io-no-unwrap", clean).0.is_empty());
+        // the sanctioned boundary idiom is not an unwrap
+        let boundary = "fn h(f: &mut File, b: &mut [u8]) { f.read_exact(b).unwrap_or_else(|e| panic!(\"{e}\")); }";
+        assert!(run("io-no-unwrap", boundary).0.is_empty());
+        // the statement walk stops at `;`: I/O in a *previous* statement
+        // does not taint a later infallible unwrap
+        let prev = "fn k(f: &mut File) { f.sync_all()?; let x: u32 = 7i64.try_into().unwrap(); }";
+        assert!(run("io-no-unwrap", prev).0.is_empty());
     }
 
     #[test]

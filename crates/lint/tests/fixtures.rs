@@ -133,6 +133,24 @@ fn pub_missing_docs_waiver_suppresses() {
 }
 
 #[test]
+fn io_no_unwrap_fires() {
+    let src = include_str!("fixtures/io_no_unwrap_fires.rs");
+    let (active, waived) = run("io_no_unwrap_fires.rs", src, "io-no-unwrap");
+    assert_eq!(lines(&active), vec![7, 9, 10], "{active:?}");
+    assert!(active.iter().all(|d| d.rule == "io-no-unwrap"));
+    assert!(waived.is_empty());
+}
+
+#[test]
+fn io_no_unwrap_waiver_suppresses() {
+    let src = include_str!("fixtures/io_no_unwrap_waived.rs");
+    let (active, waived) = run("io_no_unwrap_waived.rs", src, "io-no-unwrap");
+    assert!(active.is_empty(), "{active:?}");
+    // one statement-scoped waiver + one trailing; unwrap_or_else is clean
+    assert_eq!(waived.len(), 2, "{waived:?}");
+}
+
+#[test]
 fn waiver_without_reason_is_reported_and_suppresses_nothing() {
     let src = include_str!("fixtures/waiver_missing_reason.rs");
     let (active, waived) = run("waiver_missing_reason.rs", src, "hot-path-no-panic");
@@ -169,11 +187,14 @@ include = [\"**\"]
 
 [rule.pub-missing-docs]
 include = [\"**\"]
+
+[rule.io-no-unwrap]
+include = [\"**\"]
 ";
     let cfg = Config::parse(cfg_src).expect("fixture config parses");
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let report = lint_with_config(&root, &cfg).expect("fixture scan succeeds");
-    assert_eq!(report.files_scanned, 13);
+    assert_eq!(report.files_scanned, 15);
     assert!(!report.clean());
     // every rule appears among the active diagnostics...
     for rule in [
@@ -183,6 +204,7 @@ include = [\"**\"]
         "cow-discipline",
         "codec-no-lossy-cast",
         "pub-missing-docs",
+        "io-no-unwrap",
         WAIVER_MISSING_REASON,
     ] {
         assert!(

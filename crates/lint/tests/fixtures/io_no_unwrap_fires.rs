@@ -1,0 +1,25 @@
+//! Deliberately violates `io-no-unwrap`: `.unwrap()` / `.expect()` on
+//! io::Result values in non-test code.
+
+use std::io::Read;
+
+fn load(path: &std::path::Path) -> Vec<u8> {
+    let mut f = std::fs::File::open(path).unwrap();
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf).expect("short read");
+    f.sync_all().unwrap();
+    buf
+}
+
+fn not_io(data: &[u8]) -> u64 {
+    // Slice conversions are infallible by bounds, not I/O; must not fire.
+    u64::from_le_bytes(data[..8].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let _ = std::fs::read("x").unwrap();
+    }
+}

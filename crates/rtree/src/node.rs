@@ -116,6 +116,11 @@ impl Node {
 }
 
 /// An R*-tree over axis-parallel rectangles with `u64` payloads.
+///
+/// `Clone` is a deep structural copy in O(nodes) — no rebuild, no
+/// re-splitting — so a cloned tree is bit-for-bit the same shape as the
+/// original. The copy-on-write `fork` of the R-tree baseline engine relies
+/// on this being much cheaper than a fresh bulk load.
 pub struct RTree {
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeId,

@@ -122,6 +122,7 @@ impl<P: Pager> BufferPool<P> {
             .min_by_key(|(_, f)| f.last_used)
             .map(|(id, _)| *id)
             .expect("non-empty cache");
+        // pv-lint: allow(io-no-unwrap, reason = "HashMap::remove, not an I/O op; the victim id came from the same map one statement up")
         let frame = st.frames.remove(&victim).expect("victim exists");
         if frame.dirty {
             self.inner.write(victim, &frame.data);

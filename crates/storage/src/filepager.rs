@@ -243,6 +243,60 @@ impl FilePager {
         let live = st.allocated.get(id.0 as usize).copied().unwrap_or(false);
         assert!(live, "{op} of unallocated page {id:?}");
     }
+
+    // Fallible cores of the `Pager` ops. The `Pager` trait is infallible by
+    // contract (a page file that stops accepting reads/writes mid-operation
+    // cannot be recovered from at this layer), so the trait methods translate
+    // an `Err` into a panic at the boundary — but all actual I/O lives here,
+    // in `io::Result` land, where `?` composes and tests can exercise it.
+
+    fn try_alloc(&self, st: &mut FileState) -> io::Result<PageId> {
+        let zeros = vec![0u8; self.inner.page_size];
+        let id = if st.free_head.is_null() {
+            let id = PageId(st.n_pages);
+            st.n_pages += 1;
+            st.allocated.push(true);
+            id
+        } else {
+            let id = st.free_head;
+            let off = self.offset(id);
+            let mut next_buf = [0u8; 8];
+            st.file.seek(SeekFrom::Start(off))?;
+            st.file.read_exact(&mut next_buf)?;
+            st.free_head = PageId(u64::from_le_bytes(next_buf));
+            st.allocated[id.0 as usize] = true;
+            id
+        };
+        let off = self.offset(id);
+        st.file.seek(SeekFrom::Start(off))?;
+        st.file.write_all(&zeros)?;
+        Ok(id)
+    }
+
+    fn try_read(&self, st: &mut FileState, id: PageId) -> io::Result<Vec<u8>> {
+        let off = self.offset(id);
+        let mut buf = vec![0u8; self.inner.page_size];
+        st.file.seek(SeekFrom::Start(off))?;
+        st.file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn try_write(&self, st: &mut FileState, id: PageId, data: &[u8]) -> io::Result<()> {
+        let off = self.offset(id);
+        st.file.seek(SeekFrom::Start(off))?;
+        st.file.write_all(data)
+    }
+
+    fn try_free(&self, st: &mut FileState, id: PageId) -> io::Result<()> {
+        // Chain into the free list: the page's first 8 bytes now hold the
+        // previous head; the rest of the page is left as-is (alloc zeroes).
+        let head = st.free_head.0.to_le_bytes();
+        let off = self.offset(id);
+        st.file.seek(SeekFrom::Start(off))?;
+        st.file.write_all(&head)?;
+        st.free_head = id;
+        Ok(())
+    }
 }
 
 impl Pager for FilePager {
@@ -256,26 +310,8 @@ impl Pager for FilePager {
             .allocs
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut st = self.inner.state.lock();
-        let zeros = vec![0u8; self.inner.page_size];
-        let id = if st.free_head.is_null() {
-            let id = PageId(st.n_pages);
-            st.n_pages += 1;
-            st.allocated.push(true);
-            id
-        } else {
-            let id = st.free_head;
-            let off = self.offset(id);
-            let mut next_buf = [0u8; 8];
-            st.file.seek(SeekFrom::Start(off)).expect("seek page file");
-            st.file.read_exact(&mut next_buf).expect("read page file");
-            st.free_head = PageId(u64::from_le_bytes(next_buf));
-            st.allocated[id.0 as usize] = true;
-            id
-        };
-        let off = self.offset(id);
-        st.file.seek(SeekFrom::Start(off)).expect("seek page file");
-        st.file.write_all(&zeros).expect("write page file");
-        id
+        self.try_alloc(&mut st)
+            .unwrap_or_else(|e| panic!("page file alloc failed: {e}"))
     }
 
     fn read(&self, id: PageId) -> Vec<u8> {
@@ -285,11 +321,8 @@ impl Pager for FilePager {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut st = self.inner.state.lock();
         Self::check_live(&st, id, "read");
-        let off = self.offset(id);
-        let mut buf = vec![0u8; self.inner.page_size];
-        st.file.seek(SeekFrom::Start(off)).expect("seek page file");
-        st.file.read_exact(&mut buf).expect("read page file");
-        buf
+        self.try_read(&mut st, id)
+            .unwrap_or_else(|e| panic!("page file read of {id:?} failed: {e}"))
     }
 
     fn write(&self, id: PageId, data: &[u8]) {
@@ -300,9 +333,8 @@ impl Pager for FilePager {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut st = self.inner.state.lock();
         Self::check_live(&st, id, "write");
-        let off = self.offset(id);
-        st.file.seek(SeekFrom::Start(off)).expect("seek page file");
-        st.file.write_all(data).expect("write page file");
+        self.try_write(&mut st, id, data)
+            .unwrap_or_else(|e| panic!("page file write of {id:?} failed: {e}"));
     }
 
     fn free(&self, id: PageId) {
@@ -314,14 +346,8 @@ impl Pager for FilePager {
         let live = st.allocated.get(id.0 as usize).copied().unwrap_or(false);
         assert!(live, "double free of page {id:?}");
         st.allocated[id.0 as usize] = false;
-        // Chain into the free list: the page's first 8 bytes now hold the
-        // previous head; the rest of the page is left as-is (alloc zeroes).
-        let mut head = vec![0u8; 8];
-        head.copy_from_slice(&st.free_head.0.to_le_bytes());
-        let off = self.offset(id);
-        st.file.seek(SeekFrom::Start(off)).expect("seek page file");
-        st.file.write_all(&head).expect("write page file");
-        st.free_head = id;
+        self.try_free(&mut st, id)
+            .unwrap_or_else(|e| panic!("page file free of {id:?} failed: {e}"));
     }
 
     fn stats(&self) -> &IoStats {

@@ -1,0 +1,279 @@
+//! A minimal, injectable filesystem surface for the durability layer.
+//!
+//! The write-ahead log and snapshot rotation in [`crate::wal`] and
+//! `pv-core`'s `DurableDb` never touch `std::fs` directly: every file
+//! operation goes through the [`Fs`] trait, so the crash-consistency
+//! torture tests can swap in [`crate::fault::FaultFs`] and inject torn
+//! writes, short reads, and full disks at *exact, reproducible* points.
+//! [`StdFs`] is the production implementation — a thin veneer over
+//! `std::fs` whose only policy is "`append` and `truncate` are explicit,
+//! durability is explicit" (`sync`/`sync_dir` map to `fsync`).
+//!
+//! The surface is deliberately path-based rather than handle-based: the
+//! durable write path is fsync-bound, so the extra `open(2)` per operation
+//! is noise, and path-based operations make fault plans trivially
+//! serialisable ("the 7th operation fails").
+//!
+//! [`RetryPolicy`] implements the bounded retry/backoff loop the WAL uses
+//! for faults marked *transient* ([`std::io::ErrorKind::Interrupted`],
+//! `WouldBlock`, `TimedOut`): real kernels return these for reasons that
+//! resolve on retry, and the fault harness's `FailOnce`/`ShortRead` plans
+//! model exactly that.
+
+use std::fs;
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The file operations the durability layer is allowed to perform.
+///
+/// Implementations must be usable from multiple threads (`Send + Sync`);
+/// the `Db` writer path serialises operations itself, but recovery and
+/// compaction may run on different threads over the program's lifetime.
+pub trait Fs: Send + Sync + std::fmt::Debug {
+    /// Reads the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Appends `data` at the end of `path`, creating the file if missing.
+    /// Returns the file length *before* the append, so callers can roll a
+    /// failed multi-part append back with [`Fs::truncate`].
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<u64>;
+
+    /// Creates (or truncates) `path` with exactly `data` as its contents.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Forces file contents and metadata to stable storage (`fsync`).
+    fn sync(&self, path: &Path) -> io::Result<()>;
+
+    /// Forces the *directory entry* state (renames, creations, removals in
+    /// `dir`) to stable storage. On platforms where directories cannot be
+    /// opened for sync this is a no-op.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`, replacing `to` if it exists.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists the plain files directly inside `dir` (no recursion), in
+    /// unspecified order.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Truncates (or, never for this layer, extends) `path` to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// The current length of the file at `path` in bytes.
+    fn len(&self, path: &Path) -> io::Result<u64>;
+
+    /// Creates `dir` (and missing parents).
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production [`Fs`]: a direct mapping onto `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdFs;
+
+impl Fs for StdFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<u64> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let at = f.seek(SeekFrom::End(0))?;
+        f.write_all(data)?;
+        Ok(at)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        fs::write(path, data)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        fs::OpenOptions::new().read(true).open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is the POSIX way to
+        // persist renames; on platforms that refuse (Windows), the rename
+        // itself is already journalled, so failure to open is not an error.
+        match fs::File::open(dir) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        fs::OpenOptions::new().write(true).open(path)?.set_len(len)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+}
+
+/// True when `kind` is an error real filesystems resolve on retry.
+///
+/// `Interrupted` is the classic (`EINTR`); `WouldBlock` and `TimedOut`
+/// appear on network filesystems. Everything else — including a full disk —
+/// is treated as persistent: retrying `ENOSPC` in a tight loop helps
+/// nobody.
+pub fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Bounded retry with linear backoff for transient I/O faults.
+///
+/// `run` re-invokes the operation up to `max_retries` extra times when it
+/// fails with a [transient](is_transient) kind, sleeping `backoff × attempt`
+/// between tries (`backoff` may be zero — the torture tests use that to
+/// keep fault sweeps fast). Persistent errors and exhausted budgets are
+/// returned to the caller unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure.
+    pub max_retries: u32,
+    /// Base sleep between attempts; attempt `i` (1-based) sleeps `i × backoff`.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every error is final).
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Runs `op`, retrying transient failures within the policy's budget.
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(e.kind()) && attempt < self.max_retries => {
+                    attempt += 1;
+                    if !self.backoff.is_zero() {
+                        std::thread::sleep(self.backoff * attempt);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pv_fsio_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn std_fs_roundtrip_append_truncate() {
+        let d = tmp_dir("rt");
+        let fs = StdFs;
+        let p = d.join("log");
+        assert_eq!(fs.append(&p, b"abc").unwrap(), 0);
+        assert_eq!(fs.append(&p, b"def").unwrap(), 3);
+        assert_eq!(fs.read(&p).unwrap(), b"abcdef");
+        assert_eq!(fs.len(&p).unwrap(), 6);
+        fs.truncate(&p, 4).unwrap();
+        assert_eq!(fs.read(&p).unwrap(), b"abcd");
+        fs.sync(&p).unwrap();
+        fs.sync_dir(&d).unwrap();
+        let q = d.join("log2");
+        fs.rename(&p, &q).unwrap();
+        assert_eq!(fs.list(&d).unwrap(), vec![q.clone()]);
+        fs.remove(&q).unwrap();
+        assert!(fs.list(&d).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_only() {
+        let mut calls = 0;
+        let r = RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::ZERO,
+        }
+        .run(|| -> io::Result<u32> {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(calls, 3);
+
+        let mut calls = 0;
+        let r = RetryPolicy::default().run(|| -> io::Result<u32> {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1, "persistent errors must not be retried");
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let mut calls = 0;
+        let r = RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::ZERO,
+        }
+        .run(|| -> io::Result<u32> {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::Interrupted, "eintr forever"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 3, "first try + two retries");
+    }
+}

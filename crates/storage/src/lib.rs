@@ -21,7 +21,17 @@
 //!   octree leaves and the extendible hash table, and surfaces corruption
 //!   as [`codec::DecodeError`] values instead of panics;
 //! * [`snapshot`] provides the versioned, checksummed envelope every index
-//!   snapshot file in the workspace is wrapped in.
+//!   snapshot file in the workspace is wrapped in;
+//! * [`fsio`] is the injectable filesystem surface ([`fsio::Fs`] /
+//!   [`fsio::StdFs`]) the durability layer performs its file I/O through,
+//!   with bounded [`fsio::RetryPolicy`] handling for transient faults;
+//! * [`wal`] is the length-prefixed, checksummed write-ahead commit log
+//!   behind `pv-core`'s `DurableDb`, with torn-tail repair and typed
+//!   corruption reporting on replay;
+//! * [`fault`] injects deterministic failures — torn writes, short reads,
+//!   full disks, bit flips — behind the same [`fsio::Fs`]/[`Pager`] traits
+//!   ([`fault::FaultFs`], [`fault::FaultPager`]), driven by seeded,
+//!   replayable [`fault::FaultPlan`]s.
 //!
 //! Every index structure in the workspace performs its "disk" accesses
 //! through this crate, so a unit of I/O means the same thing for the R-tree
@@ -44,12 +54,18 @@
 
 pub mod buffer;
 pub mod codec;
+pub mod fault;
 pub mod filepager;
+pub mod fsio;
 pub mod pagelist;
 pub mod pager;
 pub mod snapshot;
+pub mod wal;
 
 pub use buffer::BufferPool;
+pub use fault::{FaultFs, FaultKind, FaultPager, FaultPlan, ScheduledFault};
 pub use filepager::FilePager;
+pub use fsio::{Fs, RetryPolicy, StdFs};
 pub use pagelist::{PageList, PageListStats};
 pub use pager::{IoStats, LatencyModel, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
+pub use wal::{TornTail, Wal, WalError, WalRecord, WalReplay};

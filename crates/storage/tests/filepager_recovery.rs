@@ -1,0 +1,166 @@
+//! Superblock and free-list recovery: `FilePager::open` must fail *closed* —
+//! with the precise [`DecodeError`] variant — on every torn or tampered page
+//! file, never reconstruct a plausible-but-wrong allocation map.
+
+use pv_storage::codec::DecodeError;
+use pv_storage::snapshot::fnv1a64;
+use pv_storage::{FilePager, PageId, Pager};
+use std::io::ErrorKind;
+use std::path::PathBuf;
+
+const PAGE: usize = 128;
+/// Superblock body length (magic + version + page_size + n_pages +
+/// free_head + live) — mirrors the private constant in `filepager.rs`.
+const SB_BODY: usize = 8 + 2 + 4 + 8 + 8 + 8;
+
+fn temp(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("pv_fp_recovery_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Builds a synced page file with three allocated pages and one freed page
+/// (id 1), so the free list has exactly one link to walk on reopen.
+fn build(path: &PathBuf) {
+    let pager = FilePager::create(path, PAGE).unwrap();
+    let a = pager.alloc();
+    let b = pager.alloc();
+    let c = pager.alloc();
+    pager.write(a, &[0xAA; PAGE]);
+    pager.write(b, &[0xBB; PAGE]);
+    pager.write(c, &[0xCC; PAGE]);
+    pager.free(b);
+    pager.sync().unwrap();
+    assert_eq!(pager.live_pages(), 2);
+}
+
+/// Asserts the error is `InvalidData` wrapping a typed [`DecodeError`] (the
+/// chain the durable layer relies on) and returns the inner variant.
+fn decode_err(e: &std::io::Error) -> DecodeError {
+    assert_eq!(e.kind(), ErrorKind::InvalidData, "unexpected error: {e}");
+    *e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<DecodeError>())
+        .expect("InvalidData error must carry a typed DecodeError")
+}
+
+#[test]
+fn truncation_inside_the_superblock_fails_closed() {
+    let path = temp("sb_truncated");
+    build(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.truncate(10); // not even a full superblock body left
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = FilePager::open(&path).unwrap_err();
+    match decode_err(&err) {
+        DecodeError::Truncated { remaining, .. } => assert_eq!(remaining, 10),
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncation_that_cuts_a_data_page_fails_closed() {
+    let path = temp("page_truncated");
+    build(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    assert_eq!(bytes.len(), 4 * PAGE); // superblock + 3 pages
+    bytes.truncate(4 * PAGE - 1); // superblock intact, last page torn
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = FilePager::open(&path).unwrap_err();
+    assert!(
+        matches!(decode_err(&err), DecodeError::ChecksumMismatch { .. }),
+        "expected ChecksumMismatch, got {err}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bit_flip_in_the_allocation_metadata_fails_closed() {
+    let path = temp("sb_bitflip");
+    build(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[14] ^= 0x04; // n_pages field: allocation map would be wrong
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = FilePager::open(&path).unwrap_err();
+    assert!(
+        matches!(decode_err(&err), DecodeError::ChecksumMismatch { .. }),
+        "expected ChecksumMismatch, got {err}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn tampered_live_count_with_fixed_checksum_fails_closed() {
+    // A checksum-valid superblock that disagrees with the free-list walk
+    // (live count off by one) must still be rejected: the deep structural
+    // check catches what the checksum alone cannot.
+    let path = temp("live_tampered");
+    build(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[30] ^= 0x01; // live count 2 -> 3
+    let sum = fnv1a64(&bytes[..SB_BODY]);
+    bytes[SB_BODY..SB_BODY + 8].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = FilePager::open(&path).unwrap_err();
+    assert!(
+        matches!(decode_err(&err), DecodeError::ChecksumMismatch { .. }),
+        "expected ChecksumMismatch, got {err}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn cyclic_free_list_fails_closed() {
+    // Corrupt the freed page's next pointer to point at itself: the reopen
+    // walk must detect the cycle instead of looping forever.
+    let path = temp("free_cycle");
+    build(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let freed_off = (1 + 1) * PAGE; // page id 1 is on the free list
+    bytes[freed_off..freed_off + 8].copy_from_slice(&1u64.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = FilePager::open(&path).unwrap_err();
+    assert!(
+        matches!(decode_err(&err), DecodeError::ChecksumMismatch { .. }),
+        "expected ChecksumMismatch, got {err}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn out_of_range_free_list_pointer_fails_closed() {
+    let path = temp("free_oob");
+    build(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let freed_off = (1 + 1) * PAGE;
+    // NULL is all-ones; flip a low bit so the pointer becomes a huge
+    // non-null page id far past n_pages.
+    bytes[freed_off] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = FilePager::open(&path).unwrap_err();
+    assert!(
+        matches!(decode_err(&err), DecodeError::ChecksumMismatch { .. }),
+        "expected ChecksumMismatch, got {err}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn intact_file_recovers_the_exact_allocation_map() {
+    let path = temp("intact");
+    build(&path);
+    let pager = FilePager::open(&path).unwrap();
+    assert_eq!(pager.live_pages(), 2);
+    assert_eq!(pager.read(PageId(0))[0], 0xAA);
+    assert_eq!(pager.read(PageId(2))[0], 0xCC);
+    // The freed page is recycled first, proving the free list survived.
+    assert_eq!(pager.alloc(), PageId(1));
+    drop(pager);
+    std::fs::remove_file(&path).unwrap();
+}

@@ -552,12 +552,14 @@ impl ProbNnEngine for UvIndex {
 
 /// Snapshot persistence through the [`pv_core::db::Db`] facade.
 impl pv_core::db::PersistentEngine for UvIndex {
-    fn save_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        self.save(path)
+    fn snapshot_bytes(&self) -> std::io::Result<Vec<u8>> {
+        Ok(self.to_snapshot_bytes())
     }
 
-    fn load_from(path: &std::path::Path) -> std::io::Result<Self> {
-        Self::load(path)
+    fn from_snapshot_bytes(bytes: &[u8]) -> std::io::Result<Self> {
+        // The inherent decoder; its typed error chains through InvalidData.
+        UvIndex::from_snapshot_bytes(bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 

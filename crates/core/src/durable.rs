@@ -455,6 +455,7 @@ impl<E: WritableEngine + PersistentEngine> DurableDb<E> {
         let version = self.db.version() + 1;
         let body = encode_ops(ops);
         let mut synced = false;
+        let mark = state.wal.mark();
         let wal = &mut state.wal;
         let unsynced = &mut state.unsynced_commits;
         let sync_policy = self.opts.sync;
@@ -492,13 +493,33 @@ impl<E: WritableEngine + PersistentEngine> DurableDb<E> {
         let stats = match result {
             Ok(stats) => stats,
             Err(e) => {
+                // Engine validation errors abort before the append — disk
+                // was never touched, so there is nothing to verify or roll
+                // back (and a transient stat failure must not poison a
+                // database whose log is pristine).
+                if !matches!(e, DbError::Wal(_)) {
+                    return Err(e);
+                }
+                // If the commit record reached the log but a later step
+                // failed (the fsync-marker append, or the fsync itself),
+                // this `Err` would otherwise be replayed by the next
+                // recovery — and the next commit would reuse its version
+                // and trip the WAL's monotonicity assert. Roll the log
+                // back to its pre-append state, durably.
+                let rolled_back = if state.wal.last_version() == version {
+                    state.wal.rollback_to(mark).is_ok()
+                } else {
+                    true
+                };
                 // The WAL rolls failed appends back internally; verify it
                 // managed to. A mismatch means torn bytes are on disk with
                 // no live bookkeeping for them — refuse further writes.
-                if self
-                    .fs
-                    .len(state.wal.path())
-                    .map_or(true, |on_disk| on_disk != state.wal.bytes())
+                if !rolled_back
+                    || self
+                        .opts
+                        .retry
+                        .run(|| self.fs.len(state.wal.path()))
+                        .map_or(true, |on_disk| on_disk != state.wal.bytes())
                 {
                     state.poisoned = true;
                 }
@@ -789,6 +810,129 @@ mod tests {
             .candidates
             .iter()
             .all(|&id| id != 101));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_fsync_rolls_the_appended_record_back() {
+        // The commit record lands in the log, then the fsync fails: the
+        // record must be durably removed again — otherwise recovery would
+        // replay an unacknowledged commit and the next commit would reuse
+        // its version and trip the WAL's monotonicity assert.
+        let dir = tmp_dir("fsync_fail");
+        let fs = Arc::new(FaultFs::new(StdFs, FaultPlan::none()));
+        let opts = DurableOptions {
+            retry: RetryPolicy::none(),
+            ..DurableOptions::default()
+        };
+        let db =
+            DurableDb::create_with_fs(Arc::clone(&fs) as Arc<dyn Fs>, &dir, scan(), opts).unwrap();
+        let _ = db.insert(obj(100, 50.0)).unwrap();
+
+        // A commit's op sequence is: len, append (commit record), len,
+        // append (sync marker), sync. Fail the sync itself.
+        let next_op = fs.ops();
+        fs.set_plan(FaultPlan::single(next_op + 4, FaultKind::NoSpace));
+        let err = db.insert(obj(101, 60.0));
+        assert!(matches!(err, Err(DbError::Wal(_))), "{err:?}");
+        assert!(!db.is_poisoned(), "rollback succeeded");
+        assert_eq!(db.db().version(), 1);
+
+        // And the same for a failure of the sync-marker append.
+        let next_op = fs.ops();
+        fs.set_plan(FaultPlan::single(next_op + 3, FaultKind::NoSpace));
+        let err = db.insert(obj(101, 60.0));
+        assert!(matches!(err, Err(DbError::Wal(_))), "{err:?}");
+        assert!(!db.is_poisoned(), "rollback succeeded");
+
+        // The next commit must not panic and must reuse the version.
+        let c = db.insert(obj(102, 70.0)).unwrap();
+        assert_eq!(c.version, 2);
+        drop(db);
+
+        // Recovery replays exactly the acknowledged commits; the one whose
+        // fsync failed is gone.
+        let (db, report) = DurableDb::<LinearScan>::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(report.recovered_version, 2);
+        assert!(db
+            .db()
+            .query(&Point::new(vec![61.0, 1.0]), &crate::QuerySpec::new())
+            .unwrap()
+            .candidates
+            .iter()
+            .all(|&id| id != 101));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_rollback_poisons_instead_of_panicking_later() {
+        let dir = tmp_dir("poison");
+        let fs = Arc::new(FaultFs::new(StdFs, FaultPlan::none()));
+        let opts = DurableOptions {
+            retry: RetryPolicy::none(),
+            ..DurableOptions::default()
+        };
+        let db =
+            DurableDb::create_with_fs(Arc::clone(&fs) as Arc<dyn Fs>, &dir, scan(), opts).unwrap();
+        let _ = db.insert(obj(100, 50.0)).unwrap();
+
+        // Fail the commit fsync (op +4), then the rollback's truncate
+        // (op +6: rollback runs len, truncate, sync) — the unacknowledged
+        // record stays on disk, so the writer must refuse to continue.
+        let next_op = fs.ops();
+        fs.set_plan(FaultPlan::new(vec![
+            pv_storage::fault::ScheduledFault {
+                op: next_op + 4,
+                kind: FaultKind::NoSpace,
+            },
+            pv_storage::fault::ScheduledFault {
+                op: next_op + 6,
+                kind: FaultKind::FailOnce,
+            },
+        ]));
+        let err = db.insert(obj(101, 60.0));
+        assert!(matches!(err, Err(DbError::Wal(_))), "{err:?}");
+        assert!(db.is_poisoned(), "unrolled-back append must poison");
+        assert!(matches!(
+            db.insert(obj(102, 70.0)),
+            Err(DbError::Poisoned)
+        ));
+        // Reopening recovers (the leftover record is acknowledged-looking
+        // but consistent, so replay accepts it — zero-loss still holds for
+        // everything that was acknowledged).
+        drop(db);
+        let (db, _) = DurableDb::<LinearScan>::open(&dir, DurableOptions::default()).unwrap();
+        assert!(db.insert(obj(103, 80.0)).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validation_errors_skip_the_disk_probe() {
+        // A pure engine validation error never touches the log; even if
+        // every subsequent stat fails, the database must stay writable.
+        let dir = tmp_dir("probe_skip");
+        let fs = Arc::new(FaultFs::new(StdFs, FaultPlan::none()));
+        let opts = DurableOptions {
+            retry: RetryPolicy::none(),
+            ..DurableOptions::default()
+        };
+        let db =
+            DurableDb::create_with_fs(Arc::clone(&fs) as Arc<dyn Fs>, &dir, scan(), opts).unwrap();
+        // Make the next several fs ops fail: a probe here would poison.
+        let next_op = fs.ops();
+        fs.set_plan(FaultPlan::new(
+            (0..4)
+                .map(|i| pv_storage::fault::ScheduledFault {
+                    op: next_op + i,
+                    kind: FaultKind::FailOnce,
+                })
+                .collect(),
+        ));
+        let err = db.remove(999);
+        assert!(matches!(err, Err(DbError::UnknownId(999))));
+        assert!(!db.is_poisoned(), "validation errors never touch disk");
+        fs.set_plan(FaultPlan::none());
+        assert!(db.insert(obj(110, 55.0)).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

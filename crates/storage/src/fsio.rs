@@ -98,12 +98,20 @@ impl Fs for StdFs {
     }
 
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
-        // Opening a directory read-only and fsyncing it is the POSIX way to
-        // persist renames; on platforms that refuse (Windows), the rename
-        // itself is already journalled, so failure to open is not an error.
-        match fs::File::open(dir) {
-            Ok(d) => d.sync_all(),
-            Err(_) => Ok(()),
+        // Opening a directory read-only and fsyncing it is the POSIX way
+        // to persist renames, and there a real failure (EACCES, EMFILE,
+        // EIO) must surface — swallowing it would silently drop the fsync
+        // that makes snapshot rotation durable. Only on platforms where
+        // directories cannot be opened at all (Windows) is skipping sound:
+        // the filesystem journals the rename itself.
+        #[cfg(unix)]
+        {
+            fs::File::open(dir)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(())
         }
     }
 

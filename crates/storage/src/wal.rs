@@ -60,9 +60,11 @@ pub const WAL_HEADER_LEN: u64 = 6;
 const REC_HEADER_LEN: usize = 24;
 /// Trailing body-checksum length.
 const REC_TRAILER_LEN: usize = 8;
-/// Upper bound on a single record body; anything larger is corruption (the
-/// whole object catalog of the largest preset encodes far below this).
-const MAX_BODY_LEN: u32 = 1 << 30;
+/// Upper bound on a single record body, enforced both at
+/// [`Wal::append_commit`] (typed [`WalError::TooLarge`]) and at replay
+/// (anything larger on disk is corruption — the whole object catalog of
+/// the largest preset encodes far below this).
+pub const MAX_BODY_LEN: u32 = 1 << 30;
 
 const KIND_COMMIT: u8 = 1;
 const KIND_SYNC_MARKER: u8 = 2;
@@ -87,6 +89,16 @@ pub enum WalError {
         /// What exactly failed to decode.
         source: DecodeError,
     },
+    /// A commit body handed to [`Wal::append_commit`] exceeds
+    /// [`MAX_BODY_LEN`]. Appending it would produce a log the next replay
+    /// rejects as corrupt (and past `u32::MAX` a wrapped length prefix),
+    /// so it is refused before a byte is written.
+    TooLarge {
+        /// The offending body length.
+        len: usize,
+        /// The format's per-record limit ([`MAX_BODY_LEN`]).
+        max: u32,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -102,6 +114,10 @@ impl std::fmt::Display for WalError {
                 f,
                 "WAL corrupt at byte {offset}; last durable version is {last_durable_version}"
             ),
+            WalError::TooLarge { len, max } => write!(
+                f,
+                "WAL record body of {len} bytes exceeds the {max}-byte format limit"
+            ),
         }
     }
 }
@@ -112,6 +128,7 @@ impl std::error::Error for WalError {
             WalError::Io(e) => Some(e),
             WalError::NotALog(e) => Some(e),
             WalError::Corrupt { source, .. } => Some(source),
+            WalError::TooLarge { .. } => None,
         }
     }
 }
@@ -150,6 +167,15 @@ pub struct WalReplay {
     /// Highest version covered by an fsync-point marker (0 when the log
     /// has none): commits at or below this were acknowledged *and* synced.
     pub synced_version: u64,
+}
+
+/// A restore point captured by [`Wal::mark`] before a speculative append,
+/// consumed by [`Wal::rollback_to`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalMark {
+    len: u64,
+    commits: u64,
+    last_version: u64,
 }
 
 /// An append-only commit log over an injectable [`Fs`].
@@ -393,6 +419,12 @@ impl Wal {
             version,
             self.last_version
         );
+        if body.len() > MAX_BODY_LEN as usize {
+            return Err(WalError::TooLarge {
+                len: body.len(),
+                max: MAX_BODY_LEN,
+            });
+        }
         self.append_record(&encode_record(KIND_COMMIT, version, body))?;
         self.last_version = version;
         self.commits += 1;
@@ -444,6 +476,43 @@ impl Wal {
                 Err(WalError::Io(e))
             }
         }
+    }
+
+    /// Captures the log's current logical state as a restore point for
+    /// [`Wal::rollback_to`].
+    pub fn mark(&self) -> WalMark {
+        WalMark {
+            len: self.len,
+            commits: self.commits,
+            last_version: self.last_version,
+        }
+    }
+
+    /// Rolls the log back to `mark`, discarding every record appended
+    /// after it and making the truncation durable — the undo path for a
+    /// commit whose fsync (or fsync-marker append) failed after its record
+    /// was already fully appended. After `Ok`, no replay can ever see the
+    /// discarded records and the version bookkeeping is back at the mark,
+    /// so the next commit may reuse the rolled-back version. On `Err` the
+    /// discarded bytes may still reach a future replay: the caller must
+    /// treat the log as poisoned and refuse further writes.
+    pub fn rollback_to(&mut self, mark: WalMark) -> Result<(), WalError> {
+        debug_assert!(mark.len <= self.len, "a mark never points past the log");
+        let fs = &self.fs;
+        let path = &self.path;
+        self.retry.run(|| {
+            if fs.len(path)? != mark.len {
+                fs.truncate(path, mark.len)?;
+            }
+            // The fsync is what makes the rollback stick: without it a
+            // crash could resurrect a complete-on-disk record whose
+            // commit was acknowledged as failed.
+            fs.sync(path)
+        })?;
+        self.len = mark.len;
+        self.commits = mark.commits;
+        self.last_version = mark.last_version;
+        Ok(())
     }
 
     /// Empties the log back to its file header (called after a snapshot
@@ -600,6 +669,55 @@ mod tests {
         let (_, replay) = Wal::open(fs(), &path, RetryPolicy::none()).unwrap();
         assert_eq!(replay.records.len(), 1);
         assert_eq!(replay.records[0].version, 3);
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_at_append_time() {
+        let path = tmp("toolarge");
+        let mut wal = Wal::create(fs(), &path, RetryPolicy::none()).unwrap();
+        let before = wal.bytes();
+        // Zeroed and never touched: the length check fires before any
+        // encoding, so the lazy allocation stays cheap.
+        let body = vec![0u8; MAX_BODY_LEN as usize + 1];
+        match wal.append_commit(1, &body) {
+            Err(WalError::TooLarge { len, max }) => {
+                assert_eq!(len, MAX_BODY_LEN as usize + 1);
+                assert_eq!(max, MAX_BODY_LEN);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert_eq!(wal.bytes(), before, "nothing was appended");
+        assert_eq!(wal.last_version(), 0);
+        // The log still works for sane bodies.
+        wal.append_commit(1, b"fine").unwrap();
+        let (_, replay) = Wal::open(fs(), &path, RetryPolicy::none()).unwrap();
+        assert_eq!(replay.records.len(), 1);
+    }
+
+    #[test]
+    fn rollback_to_discards_appended_records_durably() {
+        let path = tmp("rollback");
+        let mut wal = Wal::create(fs(), &path, RetryPolicy::none()).unwrap();
+        wal.append_commit(1, b"kept").unwrap();
+        wal.sync().unwrap();
+        let mark = wal.mark();
+        let before = wal.bytes();
+        wal.append_commit(2, b"speculative").unwrap();
+        assert!(wal.bytes() > before);
+
+        wal.rollback_to(mark).unwrap();
+        assert_eq!(wal.bytes(), before);
+        assert_eq!(wal.last_version(), 1);
+        assert_eq!(wal.commits(), 1);
+        assert_eq!(StdFs.len(&path).unwrap(), before, "truncated on disk");
+
+        // The rolled-back version is reusable, and replay never sees the
+        // discarded record.
+        wal.append_commit(2, b"retried").unwrap();
+        let (_, replay) = Wal::open(fs(), &path, RetryPolicy::none()).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].body, b"retried");
+        assert!(replay.torn_tail.is_none());
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut preset = Preset::Small;
     let mut threads: Option<usize> = None;
+    let mut lint = LintOpts::default();
     let mut commands: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -42,6 +43,16 @@ fn main() {
             "--threads" => {
                 threads = it.next().and_then(|v| v.parse().ok());
             }
+            // Passed through to the `lint` command (same meaning as the
+            // standalone pv-lint binary's flags).
+            "--format" => match it.next() {
+                Some(f) if f == "text" || f == "json" || f == "sarif" => lint.format = f,
+                _ => {
+                    eprintln!("--format takes `text`, `json`, or `sarif`");
+                    std::process::exit(2);
+                }
+            },
+            "--graph" => lint.graph = true,
             "--help" | "-h" => {
                 print_help();
                 return;
@@ -66,11 +77,20 @@ fn main() {
     );
 
     for cmd in commands {
-        run(&ctx, &cmd);
+        run(&ctx, &cmd, &lint);
     }
 }
 
-fn run(ctx: &Ctx, cmd: &str) {
+/// `experiments lint` options forwarded to pv-lint.
+#[derive(Debug, Default)]
+struct LintOpts {
+    /// Output format: "" (text), "json", or "sarif".
+    format: String,
+    /// Dump the workspace call graph as DOT instead of linting.
+    graph: bool,
+}
+
+fn run(ctx: &Ctx, cmd: &str, lint: &LintOpts) {
     let t0 = std::time::Instant::now();
     match cmd {
         "table1" => figures::table1(ctx),
@@ -94,7 +114,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "snapshot" => figures::snapshot(ctx),
         "updquality" => figures::update_quality(ctx),
         "report" => trajectory::report(ctx, &format!("BENCH_pr{}.json", trajectory::TRAJECTORY_PR)),
-        "lint" => run_lint(),
+        "lint" => run_lint(lint),
         "fig9" => {
             figures::fig9a(ctx);
             figures::fig9b(ctx);
@@ -114,14 +134,14 @@ fn run(ctx: &Ctx, cmd: &str) {
             figures::fig10hi(ctx);
         }
         "all" => {
-            run(ctx, "table1");
-            run(ctx, "fig9");
-            run(ctx, "fig10");
-            run(ctx, "params");
-            run(ctx, "updquality");
-            run(ctx, "space");
-            run(ctx, "engines");
-            run(ctx, "snapshot");
+            run(ctx, "table1", lint);
+            run(ctx, "fig9", lint);
+            run(ctx, "fig10", lint);
+            run(ctx, "params", lint);
+            run(ctx, "updquality", lint);
+            run(ctx, "space", lint);
+            run(ctx, "engines", lint);
+            run(ctx, "snapshot", lint);
         }
         other => {
             eprintln!("unknown command '{other}'");
@@ -135,7 +155,9 @@ fn run(ctx: &Ctx, cmd: &str) {
 /// `experiments lint`: run the pv-lint static-invariant pass over the
 /// workspace (same engine as `cargo run -p pv-lint`), so a perf session can
 /// check the hot-path/unsafe/COW discipline without leaving the harness.
-fn run_lint() {
+/// `--format text|json|sarif` and `--graph` forward to the same renderers
+/// as the standalone binary.
+fn run_lint(opts: &LintOpts) {
     // Walk up from the CWD to the nearest lint.toml, like the standalone
     // binary does, so this works from any subdirectory of the checkout.
     let mut root = std::env::current_dir().unwrap_or_else(|_| ".".into());
@@ -145,9 +167,23 @@ fn run_lint() {
             std::process::exit(2);
         }
     }
+    if opts.graph {
+        match pv_lint::graph_dot_root(&root) {
+            Ok(dot) => print!("{dot}"),
+            Err(e) => {
+                eprintln!("experiments lint: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     match pv_lint::lint_root(&root) {
         Ok(report) => {
-            print!("{}", report.to_text());
+            match opts.format.as_str() {
+                "json" => print!("{}", report.to_json()),
+                "sarif" => print!("{}", report.to_sarif()),
+                _ => print!("{}", report.to_text()),
+            }
             if !report.clean() {
                 std::process::exit(1);
             }
@@ -166,6 +202,8 @@ fn print_help() {
          usage: experiments [--preset tiny|small|large|paper] [--threads N] <command>...\n\
          \n\
          commands: table1, fig9a..fig9h, fig9efg, fig10a..fig10i, fig10hi,\n\
-         params, updquality, space, engines, snapshot, report, lint, fig9, fig10, all"
+         params, updquality, space, engines, snapshot, report, lint, fig9, fig10, all\n\
+         \n\
+         lint flags: --format text|json|sarif    --graph (DOT call-graph dump)"
     );
 }

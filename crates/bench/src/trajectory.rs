@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The PR number this snapshot file belongs to.
-pub const TRAJECTORY_PR: u32 = 9;
+pub const TRAJECTORY_PR: u32 = 10;
 
 /// One measured per-query workload: a name plus its median cost. (The build
 /// workload reports whole-build wall time separately — its unit is
@@ -473,6 +473,11 @@ pub fn report(ctx: &Ctx, path: &str) {
         .map(|&w| serve_point(&serve_db, &qs, w, serve_duration, reader_threads))
         .collect();
 
+    // --- lint workload (PR 10): wall time of the full interprocedural
+    // pv-lint pass, so the sub-250ms budget is tracked across PRs like any
+    // other performance number.
+    let (lint_wall_ns, lint_files, lint_active, lint_waived) = lint_workload();
+
     let preset = format!("{:?}", ctx.preset).to_lowercase();
     let durable_json =
         durable
@@ -508,6 +513,8 @@ pub fn report(ctx: &Ctx, path: &str) {
          \"speedup_vs_legacy_write\": {commit_speedup:.1},\n    \"rounds\": {commit_rounds}\n  }},\n  \
          \"durable\": {{\n    \"sync\": \"every_commit\",\n{durable_json}\n  }},\n  \
          \"serve\": {{\n    \"duration_ms\": {serve_ms},\n    \"reader_threads\": {reader_threads},\n{serve_json}\n  }},\n  \
+         \"lint\": {{ \"wall_ns\": {lint_wall_ns}, \"files_scanned\": {lint_files}, \
+         \"active\": {lint_active}, \"waived\": {lint_waived} }},\n  \
          \"allocs_per_query_steady_state\": {allocs_per_query},\n  \
          \"alloc_counter_active\": {alloc_counter_active}\n}}\n",
         pr = TRAJECTORY_PR,
@@ -593,5 +600,34 @@ pub fn report(ctx: &Ctx, path: &str) {
             "NOT registered — value meaningless"
         }
     );
+    if lint_files > 0 {
+        println!(
+            "{:>12}: {:>12} ns wall ({lint_files} files, {lint_active} active, {lint_waived} waived)",
+            "lint", lint_wall_ns
+        );
+    }
     println!("(json: {path})");
+}
+
+/// Wall time of the full interprocedural pv-lint pass, run from the nearest
+/// `lint.toml` above the CWD. Returns `(wall_ns, files_scanned, active,
+/// waived)` — all zeros when no checkout is in reach (e.g. an installed
+/// binary), so `report` still works outside the repo.
+fn lint_workload() -> (u64, usize, usize, usize) {
+    let mut root = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    while !root.join("lint.toml").is_file() {
+        if !root.pop() {
+            return (0, 0, 0, 0);
+        }
+    }
+    let t = Instant::now();
+    match pv_lint::lint_root(&root) {
+        Ok(r) => (
+            t.elapsed().as_nanos() as u64,
+            r.files_scanned,
+            r.diagnostics.len(),
+            r.waived.len(),
+        ),
+        Err(_) => (0, 0, 0, 0),
+    }
 }

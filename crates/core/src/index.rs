@@ -148,19 +148,21 @@ pub fn decode_secondary(
     let mut r = codec::Reader::new(buf);
     match r.try_u16()? {
         0 => {
-            let lo: Vec<f64> = (0..dim).map(|_| r.try_f64()).collect::<Result<_, _>>()?;
-            let hi: Vec<f64> = (0..dim).map(|_| r.try_f64()).collect::<Result<_, _>>()?;
+            let lo: Vec<f64> = (0..dim).map(|_| r.try_f64()).collect::<Result<_, _>>()?; // pv-lint: allow(hot-path-no-alloc, reason = "decoder constructing an owned object; the hot path streams the record bytes via get_into + EncodedObject")
+            let hi: Vec<f64> = (0..dim).map(|_| r.try_f64()).collect::<Result<_, _>>()?; // pv-lint: allow(hot-path-no-alloc, reason = "decoder constructing an owned object; the hot path streams the record bytes via get_into + EncodedObject")
             let ubr = HyperRect::new(lo, hi);
-            let obj = UncertainObject::try_decode(&buf[2 + dim * 16..])?;
+            // The Reader just consumed exactly this prefix, so the tail
+            // window is always present; `get` keeps the decoder total.
+            let obj = UncertainObject::try_decode(buf.get(2 + dim * 16..).unwrap_or_default())?;
             Ok((ubr, obj))
         }
         1 => {
             let steps = r.try_u16()?;
-            let lo: Vec<u16> = (0..dim).map(|_| r.try_u16()).collect::<Result<_, _>>()?;
-            let hi: Vec<u16> = (0..dim).map(|_| r.try_u16()).collect::<Result<_, _>>()?;
+            let lo: Vec<u16> = (0..dim).map(|_| r.try_u16()).collect::<Result<_, _>>()?; // pv-lint: allow(hot-path-no-alloc, reason = "decoder constructing an owned object; the hot path streams the record bytes via get_into + EncodedObject")
+            let hi: Vec<u16> = (0..dim).map(|_| r.try_u16()).collect::<Result<_, _>>()?; // pv-lint: allow(hot-path-no-alloc, reason = "decoder constructing an owned object; the hot path streams the record bytes via get_into + EncodedObject")
             let q = pv_geom::QuantizedRect { lo, hi, steps };
             let ubr = q.decode(domain);
-            let obj = UncertainObject::try_decode(&buf[2 + 2 + dim * 4..])?;
+            let obj = UncertainObject::try_decode(buf.get(2 + 2 + dim * 4..).unwrap_or_default())?;
             Ok((ubr, obj))
         }
         t => Err(codec::DecodeError::UnknownTag {
@@ -833,7 +835,7 @@ impl Step1Engine for PvIndex {
     /// PNNQ Step 1: descend to the leaf containing `q`, then prune with the
     /// min/max-distance filter (§VI-A "Query Evaluation").
     fn step1(&self, q: &Point) -> (Vec<u64>, Step1Stats) {
-        let mut ids = Vec::new();
+        let mut ids = Vec::new(); // pv-lint: allow(hot-path-no-alloc, reason = "allocating convenience tier of Step1Engine; hot callers use step1_into with reused buffers")
         let stats = self.step1_into(q, &mut ids, &mut FetchScratch::default());
         (ids, stats)
     }
@@ -872,6 +874,7 @@ impl Step1Engine for PvIndex {
 
 impl ProbNnEngine for PvIndex {
     fn candidate_region(&self, id: u64) -> &HyperRect {
+        // pv-lint: allow(hot-path-no-panic, reason = "id is a Step-1 answer drawn from this index's own catalog; a missing entry is index corruption and must fail loudly")
         &self.objects[&id].region
     }
 
@@ -883,9 +886,9 @@ impl ProbNnEngine for PvIndex {
         let buf = self
             .secondary
             .get(id)
-            .expect("step-1 answer must exist in the secondary index");
+            .expect("step-1 answer must exist in the secondary index"); // pv-lint: allow(hot-path-no-panic, reason = "id is a Step-1 answer; absence from the secondary index is corruption and must fail loudly")
         let (_, obj) =
-            decode_secondary(&buf, self.dim, &self.domain).expect("secondary record corrupted");
+            decode_secondary(&buf, self.dim, &self.domain).expect("secondary record corrupted"); // pv-lint: allow(hot-path-no-panic, reason = "record bytes come from this index's own secondary; decode failure is corruption and must fail loudly")
         let io = self.pager.stats().snapshot().since(&io0).reads;
         let total = io + pdf_payload_pages(&obj, self.params.page_size);
         (obj, total)
@@ -911,9 +914,9 @@ impl ProbNnEngine for PvIndex {
         assert!(found, "step-1 answer must exist in the secondary index");
         let io = self.pager.stats().reads.load(Ordering::Relaxed) - io0;
         let off = secondary_payload_offset(&scratch.record, self.dim)
-            .expect("secondary record corrupted");
-        let view = pv_uncertain::EncodedObject::parse(&scratch.record[off..])
-            .expect("secondary record corrupted");
+            .expect("secondary record corrupted"); // pv-lint: allow(hot-path-no-panic, reason = "get_into just returned true, so the record was fetched from this index's own secondary; a malformed header is corruption and must fail loudly")
+        let view = pv_uncertain::EncodedObject::parse(scratch.record.get(off..).unwrap_or_default())
+            .expect("secondary record corrupted"); // pv-lint: allow(hot-path-no-panic, reason = "payload offset was just validated by secondary_payload_offset; a malformed payload is corruption and must fail loudly")
         view.dists_sq_into(q, &mut scratch.samples, out);
         io + payload_pages(view.n_samples(), self.dim, self.params.page_size)
     }

@@ -224,11 +224,10 @@ pub fn compute_ubr_with_bounds(
 }
 
 fn clamp_into(inner: &mut HyperRect, outer: &HyperRect) {
-    for j in 0..inner.dim() {
-        let lo = inner.lo()[j].max(outer.lo()[j]);
-        let hi = inner.hi()[j].min(outer.hi()[j]).max(lo);
-        inner.lo_mut()[j] = lo;
-        inner.hi_mut()[j] = hi;
+    let (ilo, ihi) = inner.corners_mut();
+    for (((l, h), &ol), &oh) in ilo.iter_mut().zip(ihi).zip(outer.lo()).zip(outer.hi()) {
+        *l = l.max(ol);
+        *h = h.min(oh).max(*l);
     }
 }
 

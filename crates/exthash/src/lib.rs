@@ -160,6 +160,7 @@ impl<P: Pager> ExtHash<P> {
     #[inline]
     fn bucket_of(&self, key: u64) -> PageId {
         let idx = (hash_key(key) & ((1u64 << self.global_depth) - 1)) as usize;
+        // pv-lint: allow(hot-path-no-panic, reason = "idx is masked to global_depth bits and the directory is 2^global_depth entries by construction (doubling keeps them in lockstep)")
         self.directory[idx]
     }
 
@@ -450,29 +451,46 @@ impl<P: Pager> ExtHash<P> {
     pub fn get_into(&self, key: u64, page_buf: &mut Vec<u8>, out: &mut Vec<u8>) -> bool {
         let bucket = self.bucket_of(key);
         self.pager.read_into(bucket, page_buf);
-        // Streaming parse of the bucket page — no `Record` vector.
-        let count = u16::from_le_bytes([page_buf[2], page_buf[3]]) as usize;
+        // Streaming parse of the bucket page — no `Record` vector. The
+        // chunk-splitting form is total: a page shorter than its own record
+        // count claims (corruption) parses as "key absent" instead of
+        // panicking; well-formed pages take the exact same byte offsets.
+        let count = match page_buf.get(..BUCKET_HDR) {
+            Some(&[_, _, c0, c1]) => u16::from_le_bytes([c0, c1]) as usize,
+            _ => 0,
+        };
+        let mut rest = page_buf.get(BUCKET_HDR..).unwrap_or_default();
         let mut off = BUCKET_HDR;
         let mut found: Option<(usize, usize, PageId)> = None;
         for _ in 0..count {
-            let k = u64::from_le_bytes(page_buf[off..off + 8].try_into().unwrap());
-            let inline_len =
-                u32::from_le_bytes(page_buf[off + 8..off + 12].try_into().unwrap()) as usize;
-            let overflow = PageId(u64::from_le_bytes(
-                page_buf[off + 12..off + 20].try_into().unwrap(),
-            ));
+            let Some((k8, r)) = rest.split_first_chunk::<8>() else {
+                break;
+            };
+            let Some((l4, r)) = r.split_first_chunk::<4>() else {
+                break;
+            };
+            let Some((o8, r)) = r.split_first_chunk::<8>() else {
+                break;
+            };
+            let k = u64::from_le_bytes(*k8);
+            let inline_len = u32::from_le_bytes(*l4) as usize;
+            let overflow = PageId(u64::from_le_bytes(*o8));
             let start = off + REC_FIXED;
             if k == key {
                 found = Some((start, inline_len, overflow));
                 break;
             }
+            rest = r.get(inline_len..).unwrap_or_default();
             off = start + inline_len;
         }
         let Some((start, inline_len, overflow)) = found else {
             return false;
         };
         out.clear();
-        out.extend_from_slice(&page_buf[start..start + inline_len]);
+        let Some(inline) = page_buf.get(start..start + inline_len) else {
+            return false;
+        };
+        out.extend_from_slice(inline);
         if !overflow.is_null() {
             // The bucket page content is no longer needed: reuse `page_buf`
             // for the overflow chain pages.

@@ -13,20 +13,20 @@ pub fn sq(x: f64) -> f64 {
     x * x
 }
 
-/// The single loop body behind [`min_dist_sq`]. The const-length slices the
-/// dispatch arms pass in make the trip count a compile-time constant there,
-/// so the compiler fully unrolls (and, where profitable, vectorizes) those
-/// instantiations — while the dynamic fallback shares this exact code, which
-/// is what keeps every dimension bit-identical by construction.
+/// The single loop body behind [`min_dist_sq`]. The length-pinned slice
+/// patterns the dispatch arms bind (`lo @ [_, _]`, …) make the trip count a
+/// compile-time constant there, so the compiler fully unrolls (and, where
+/// profitable, vectorizes) those instantiations — while the dynamic fallback
+/// shares this exact code, which is what keeps every dimension bit-identical
+/// by construction.
 #[inline(always)]
 fn min_dist_sq_body(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
     let mut acc = 0.0;
-    for j in 0..lo.len() {
-        let c = p[j];
-        if c < lo[j] {
-            acc += sq(lo[j] - c);
-        } else if c > hi[j] {
-            acc += sq(c - hi[j]);
+    for ((&l, &h), &c) in lo.iter().zip(hi).zip(p) {
+        if c < l {
+            acc += sq(l - c);
+        } else if c > h {
+            acc += sq(c - h);
         }
     }
     acc
@@ -36,9 +36,8 @@ fn min_dist_sq_body(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
 #[inline(always)]
 fn max_dist_sq_body(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
     let mut acc = 0.0;
-    for j in 0..lo.len() {
-        let c = p[j];
-        acc += sq((c - lo[j]).abs().max((hi[j] - c).abs()));
+    for ((&l, &h), &c) in lo.iter().zip(hi).zip(p) {
+        acc += sq((c - l).abs().max((h - c).abs()));
     }
     acc
 }
@@ -54,10 +53,10 @@ fn max_dist_sq_body(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
 pub fn min_dist_sq(r: &HyperRect, p: &Point) -> f64 {
     debug_assert_eq!(r.dim(), p.dim());
     let (lo, hi, p) = (r.lo(), r.hi(), p.coords());
-    match lo.len() {
-        2 => min_dist_sq_body(&lo[..2], &hi[..2], &p[..2]),
-        3 => min_dist_sq_body(&lo[..3], &hi[..3], &p[..3]),
-        4 => min_dist_sq_body(&lo[..4], &hi[..4], &p[..4]),
+    match (lo, hi, p) {
+        (lo @ [_, _], hi @ [_, _], p @ [_, _]) => min_dist_sq_body(lo, hi, p),
+        (lo @ [_, _, _], hi @ [_, _, _], p @ [_, _, _]) => min_dist_sq_body(lo, hi, p),
+        (lo @ [_, _, _, _], hi @ [_, _, _, _], p @ [_, _, _, _]) => min_dist_sq_body(lo, hi, p),
         _ => min_dist_sq_body(lo, hi, p),
     }
 }
@@ -69,10 +68,10 @@ pub fn min_dist_sq(r: &HyperRect, p: &Point) -> f64 {
 pub fn max_dist_sq(r: &HyperRect, p: &Point) -> f64 {
     debug_assert_eq!(r.dim(), p.dim());
     let (lo, hi, p) = (r.lo(), r.hi(), p.coords());
-    match lo.len() {
-        2 => max_dist_sq_body(&lo[..2], &hi[..2], &p[..2]),
-        3 => max_dist_sq_body(&lo[..3], &hi[..3], &p[..3]),
-        4 => max_dist_sq_body(&lo[..4], &hi[..4], &p[..4]),
+    match (lo, hi, p) {
+        (lo @ [_, _], hi @ [_, _], p @ [_, _]) => max_dist_sq_body(lo, hi, p),
+        (lo @ [_, _, _], hi @ [_, _, _], p @ [_, _, _]) => max_dist_sq_body(lo, hi, p),
+        (lo @ [_, _, _, _], hi @ [_, _, _, _], p @ [_, _, _, _]) => max_dist_sq_body(lo, hi, p),
         _ => max_dist_sq_body(lo, hi, p),
     }
 }
@@ -94,8 +93,8 @@ pub fn max_dist(r: &HyperRect, p: &Point) -> f64 {
 pub fn min_dist_sq_rr(a: &HyperRect, b: &HyperRect) -> f64 {
     debug_assert_eq!(a.dim(), b.dim());
     let mut acc = 0.0;
-    for j in 0..a.dim() {
-        let gap = (b.lo()[j] - a.hi()[j]).max(a.lo()[j] - b.hi()[j]);
+    for (((&alo, &ahi), &blo), &bhi) in a.lo().iter().zip(a.hi()).zip(b.lo()).zip(b.hi()) {
+        let gap = (blo - ahi).max(alo - bhi);
         if gap > 0.0 {
             acc += sq(gap);
         }
@@ -110,10 +109,8 @@ pub fn min_dist_sq_rr(a: &HyperRect, b: &HyperRect) -> f64 {
 pub fn max_dist_sq_rr(a: &HyperRect, b: &HyperRect) -> f64 {
     debug_assert_eq!(a.dim(), b.dim());
     let mut acc = 0.0;
-    for j in 0..a.dim() {
-        let w = (b.hi()[j] - a.lo()[j])
-            .abs()
-            .max((a.hi()[j] - b.lo()[j]).abs());
+    for (((&alo, &ahi), &blo), &bhi) in a.lo().iter().zip(a.hi()).zip(b.lo()).zip(b.hi()) {
+        let w = (bhi - alo).abs().max((ahi - blo).abs());
         acc += sq(w);
     }
     acc

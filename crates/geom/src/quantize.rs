@@ -67,20 +67,24 @@ impl QuantizedRect {
     }
 
     /// Reconstructs the (enlarged) rectangle covered by the grid cells.
+    ///
+    /// Materialises an owned [`HyperRect`], so it lives on the cold/compat
+    /// tier — the Step-2 hot path streams quantized records and never calls
+    /// it (`dists_sq_into` works on the encoded bytes).
     pub fn decode(&self, domain: &HyperRect) -> HyperRect {
         let d = self.lo.len();
-        let mut lo = Vec::with_capacity(d);
-        let mut hi = Vec::with_capacity(d);
-        for j in 0..d {
-            let extent = domain.extent(j);
+        let mut lo = Vec::with_capacity(d); // pv-lint: allow(hot-path-no-alloc, reason = "constructor returning an owned HyperRect; hot path never materialises rectangles")
+        let mut hi = Vec::with_capacity(d); // pv-lint: allow(hot-path-no-alloc, reason = "constructor returning an owned HyperRect; hot path never materialises rectangles")
+        for (((&ql, &qh), &dl), &dh) in
+            self.lo.iter().zip(&self.hi).zip(domain.lo()).zip(domain.hi())
+        {
+            let extent = dh - dl;
             let step = extent / self.steps as f64;
-            lo.push(domain.lo()[j] + self.lo[j] as f64 * step);
-            hi.push(domain.lo()[j] + (self.hi[j] as f64 + 1.0) * step);
-        }
-        // Clamp against float error at the domain edge.
-        for j in 0..d {
-            lo[j] = lo[j].max(domain.lo()[j]);
-            hi[j] = hi[j].min(domain.hi()[j]).max(lo[j]);
+            // Clamp against float error at the domain edge.
+            let l = (dl + ql as f64 * step).max(dl);
+            let h = (dl + (qh as f64 + 1.0) * step).min(dh).max(l);
+            lo.push(l);
+            hi.push(h);
         }
         HyperRect::new(lo, hi)
     }

@@ -90,9 +90,18 @@ impl HyperRect {
         &mut self.hi
     }
 
+    /// Both corners, mutably — lets per-dimension updates that read one
+    /// corner while writing the other iterate in lockstep instead of
+    /// index-pairing two separate borrows.
+    #[inline]
+    pub fn corners_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.lo, &mut self.hi)
+    }
+
     /// Side length along dimension `j`.
     #[inline]
     pub fn extent(&self, j: usize) -> f64 {
+        // pv-lint: allow(hot-path-no-panic, reason = "j ranges over 0..dim in every caller; both corners are dim-long by construction")
         self.hi[j] - self.lo[j]
     }
 
@@ -121,21 +130,33 @@ impl HyperRect {
     #[inline]
     pub fn intersects(&self, other: &HyperRect) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        (0..self.dim()).all(|j| self.lo[j] <= other.hi[j] && other.lo[j] <= self.hi[j])
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((sl, sh), (ol, oh))| sl <= oh && ol <= sh)
     }
 
     /// True if `p` lies inside the closed rectangle.
     #[inline]
     pub fn contains_point(&self, p: &Point) -> bool {
         debug_assert_eq!(self.dim(), p.dim());
-        (0..self.dim()).all(|j| self.lo[j] <= p[j] && p[j] <= self.hi[j])
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(p.coords())
+            .all(|((l, h), c)| l <= c && c <= h)
     }
 
     /// True if `other` is fully inside `self`.
     #[inline]
     pub fn contains_rect(&self, other: &HyperRect) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        (0..self.dim()).all(|j| self.lo[j] <= other.lo[j] && other.hi[j] <= self.hi[j])
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((sl, sh), (ol, oh))| sl <= ol && oh <= sh)
     }
 
     /// Smallest rectangle containing both inputs.

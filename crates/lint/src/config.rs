@@ -45,13 +45,20 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-/// Per-rule file selection.
+/// Per-rule file selection and (for transitive rules) entry points.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuleConfig {
     /// Globs of files the rule governs (empty ⇒ the rule never fires).
     pub include: Vec<String>,
-    /// Globs carved out of `include`.
+    /// Globs carved out of `include` — and out of any reachability closure.
     pub exclude: Vec<String>,
+    /// Entry-point patterns (`execute_into`, `Wal::*`, `*_into`) seeding the
+    /// call-graph closure a transitive rule additionally checks. Empty ⇒
+    /// the rule stays purely file-scoped.
+    pub entry_points: Vec<String>,
+    /// `unknown-calls = "flag"`: report unresolved plain/qualified calls
+    /// made by closure members. Default (`"allow"`) tolerates them.
+    pub flag_unknown: bool,
 }
 
 impl RuleConfig {
@@ -127,11 +134,25 @@ impl Config {
                     match key {
                         "include" => entry.include = values,
                         "exclude" => entry.exclude = values,
+                        "entry-points" => entry.entry_points = values,
+                        "unknown-calls" => match values.as_slice() {
+                            [v] if v == "flag" => entry.flag_unknown = true,
+                            [v] if v == "allow" => entry.flag_unknown = false,
+                            _ => {
+                                return Err(ConfigError {
+                                    line: lineno,
+                                    message: format!(
+                                        "unknown-calls takes \"flag\" or \"allow\", got {value:?}"
+                                    ),
+                                })
+                            }
+                        },
                         _ => {
                             return Err(ConfigError {
                                 line: lineno,
                                 message: format!(
-                                    "unknown rule key {key:?} (expected include/exclude)"
+                                    "unknown rule key {key:?} (expected \
+                                     include/exclude/entry-points/unknown-calls)"
                                 ),
                             })
                         }
@@ -225,8 +246,9 @@ fn match_segments(glob: &[&str], path: &[&str]) -> bool {
     }
 }
 
-/// `*`/`?` matching within one path segment.
-fn match_one(glob: &[u8], seg: &[u8]) -> bool {
+/// `*`/`?` matching within one path segment (also used by the call graph
+/// for entry-point patterns).
+pub(crate) fn match_one(glob: &[u8], seg: &[u8]) -> bool {
     match glob.first() {
         None => seg.is_empty(),
         Some(b'*') => (0..=seg.len()).any(|skip| match_one(&glob[1..], &seg[skip..])),
@@ -293,6 +315,22 @@ mod tests {
         assert!(Config::parse("[wat]\n").is_err());
         assert!(Config::parse("[rule.x]\ninclude = unquoted").is_err());
         assert!(Config::parse("[rule.x]\nwhatever = \"v\"").is_err());
+    }
+
+    #[test]
+    fn entry_points_and_unknown_calls_parse() {
+        let cfg = Config::parse(
+            "[rule.hot-path-no-panic]\ninclude = [\"crates/**\"]\n\
+             entry-points = [\"execute_into\", \"Wal::*\", \"*_into\"]\n\
+             unknown-calls = \"flag\"\n",
+        )
+        .unwrap();
+        let rc = &cfg.rules["hot-path-no-panic"];
+        assert_eq!(rc.entry_points, vec!["execute_into", "Wal::*", "*_into"]);
+        assert!(rc.flag_unknown);
+        let cfg = Config::parse("[rule.r]\nunknown-calls = \"allow\"\n").unwrap();
+        assert!(!cfg.rules["r"].flag_unknown);
+        assert!(Config::parse("[rule.r]\nunknown-calls = \"maybe\"\n").is_err());
     }
 
     #[test]

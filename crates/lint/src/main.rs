@@ -1,13 +1,14 @@
 //! The `pv-lint` binary: `cargo run -p pv-lint [-- --format json]`.
 //!
-//! Exit codes: `0` clean, `1` non-waived violations, `2` usage or I/O
-//! error. The workspace root is located by walking up from the current
-//! directory to the nearest `lint.toml` (override with `--root`).
+//! Exit codes: `0` clean, `1` non-waived violations or a baseline
+//! regression, `2` usage or I/O error. The workspace root is located by
+//! walking up from the current directory to the nearest `lint.toml`
+//! (override with `--root`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pv_lint::{lint_root, RULES};
+use pv_lint::{graph_dot_root, lint_root, Baseline, RULES};
 
 const USAGE: &str = "\
 pv-lint — static invariants for the pv suite
@@ -16,25 +17,41 @@ USAGE:
     cargo run -p pv-lint [-- OPTIONS]
 
 OPTIONS:
-    --format <text|json>   Output format (default: text)
-    --root <dir>           Workspace root (default: nearest lint.toml upward)
-    --list-rules           Print the rule registry and exit
-    -h, --help             This help
+    --format <text|json|sarif>   Output format (default: text)
+    --root <dir>                 Workspace root (default: nearest lint.toml upward)
+    --graph                      Print the call graph as Graphviz DOT and exit
+    --baseline <file>            Enforce the ratchet: fail if any rule's active or
+                                 waived count exceeds the committed baseline
+    --write-baseline <file>      Write the current counts as the new baseline
+    --list-rules                 Print the rule registry and exit
+    -h, --help                   This help
 ";
 
 fn main() -> ExitCode {
     let mut format = "text".to_string();
     let mut root: Option<PathBuf> = None;
+    let mut graph = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next() {
-                Some(f) if f == "text" || f == "json" => format = f,
-                _ => return usage_error("--format takes `text` or `json`"),
+                Some(f) if f == "text" || f == "json" || f == "sarif" => format = f,
+                _ => return usage_error("--format takes `text`, `json`, or `sarif`"),
             },
             "--root" => match args.next() {
                 Some(r) => root = Some(PathBuf::from(r)),
                 None => return usage_error("--root takes a directory"),
+            },
+            "--graph" => graph = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline takes a file"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage_error("--write-baseline takes a file"),
             },
             "--list-rules" => {
                 for r in RULES {
@@ -58,13 +75,52 @@ fn main() -> ExitCode {
         }
     };
 
+    if graph {
+        return match graph_dot_root(&root) {
+            Ok(dot) => {
+                print!("{dot}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pv-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     match lint_root(&root) {
         Ok(report) => {
             match format.as_str() {
                 "json" => print!("{}", report.to_json()),
+                "sarif" => print!("{}", report.to_sarif()),
                 _ => print!("{}", report.to_text()),
             }
-            if report.clean() {
+            let current = Baseline::from_report(&report);
+            if let Some(path) = &write_baseline {
+                if let Err(e) = std::fs::write(path, current.to_json()) {
+                    eprintln!("pv-lint: writing baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("pv-lint: baseline written to {}", path.display());
+            }
+            let mut ratchet_ok = true;
+            if let Some(path) = &baseline {
+                let base = match std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| Baseline::parse(&text))
+                {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("pv-lint: reading baseline {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                };
+                for msg in base.regressions(&current) {
+                    eprintln!("pv-lint: ratchet: {msg}");
+                    ratchet_ok = false;
+                }
+            }
+            if report.clean() && ratchet_ok {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -45,6 +45,11 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+/// A body-scoped checker: runs a rule's scan over one `fn` body (a `sig`
+/// token range) — the unit the call-graph closure applies transitive rules
+/// at. The `&str` is the function's name (for messages).
+pub type BodyCheck = fn(&FileAnalysis<'_>, std::ops::Range<usize>, &str, &mut Vec<Diagnostic>);
+
 /// A registered rule: name, one-line description, checker.
 #[derive(Debug)]
 pub struct Rule {
@@ -53,6 +58,23 @@ pub struct Rule {
     /// One-line description (for `--list-rules` and the JSON report).
     pub description: &'static str,
     check: fn(&FileAnalysis<'_>, &mut Vec<Diagnostic>),
+    /// For transitive rules: the body-scoped form the engine applies to
+    /// every function reachable from the rule's declared entry points.
+    body_check: Option<BodyCheck>,
+}
+
+impl Rule {
+    /// The body-scoped checker, when the rule supports transitive closure
+    /// application (`None` for purely lexical/structural rules).
+    pub fn body_check(&self) -> Option<BodyCheck> {
+        self.body_check
+    }
+
+    /// Runs the file-scoped check (the engine's entry; `check` stays
+    /// private so the registry is the only construction site).
+    pub(crate) fn run_file(&self, a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
+        (self.check)(a, out);
+    }
 }
 
 /// Every rule the engine knows, in stable order.
@@ -60,45 +82,63 @@ pub const RULES: &[Rule] = &[
     Rule {
         name: "hot-path-no-panic",
         description: "no unwrap/expect/panic-family macros or []-indexing on the query hot path \
-                      (typed QueryError or type-level invariants instead)",
+                      (typed QueryError or type-level invariants instead); transitive over the \
+                      call-graph closure of the declared entry points",
         check: hot_path_no_panic,
+        body_check: Some(no_panic_body),
     },
     Rule {
         name: "hot-path-no-alloc",
         description: "no per-call heap allocation (Vec::new/vec!/collect/to_vec/clone/format!) \
-                      inside *_into kernels — the static complement of the counting-allocator test",
+                      inside *_into kernels and everything they reach — the static complement of \
+                      the counting-allocator test",
         check: hot_path_no_alloc,
+        body_check: Some(no_alloc_body),
     },
     Rule {
         name: "unsafe-needs-safety-comment",
         description: "every `unsafe` block/fn/impl carries a SAFETY: comment within the three \
                       preceding lines",
         check: unsafe_needs_safety_comment,
+        body_check: None,
     },
     Rule {
         name: "cow-discipline",
         description: "page bytes are only mutated through the designated Arc::get_mut/dirty-copy \
                       helpers (Arc::make_mut and stray Arc::get_mut flagged)",
         check: cow_discipline,
+        body_check: None,
     },
     Rule {
         name: "codec-no-lossy-cast",
         description: "no bare `as` narrowing to sub-64-bit numeric types in codec/snapshot \
                       modules — use try_into + DecodeError (decode) or checked put_* helpers (encode)",
         check: codec_no_lossy_cast,
+        body_check: None,
     },
     Rule {
         name: "pub-missing-docs",
         description: "every public item carries a doc comment (static backstop for \
                       #![deny(missing_docs)])",
         check: pub_missing_docs,
+        body_check: None,
     },
     Rule {
         name: "io-no-unwrap",
         description: "no .unwrap()/.expect() on io::Result values in storage non-test code — \
                       propagate the error, retry via RetryPolicy, or panic with context via \
-                      unwrap_or_else at a documented infallible boundary",
+                      unwrap_or_else at a documented infallible boundary; transitive over the \
+                      DurableDb/Wal closure",
         check: io_no_unwrap,
+        body_check: Some(io_no_unwrap_body),
+    },
+    Rule {
+        name: "wal-append-paired",
+        description: "every non-test append_commit call site takes a WalMark first, syncs after, \
+                      keeps a rollback_to on the error path, and never drops the #[must_use] \
+                      mark/commit results (the acknowledged⟺logged protocol of ARCHITECTURE §3d)",
+        check: wal_append_paired,
+        body_check: None,
     },
 ];
 
@@ -429,6 +469,17 @@ pub fn check_file(
             (rule.check)(&analysis, &mut raw);
         }
     }
+    split_waived(&analysis, raw)
+}
+
+/// Splits raw findings into (active, waived) using the file's waiver
+/// comments, and reports reason-less waivers. One call per file — the
+/// multi-file engine routes both its file-scoped and its closure-scoped
+/// findings for a file through here together.
+pub fn split_waived(
+    analysis: &FileAnalysis<'_>,
+    raw: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
     let mut active = Vec::new();
     let mut waived = Vec::new();
     for d in raw {
@@ -447,7 +498,7 @@ pub fn check_file(
         if !w.has_reason {
             active.push(Diagnostic {
                 rule: WAIVER_MISSING_REASON,
-                file: path.to_string(),
+                file: analysis.path.to_string(),
                 line: w.line,
                 message: if w.rule.is_empty() {
                     "malformed pv-lint waiver (expected `pv-lint: allow(<rule>, reason = \"...\")`)"
@@ -487,8 +538,22 @@ fn diag(
 /// outside `#[cfg(test)]`. Restructure (iterators, `get`, typed errors) or
 /// waive with the invariant that guarantees in-bounds/infallible.
 fn hot_path_no_panic(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
+    no_panic_scan(a, 0..a.sig.len(), out);
+}
+
+/// Body-scoped form of `hot-path-no-panic` for closure application.
+fn no_panic_body(
+    a: &FileAnalysis<'_>,
+    body: std::ops::Range<usize>,
+    _fn_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    no_panic_scan(a, body, out);
+}
+
+fn no_panic_scan(a: &FileAnalysis<'_>, range: std::ops::Range<usize>, out: &mut Vec<Diagnostic>) {
     const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
-    for i in 0..a.sig.len() {
+    for i in range {
         let t = &a.sig[i];
         if a.in_test(t.line) {
             continue;
@@ -565,6 +630,32 @@ fn hot_path_no_panic(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
 /// afresh on every invocation. Growth of reused buffers (`push`,
 /// `extend_from_slice`, `resize`) is steady-state free and allowed.
 fn hot_path_no_alloc(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
+    for (fn_name, body, fn_line) in &a.fn_bodies {
+        if !fn_name.ends_with("_into") || a.in_test(*fn_line) {
+            continue;
+        }
+        no_alloc_scan(a, body.clone(), fn_name, out);
+    }
+}
+
+/// Body-scoped form of `hot-path-no-alloc`: applied to every function the
+/// closure reaches, `*_into`-named or not — being called from a kernel is
+/// what puts a helper on the hot path, not its name.
+fn no_alloc_body(
+    a: &FileAnalysis<'_>,
+    body: std::ops::Range<usize>,
+    fn_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    no_alloc_scan(a, body, fn_name, out);
+}
+
+fn no_alloc_scan(
+    a: &FileAnalysis<'_>,
+    body: std::ops::Range<usize>,
+    fn_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
     const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string", "collect"];
     const ALLOC_MACROS: &[&str] = &["vec", "format"];
     const CONTAINERS: &[&str] = &[
@@ -572,57 +663,51 @@ fn hot_path_no_alloc(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
         "HashSet",
     ];
     const CONTAINER_CTORS: &[&str] = &["new", "with_capacity", "from", "default"];
-    for (fn_name, body, fn_line) in &a.fn_bodies {
-        if !fn_name.ends_with("_into") || a.in_test(*fn_line) {
+    for i in body.clone() {
+        let t = &a.sig[i];
+        if t.kind != TokenKind::Ident {
             continue;
         }
-        for i in body.clone() {
-            let t = &a.sig[i];
-            if t.kind != TokenKind::Ident {
-                continue;
-            }
-            let name = a.sig_text(i);
-            if ALLOC_METHODS.contains(&name) && i > body.start && a.is_punct(i - 1, ".") {
-                diag(
-                    out,
-                    "hot-path-no-alloc",
-                    a,
-                    t.line,
-                    format!(
-                        "`.{name}()` inside `{fn_name}` allocates per call — reuse the scratch \
+        let name = a.sig_text(i);
+        if ALLOC_METHODS.contains(&name) && i > body.start && a.is_punct(i - 1, ".") {
+            diag(
+                out,
+                "hot-path-no-alloc",
+                a,
+                t.line,
+                format!(
+                    "`.{name}()` inside `{fn_name}` allocates per call — reuse the scratch \
                      buffers instead (the runtime counterpart is tests/alloc_steady_state.rs)"
-                    ),
-                );
-            } else if ALLOC_MACROS.contains(&name) && i + 1 < a.sig.len() && a.is_punct(i + 1, "!")
-            {
-                diag(
-                    out,
-                    "hot-path-no-alloc",
-                    a,
-                    t.line,
-                    format!(
+                ),
+            );
+        } else if ALLOC_MACROS.contains(&name) && i + 1 < a.sig.len() && a.is_punct(i + 1, "!") {
+            diag(
+                out,
+                "hot-path-no-alloc",
+                a,
+                t.line,
+                format!(
                     "`{name}!` inside `{fn_name}` allocates per call — write into a reused buffer"
                 ),
-                );
-            } else if CONTAINER_CTORS.contains(&name)
-                && i >= body.start + 3
-                && a.is_punct(i - 1, ":")
-                && a.is_punct(i - 2, ":")
-                && a.sig[i - 3].kind == TokenKind::Ident
-                && CONTAINERS.contains(&a.sig_text(i - 3))
-            {
-                diag(
-                    out,
-                    "hot-path-no-alloc",
-                    a,
-                    t.line,
-                    format!(
-                        "`{}::{name}` inside `{fn_name}` creates a fresh container per call — \
+            );
+        } else if CONTAINER_CTORS.contains(&name)
+            && i >= body.start + 3
+            && a.is_punct(i - 1, ":")
+            && a.is_punct(i - 2, ":")
+            && a.sig[i - 3].kind == TokenKind::Ident
+            && CONTAINERS.contains(&a.sig_text(i - 3))
+        {
+            diag(
+                out,
+                "hot-path-no-alloc",
+                a,
+                t.line,
+                format!(
+                    "`{}::{name}` inside `{fn_name}` creates a fresh container per call — \
                      take a scratch buffer parameter instead",
-                        a.sig_text(i - 3)
-                    ),
-                );
-            }
+                    a.sig_text(i - 3)
+                ),
+            );
         }
     }
 }
@@ -741,6 +826,20 @@ fn codec_no_lossy_cast(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
 /// `Fs` trait surface, …). Slice `try_into().unwrap()` and other
 /// infallible conversions in the same files stay unflagged.
 fn io_no_unwrap(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
+    io_unwrap_scan(a, 0..a.sig.len(), out);
+}
+
+/// Body-scoped form of `io-no-unwrap` for closure application.
+fn io_no_unwrap_body(
+    a: &FileAnalysis<'_>,
+    body: std::ops::Range<usize>,
+    _fn_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    io_unwrap_scan(a, body, out);
+}
+
+fn io_unwrap_scan(a: &FileAnalysis<'_>, range: std::ops::Range<usize>, out: &mut Vec<Diagnostic>) {
     const IO_OPS: &[&str] = &[
         "read",
         "read_exact",
@@ -769,7 +868,7 @@ fn io_no_unwrap(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
         "copy",
         "truncate",
     ];
-    for i in 0..a.sig.len() {
+    for i in range {
         let t = &a.sig[i];
         if t.kind != TokenKind::Ident || a.in_test(t.line) {
             continue;
@@ -950,6 +1049,194 @@ fn pub_missing_docs(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `wal-append-paired`: the acknowledged⟺logged protocol, checked
+/// structurally. In every non-test function that calls `append_commit`:
+///
+/// * a `mark()` must be taken *before* the append (so a failure can be
+///   rolled back to a known-good WAL length);
+/// * a `sync()`/`sync_data()`/`sync_all()` must follow the append in the
+///   same function (fsync before the commit is published);
+/// * a `rollback_to(…)` must appear somewhere in the function (the error
+///   path durably undoes the append);
+/// * the results of `mark`/`append_commit`/`rollback_to` are `#[must_use]`
+///   (`WalMark`, offsets, `io::Result`) and must be bound, propagated, or
+///   otherwise consumed — a dropped mark is an unreachable rollback.
+///
+/// `DurableDb::commit` is the reference implementation of the shape this
+/// rule accepts.
+fn wal_append_paired(a: &FileAnalysis<'_>, out: &mut Vec<Diagnostic>) {
+    const MUST_USE_CALLS: &[&str] = &["mark", "append_commit", "rollback_to"];
+    let items = crate::parser::parse_items(a.src, &a.sig);
+    for it in &items {
+        if it.body.is_none() || a.in_test(it.line) {
+            continue;
+        }
+        let non_macro = |c: &&crate::parser::CallSite| !matches!(c.callee, crate::parser::Callee::Macro(_));
+        let appends: Vec<_> = it
+            .calls
+            .iter()
+            .filter(non_macro)
+            .filter(|c| c.callee.name() == "append_commit")
+            .collect();
+        if appends.is_empty() {
+            continue;
+        }
+        let has_rollback = it
+            .calls
+            .iter()
+            .filter(non_macro)
+            .any(|c| c.callee.name() == "rollback_to");
+        for call in &appends {
+            if a.in_test(call.line) {
+                continue;
+            }
+            let mark_before = it.calls.iter().filter(non_macro).any(|c| {
+                c.callee.name() == "mark" && c.sig_index < call.sig_index
+            });
+            let sync_after = it.calls.iter().filter(non_macro).any(|c| {
+                matches!(c.callee.name(), "sync" | "sync_data" | "sync_all")
+                    && c.sig_index > call.sig_index
+            });
+            if !mark_before {
+                diag(
+                    out,
+                    "wal-append-paired",
+                    a,
+                    call.line,
+                    "`append_commit` without a prior `mark()` in the same function — take a \
+                     WalMark first so a failed commit can roll the log back"
+                        .to_string(),
+                );
+            }
+            if !sync_after {
+                diag(
+                    out,
+                    "wal-append-paired",
+                    a,
+                    call.line,
+                    "`append_commit` with no `sync()` after it in the same function — \
+                     acknowledged⟺logged requires fsync before the commit is published"
+                        .to_string(),
+                );
+            }
+            if !has_rollback {
+                diag(
+                    out,
+                    "wal-append-paired",
+                    a,
+                    call.line,
+                    "`append_commit` with no `rollback_to(mark)` anywhere in the function — \
+                     the error path must durably undo the append"
+                        .to_string(),
+                );
+            }
+        }
+        // #[must_use] discipline, checked only in functions that append —
+        // `mark` is too generic a name to police everywhere.
+        for call in it.calls.iter().filter(non_macro) {
+            let name = call.callee.name();
+            if !MUST_USE_CALLS.contains(&name) || a.in_test(call.line) {
+                continue;
+            }
+            if call_result_dropped(a, call.sig_index) {
+                diag(
+                    out,
+                    "wal-append-paired",
+                    a,
+                    call.line,
+                    format!(
+                        "result of `{name}` is dropped — WalMark/DurableCommit/io::Result are \
+                         #[must_use]: bind it, propagate with `?`, or handle the error arm"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// True when the call whose name token is at `name_idx` has its result
+/// dropped: the statement ends at the call's `)` with no binding (`let`),
+/// assignment, `return`, or match/if head consuming the value.
+fn call_result_dropped(a: &FileAnalysis<'_>, name_idx: usize) -> bool {
+    // Locate the argument list: `name(` or `name::<T>(`.
+    let mut open = name_idx + 1;
+    if open + 2 < a.sig.len()
+        && a.is_punct(open, ":")
+        && a.is_punct(open + 1, ":")
+        && a.is_punct(open + 2, "<")
+    {
+        let mut depth = 0i32;
+        let mut j = open + 2;
+        while j < a.sig.len() {
+            if a.is_punct(j, "<") {
+                depth += 1;
+            } else if a.is_punct(j, ">") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        open = j + 1;
+    }
+    if open >= a.sig.len() || !a.is_punct(open, "(") {
+        return false; // not a call shape after all — don't guess
+    }
+    let mut depth = 0i32;
+    let mut close = open;
+    while close < a.sig.len() {
+        if a.is_punct(close, "(") {
+            depth += 1;
+        } else if a.is_punct(close, ")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        close += 1;
+    }
+    if close + 1 >= a.sig.len() {
+        return false;
+    }
+    // Consumed directly after the call?
+    let next = close + 1;
+    if a.sig[next].kind == TokenKind::Punct {
+        match a.sig_text(next) {
+            "?" | "." | ")" | "," | "}" | "{" => return false,
+            ";" => {}
+            _ => return false, // operators etc. consume the value
+        }
+    } else {
+        return false; // `)` followed by an ident: match-arm guard or similar
+    }
+    // `…();` — dropped unless the statement head binds or redirects it.
+    let mut k = name_idx;
+    while k > 0 {
+        k -= 1;
+        if a.sig[k].kind == TokenKind::Punct {
+            match a.sig_text(k) {
+                ";" | "{" | "}" => return true, // statement start reached
+                "=" => {
+                    // Assignment consumes; comparisons (`==`, `<=`, `>=`,
+                    // `!=`) and fat arrows do not end the search.
+                    let cmp = (k > 0 && matches!(a.sig_text(k - 1), "=" | "<" | ">" | "!"))
+                        || (k + 1 < a.sig.len() && matches!(a.sig_text(k + 1), "=" | ">"));
+                    if !cmp {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        } else if a.sig[k].kind == TokenKind::Ident
+            && matches!(a.sig_text(k), "let" | "return" | "match" | "if" | "while")
+        {
+            return false;
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1083,6 +1370,69 @@ fn free_fn() { let v = data.to_vec(); }
         // does not taint a later infallible unwrap
         let prev = "fn k(f: &mut File) { f.sync_all()?; let x: u32 = 7i64.try_into().unwrap(); }";
         assert!(run("io-no-unwrap", prev).0.is_empty());
+    }
+
+    #[test]
+    fn wal_append_paired_accepts_the_commit_shape() {
+        // The shape DurableDb::commit actually has: mark → append (`?`) →
+        // policy-gated sync → rollback_to consumed on the error arm.
+        let src = "\
+fn commit(w: &mut Wal) -> Result<u64, E> {
+    let mark = w.mark();
+    let off = w.append_commit(1, body)?;
+    if policy.should_sync() {
+        w.sync()?;
+    }
+    if validation_failed {
+        if w.rollback_to(mark).is_err() {
+            poison();
+        }
+    }
+    Ok(off)
+}
+";
+        let (active, _) = run("wal-append-paired", src);
+        assert!(active.is_empty(), "{active:?}");
+    }
+
+    #[test]
+    fn wal_append_paired_flags_bare_append() {
+        let src = "fn bad(w: &mut Wal) {\n    w.append_commit(1, body);\n}\n";
+        let (active, _) = run("wal-append-paired", src);
+        // no mark, no sync, no rollback, result dropped
+        assert_eq!(active.len(), 4, "{active:?}");
+        assert!(active.iter().all(|d| d.line == 2));
+    }
+
+    #[test]
+    fn wal_append_paired_flags_dropped_mark() {
+        let src = "\
+fn sloppy(w: &mut Wal, mark: WalMark) -> Result<(), E> {
+    w.mark();
+    let _off = w.append_commit(1, body)?;
+    w.sync()?;
+    w.rollback_to(mark)?;
+    Ok(())
+}
+";
+        let (active, _) = run("wal-append-paired", src);
+        assert_eq!(active.len(), 1, "{active:?}");
+        assert_eq!(active[0].line, 2);
+        assert!(active[0].message.contains("dropped"));
+    }
+
+    #[test]
+    fn wal_append_paired_ignores_tests_and_appendless_fns() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(w: &mut Wal) { w.append_commit(1, b); }
+}
+fn unrelated(w: &Wal) { w.mark(); }
+";
+        let (active, _) = run("wal-append-paired", src);
+        assert!(active.is_empty(), "{active:?}");
     }
 
     #[test]

@@ -151,6 +151,28 @@ fn io_no_unwrap_waiver_suppresses() {
 }
 
 #[test]
+fn wal_append_paired_fires() {
+    let src = include_str!("fixtures/wal_append_paired_fires.rs");
+    let (active, waived) = run("wal_append_paired_fires.rs", src, "wal-append-paired");
+    // the bare append is missing all four legs; the second fn only drops sync/rollback pairing
+    assert_eq!(lines(&active), vec![7, 7, 7, 7, 11], "{active:?}");
+    assert!(active.iter().all(|d| d.rule == "wal-append-paired"));
+    assert!(
+        active.iter().any(|d| d.line == 11 && d.message.contains("dropped")),
+        "{active:?}"
+    );
+    assert!(waived.is_empty());
+}
+
+#[test]
+fn wal_append_paired_waiver_suppresses() {
+    let src = include_str!("fixtures/wal_append_paired_waived.rs");
+    let (active, waived) = run("wal_append_paired_waived.rs", src, "wal-append-paired");
+    assert!(active.is_empty(), "{active:?}");
+    assert_eq!(waived.len(), 4, "{waived:?}");
+}
+
+#[test]
 fn waiver_without_reason_is_reported_and_suppresses_nothing() {
     let src = include_str!("fixtures/waiver_missing_reason.rs");
     let (active, waived) = run("waiver_missing_reason.rs", src, "hot-path-no-panic");
@@ -190,11 +212,14 @@ include = [\"**\"]
 
 [rule.io-no-unwrap]
 include = [\"**\"]
+
+[rule.wal-append-paired]
+include = [\"**\"]
 ";
     let cfg = Config::parse(cfg_src).expect("fixture config parses");
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let report = lint_with_config(&root, &cfg).expect("fixture scan succeeds");
-    assert_eq!(report.files_scanned, 15);
+    assert_eq!(report.files_scanned, 20);
     assert!(!report.clean());
     // every rule appears among the active diagnostics...
     for rule in [
@@ -205,6 +230,7 @@ include = [\"**\"]
         "codec-no-lossy-cast",
         "pub-missing-docs",
         "io-no-unwrap",
+        "wal-append-paired",
         WAIVER_MISSING_REASON,
     ] {
         assert!(

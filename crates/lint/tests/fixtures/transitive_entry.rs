@@ -1,0 +1,20 @@
+//! Fixture: entry-point file for the transitive-closure tests. Clean in
+//! itself — every violation lives in the callee file, proving the
+//! entry-point rules travel across files. Excluded from the tree-wide
+//! scan by the repo-root `lint.toml`.
+#![allow(dead_code)]
+
+pub fn execute_into(q: &Query, out: &mut Vec<u64>) {
+    let d = min_dist_sq(q.rect(), q.point());
+    stage_candidates(d, out);
+}
+
+pub fn query_batch_into(out: &mut Vec<u64>) {
+    mystery_helper(out);
+}
+
+impl Wal {
+    pub fn sync(&mut self) -> io::Result<()> {
+        flush_meta()
+    }
+}

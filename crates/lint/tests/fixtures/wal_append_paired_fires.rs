@@ -1,0 +1,16 @@
+//! Fixture: `append_commit` call sites violating the acknowledged⟺logged
+//! protocol (wal-append-paired). Excluded from the tree-wide scan by the
+//! repo-root `lint.toml`, so it stays red on purpose.
+#![allow(dead_code)]
+
+fn bare_append(w: &mut Wal) {
+    w.append_commit(1, body);
+}
+
+fn dropped_mark(w: &mut Wal, mark: WalMark) -> Result<(), E> {
+    w.mark();
+    let _off = w.append_commit(1, body)?;
+    w.sync()?;
+    w.rollback_to(mark)?;
+    Ok(())
+}

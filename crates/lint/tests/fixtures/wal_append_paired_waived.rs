@@ -1,0 +1,22 @@
+//! Fixture: the reference commit shape (clean) plus a deliberately bare
+//! `append_commit` under a reasoned waiver (wal-append-paired).
+#![allow(dead_code)]
+
+fn commit(w: &mut Wal) -> Result<u64, E> {
+    let mark = w.mark();
+    let off = w.append_commit(1, body)?;
+    if policy.should_sync() {
+        w.sync()?;
+    }
+    if validation_failed {
+        if w.rollback_to(mark).is_err() {
+            poison();
+        }
+    }
+    Ok(off)
+}
+
+fn replay_shim(w: &mut Wal) {
+    // pv-lint: allow(wal-append-paired, reason = "replay re-appends records acknowledged before the crash; their pairing happened in the original commit")
+    w.append_commit(1, body);
+}

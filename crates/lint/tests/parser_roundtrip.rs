@@ -1,0 +1,223 @@
+//! Property tests for the pv-lint item parser.
+//!
+//! The parser's contract (see `pv_lint::parser`) mirrors the lexer's:
+//! **totality** — `parse` must never panic, whatever bytes it is fed — and
+//! **faithful spans** — every item's byte span lies on token boundaries,
+//! nested items lie strictly inside their enclosing function, and slicing a
+//! top-level `fn` item's span out of the source and re-parsing it
+//! reconstructs the same function (same name, same body-ness, same call
+//! list). The same three input families as `lexer_roundtrip.rs` are used:
+//! raw byte soup, spliced adversarial snippets, and mutated copies of this
+//! workspace's own sources.
+
+use proptest::prelude::*;
+use pv_lint::parser::{parse, Item};
+
+/// Case count: the in-source default on a normal run, scaled by
+/// `PROPTEST_CASES` in the scheduled deep-sweep job (the vendored proptest
+/// has no env override of its own, so each suite reads it explicitly).
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Core property: parsing `src` is total and every span is structurally
+/// sane. Returns the items for follow-on checks.
+fn assert_sane(src: &str) -> Result<Vec<Item>, TestCaseError> {
+    let items = parse(src);
+    let mut last_top_end = 0usize;
+    for it in &items {
+        let (s, e) = it.span;
+        prop_assert!(s < e, "empty span for `{}`", it.name);
+        prop_assert!(e <= src.len(), "span past the end for `{}`", it.name);
+        prop_assert!(src.is_char_boundary(s) && src.is_char_boundary(e));
+        prop_assert!(!it.name.is_empty(), "unnamed item");
+        prop_assert!(it.line >= 1);
+        for c in &it.calls {
+            prop_assert!(c.line >= it.line, "call before its item");
+        }
+        if it.nested {
+            // Nested fns lie inside some earlier item's span.
+            prop_assert!(
+                items
+                    .iter()
+                    .any(|outer| outer.span.0 < s && e <= outer.span.1),
+                "nested `{}` not inside any enclosing span",
+                it.name
+            );
+        } else {
+            // Top-level (and impl-level) fns are disjoint and ordered.
+            prop_assert!(
+                s >= last_top_end,
+                "top-level `{}` overlaps the previous item",
+                it.name
+            );
+            last_top_end = e;
+        }
+    }
+    Ok(items)
+}
+
+/// Re-parsing the sliced span of a top-level free `fn` reconstructs it:
+/// same name, same body-ness, same callee spellings in order.
+fn assert_spans_reconstruct(src: &str, items: &[Item]) -> Result<(), TestCaseError> {
+    for it in items.iter().filter(|i| !i.nested && i.qual.is_none()) {
+        let slice = &src[it.span.0..it.span.1];
+        let again = parse(slice);
+        let Some(back) = again.iter().find(|b| !b.nested) else {
+            prop_assert!(false, "re-parse of `{}` produced no item", it.name);
+            continue;
+        };
+        prop_assert_eq!(&back.name, &it.name, "name drifted across re-parse");
+        prop_assert_eq!(
+            back.body.is_some(),
+            it.body.is_some(),
+            "body-ness drifted for `{}`",
+            it.name
+        );
+        let orig: Vec<_> = it.calls.iter().map(|c| c.callee.clone()).collect();
+        let re: Vec<_> = back.calls.iter().map(|c| c.callee.clone()).collect();
+        prop_assert_eq!(orig, re, "call list drifted for `{}`", it.name);
+    }
+    Ok(())
+}
+
+/// Rust-ish fragments covering the parser's tricky states: impl/trait
+/// headers with generics and `where`, turbofish, nested fns, macros that
+/// look like calls, and the lexer's own adversarial literals.
+fn snippets() -> Vec<&'static str> {
+    vec![
+        "fn f() {}",
+        "fn g(x: u64) -> u64 { x }",
+        "pub fn h<T: Clone>(t: T) where T: Copy { t.clone(); }",
+        "impl Foo { fn m(&self) {} }",
+        "impl<P: Pager> Bar<P> { fn n(&mut self) -> bool { self.m() } }",
+        "impl Trait for Qux { fn p() { helper(); } }",
+        "trait Trait { fn q(&self); fn r(&self) { self.q() } }",
+        "fn outer() { fn inner() {} inner(); }",
+        "fn t() { Vec::<u8>::with_capacity(4); }",
+        "fn u() { x.collect::<Vec<_>>(); }",
+        "fn mac() { println!(\"{}\", 1); vec![0; 4]; }",
+        "fn w() { if x { y() } else { z() } }",
+        "fn ret() -> Result<(), E> { Ok(()) }",
+        "struct S { f: u64 }",
+        "enum E { A, B(u8) }",
+        "const C: u64 = 0;",
+        "static ST: &str = \"s\";",
+        "mod m { fn in_mod() {} }",
+        "unsafe fn uns() {}",
+        "extern \"C\" fn ext() {}",
+        "fn '", // malformed on purpose
+        "impl {",
+        "fn (",
+        "fn",
+        "impl",
+        "trait",
+        "where",
+        "{ } }",
+        "( ( ",
+        "::",
+        "->",
+        "=>",
+        "r#\"raw \"# ",
+        "/* unterminated",
+        "\"unterminated",
+        "// eol\n",
+        "🦀",
+        "\\",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    /// Arbitrary byte soup, lossy-decoded: the parser must neither panic
+    /// nor emit an out-of-bounds or inverted span.
+    #[test]
+    fn byte_soup_parses_totally(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_sane(&src)?;
+    }
+
+    /// Splices of Rust-ish fragments — malformed headers, unbalanced
+    /// braces, unterminated literals — in random order.
+    #[test]
+    fn snippet_splices_parse_totally(picks in prop::collection::vec(prop::sample::select(snippets()), 0..30)) {
+        let src: String = picks.join("\n");
+        let items = assert_sane(&src)?;
+        assert_spans_reconstruct(&src, &items)?;
+    }
+}
+
+/// Reads a workspace source file by path relative to `crates/lint`.
+fn workspace_source(rel: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Mutation seeds: the trait-heavy query engine, the impl-dense storage
+/// pager, and the parser itself.
+fn seed_sources() -> Vec<String> {
+    vec![
+        workspace_source("../core/src/query.rs"),
+        workspace_source("../storage/src/pager.rs"),
+        workspace_source("src/parser.rs"),
+    ]
+}
+
+/// Clamps `i` down to the nearest char boundary of `s`.
+fn snap(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// Mutated copies of real workspace sources: delete a span, duplicate a
+    /// span, splice a malformed fragment. No longer valid Rust — the parser
+    /// must stay total with structurally sane spans.
+    #[test]
+    fn mutated_workspace_sources_parse_totally(
+        which in 0usize..3,
+        cut_at in 0.0f64..1.0,
+        cut_len in 0usize..400,
+        dup_at in 0.0f64..1.0,
+        dup_len in 0usize..120,
+        splice_at in 0.0f64..1.0,
+        fragment in prop::sample::select(snippets()),
+    ) {
+        let seeds = seed_sources();
+        let mut src = seeds[which].clone();
+
+        let a = snap(&src, (cut_at * src.len() as f64) as usize);
+        let b = snap(&src, a + cut_len);
+        src.replace_range(a..b, "");
+
+        let a = snap(&src, (dup_at * src.len() as f64) as usize);
+        let b = snap(&src, a + dup_len);
+        let dup = src[a..b].to_string();
+        src.insert_str(a, &dup);
+
+        let at = snap(&src, (splice_at * src.len() as f64) as usize);
+        src.insert_str(at, fragment);
+
+        assert_sane(&src)?;
+    }
+}
+
+/// The unmutated seeds parse sanely and their free-fn spans reconstruct —
+/// the deterministic anchor for the properties above.
+#[test]
+fn unmutated_workspace_sources_reconstruct() {
+    for src in seed_sources() {
+        let items = assert_sane(&src).unwrap_or_else(|e| panic!("{e:?}"));
+        assert!(!items.is_empty(), "workspace seed parsed to zero items");
+        assert_spans_reconstruct(&src, &items).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+}

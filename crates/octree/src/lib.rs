@@ -352,21 +352,29 @@ impl<P: Pager> Octree<P> {
         scratch.hi.extend_from_slice(self.domain.hi());
         let mut node = self.root;
         loop {
+            // pv-lint: allow(hot-path-no-panic, reason = "node ids are produced by this tree's own Internal children arrays; a dangling id is construction-level corruption and must fail loudly")
             match self.nodes[node as usize].as_ref() {
                 ONode::Internal(children) => {
                     // In-place equivalent of `octant_of` + `octants()[oct]`:
                     // same midpoints, same tie rule (ties go to the upper
                     // half).
                     let mut oct = 0usize;
-                    for j in 0..self.dim {
-                        let mid = 0.5 * (scratch.lo[j] + scratch.hi[j]);
-                        if q[j] >= mid {
+                    for (j, ((l, h), &c)) in scratch
+                        .lo
+                        .iter_mut()
+                        .zip(scratch.hi.iter_mut())
+                        .zip(q.coords())
+                        .enumerate()
+                    {
+                        let mid = 0.5 * (*l + *h);
+                        if c >= mid {
                             oct |= 1 << j;
-                            scratch.lo[j] = mid;
+                            *l = mid;
                         } else {
-                            scratch.hi[j] = mid;
+                            *h = mid;
                         }
                     }
+                    // pv-lint: allow(hot-path-no-panic, reason = "oct has dim bits and Internal children are 2^dim-long by construction")
                     node = children[oct];
                 }
                 ONode::Leaf { list, .. } => {
@@ -1063,17 +1071,21 @@ pub fn decode_leaf_record(rec: &[u8], dim: usize) -> (u64, HyperRect) {
 #[inline]
 pub fn leaf_record_dists_sq(rec: &[u8], dim: usize, q: &Point) -> (u64, f64, f64) {
     debug_assert!(rec.len() >= 8 + dim * 16, "truncated leaf record");
-    let id = u64::from_le_bytes(rec[0..8].try_into().expect("leaf record id"));
+    // Total chunk-splitting parse: a record shorter than the fixed layout
+    // (storage corruption) yields an infinitely-far candidate — pruned by
+    // Step 1 — instead of panicking mid-query. Well-formed records take the
+    // exact same byte offsets and accumulation order as before.
+    let Some((id8, body)) = rec.split_first_chunk::<8>() else {
+        return (0, f64::INFINITY, f64::INFINITY);
+    };
+    let id = u64::from_le_bytes(*id8);
     let mut mind = 0.0;
     let mut maxd = 0.0;
-    for j in 0..dim {
-        let lo = f64::from_le_bytes(rec[8 + 8 * j..16 + 8 * j].try_into().unwrap());
-        let hi = f64::from_le_bytes(
-            rec[8 + 8 * (dim + j)..16 + 8 * (dim + j)]
-                .try_into()
-                .unwrap(),
-        );
-        let c = q[j];
+    let lo_words = body.chunks_exact(8).take(dim);
+    let hi_words = body.chunks_exact(8).skip(dim).take(dim);
+    for ((lo_w, hi_w), &c) in lo_words.zip(hi_words).zip(q.coords()) {
+        let lo = f64::from_le_bytes(word8(lo_w));
+        let hi = f64::from_le_bytes(word8(hi_w));
         if c < lo {
             mind += pv_geom::sq(lo - c);
         } else if c > hi {
@@ -1082,6 +1094,15 @@ pub fn leaf_record_dists_sq(rec: &[u8], dim: usize, q: &Point) -> (u64, f64, f64
         maxd += pv_geom::sq((c - lo).abs().max((hi - c).abs()));
     }
     (id, mind, maxd)
+}
+
+/// Copies a `chunks_exact(8)` window into an array: the iterator guarantees
+/// exactly 8 bytes, so the copy cannot length-mismatch.
+#[inline(always)]
+fn word8(w: &[u8]) -> [u8; 8] {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(w);
+    b
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@
 
 use crate::codec::DecodeError;
 use crate::pager::{IoStats, PageId, Pager};
-use crate::snapshot::fnv1a64;
+use crate::fnv1a64;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};

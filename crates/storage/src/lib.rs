@@ -68,4 +68,5 @@ pub use filepager::FilePager;
 pub use fsio::{Fs, RetryPolicy, StdFs};
 pub use pagelist::{PageList, PageListStats};
 pub use pager::{IoStats, LatencyModel, MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
+pub use snapshot::fnv1a64;
 pub use wal::{TornTail, Wal, WalError, WalRecord, WalReplay};

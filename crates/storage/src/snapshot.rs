@@ -44,6 +44,10 @@ const CHECKSUM_LEN: usize = 8;
 
 /// 64-bit FNV-1a over a byte slice — the workspace's integrity checksum.
 ///
+/// The single definition for the whole suite (re-exported as
+/// [`crate::fnv1a64`]); the WAL, superblock, and snapshot envelopes all hash
+/// through here so their checksums stay interchangeable.
+///
 /// Not cryptographic; it exists to catch accidental corruption (truncation,
 /// bit rot, torn writes), which is the failure model of the snapshot files.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {

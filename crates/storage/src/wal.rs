@@ -45,7 +45,7 @@
 
 use crate::codec::{self, DecodeError};
 use crate::fsio::{Fs, RetryPolicy};
-use crate::snapshot::fnv1a64;
+use crate::fnv1a64;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;

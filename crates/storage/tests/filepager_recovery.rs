@@ -3,7 +3,7 @@
 //! file, never reconstruct a plausible-but-wrong allocation map.
 
 use pv_storage::codec::DecodeError;
-use pv_storage::snapshot::fnv1a64;
+use pv_storage::fnv1a64;
 use pv_storage::{FilePager, PageId, Pager};
 use std::io::ErrorKind;
 use std::path::PathBuf;

@@ -143,8 +143,8 @@ pub struct SampleScratch {
 fn slice_dist_sq(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = 0.0;
-    for j in 0..a.len() {
-        let d = a[j] - b[j];
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
         acc += d * d;
     }
     acc
@@ -155,16 +155,11 @@ fn slice_dist_sq(a: &[f64], b: &[f64]) -> f64 {
 /// distances are bitwise equal to sampling first and measuring afterwards.
 fn uniform_dists_sq_into(lo: &[f64], hi: &[f64], n: u32, seed: u64, q: &[f64], out: &mut Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let d = lo.len();
     for _ in 0..n {
         let mut acc = 0.0;
-        for j in 0..d {
-            let c = if hi[j] - lo[j] > 0.0 {
-                rng.gen_range(lo[j]..=hi[j])
-            } else {
-                lo[j]
-            };
-            let diff = c - q[j];
+        for ((&l, &h), &qc) in lo.iter().zip(hi).zip(q) {
+            let c = if h - l > 0.0 { rng.gen_range(l..=h) } else { l };
+            let diff = c - qc;
             acc += diff * diff;
         }
         out.push(acc);
@@ -186,22 +181,25 @@ fn gaussian_dists_sq_into(
     out: &mut Vec<f64>,
 ) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let d = lo.len();
-    let mid = |j: usize| 0.5 * (lo[j] + hi[j]);
     'samples: for _ in 0..n {
         for _ in 0..64 {
             coords.clear();
-            for j in 0..d {
-                coords.push(mid(j) + sigma * gauss(&mut rng));
+            for (&l, &h) in lo.iter().zip(hi) {
+                coords.push(0.5 * (l + h) + sigma * gauss(&mut rng));
             }
-            if (0..d).all(|j| lo[j] <= coords[j] && coords[j] <= hi[j]) {
+            if lo
+                .iter()
+                .zip(hi)
+                .zip(coords.iter())
+                .all(|((l, h), c)| l <= c && c <= h)
+            {
                 out.push(slice_dist_sq(coords, q));
                 continue 'samples;
             }
         }
         coords.clear();
-        for j in 0..d {
-            coords.push((mid(j) + sigma * gauss(&mut rng)).clamp(lo[j], hi[j]));
+        for (&l, &h) in lo.iter().zip(hi) {
+            coords.push((0.5 * (l + h) + sigma * gauss(&mut rng)).clamp(l, h));
         }
         out.push(slice_dist_sq(coords, q));
     }
@@ -315,6 +313,7 @@ impl UncertainObject {
     /// On a corrupted buffer; use [`UncertainObject::try_decode`] to handle
     /// corruption as an error instead.
     pub fn decode(buf: &[u8]) -> Self {
+        // pv-lint: allow(hot-path-no-panic, reason = "the documented panicking convenience wrapper; callers needing totality use try_decode")
         Self::try_decode(buf).expect("corrupted uncertain-object record")
     }
 
@@ -325,7 +324,7 @@ impl UncertainObject {
         let id = r.try_u64()?;
         let dim = r.try_u16()? as usize;
         let read_coords = |r: &mut codec::Reader| -> Result<Vec<f64>, codec::DecodeError> {
-            (0..dim).map(|_| r.try_f64()).collect()
+            (0..dim).map(|_| r.try_f64()).collect() // pv-lint: allow(hot-path-no-alloc, reason = "decoder constructing an owned UncertainObject; the hot path streams EncodedObject views instead")
         };
         let lo = read_coords(&mut r)?;
         let hi = read_coords(&mut r)?;
@@ -344,8 +343,8 @@ impl UncertainObject {
                 let n = r.try_u32()? as usize;
                 let pts = (0..n)
                     .map(|_| Ok(Point::new(read_coords(&mut r)?)))
-                    .collect::<Result<Vec<_>, codec::DecodeError>>()?;
-                Pdf::Explicit(Arc::new(pts))
+                    .collect::<Result<Vec<_>, codec::DecodeError>>()?; // pv-lint: allow(hot-path-no-alloc, reason = "decoder constructing an owned UncertainObject; the hot path streams EncodedObject views instead")
+                Pdf::Explicit(Arc::new(pts)) // pv-lint: allow(hot-path-no-alloc, reason = "decoder constructing an owned UncertainObject; the hot path streams EncodedObject views instead")
             }
             t => {
                 return Err(codec::DecodeError::UnknownTag {
@@ -472,9 +471,16 @@ impl<'a> EncodedObject<'a> {
         self.pdf
     }
 
+    /// Reads the `i`-th little-endian f64. Total: [`EncodedObject::parse`]
+    /// validated the section lengths, so the window is always present on a
+    /// well-formed record; a short read (corruption) poisons the distance
+    /// with NaN instead of panicking mid-query.
     #[inline]
     fn coord(bytes: &[u8], i: usize) -> f64 {
-        f64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap())
+        bytes
+            .get(i * 8..i * 8 + 8)
+            .and_then(|w| w.try_into().ok())
+            .map_or(f64::NAN, f64::from_le_bytes)
     }
 
     /// Appends the squared distance of every instance to `q` onto `out`,
@@ -507,8 +513,8 @@ impl<'a> EncodedObject<'a> {
             EncodedPdf::Explicit { n, data } => {
                 for s in 0..n as usize {
                     let mut acc = 0.0;
-                    for j in 0..d {
-                        let diff = Self::coord(data, s * d + j) - q[j];
+                    for (j, &qc) in q.coords().iter().enumerate().take(d) {
+                        let diff = Self::coord(data, s * d + j) - qc;
                         acc += diff * diff;
                     }
                     out.push(acc);
